@@ -1,0 +1,62 @@
+"""Ablation: the integrity extension's verification cost.
+
+The paper defers integrity to Gassend et al.'s cached hash trees (§2.2).
+This bench quantifies the deferred piece on our substrate: per-line MACs
+vs a Merkle tree, and the effect of the trusted on-chip node cache that is
+Gassend's contribution.
+"""
+
+from repro.secure.integrity import HashTreeIntegrity, MACIntegrity
+
+_LINE = bytes(range(128))
+_N_LINES = 256
+
+
+def _filled_tree(cache_entries):
+    tree = HashTreeIntegrity(
+        base_addr=0, n_lines=_N_LINES, node_cache_entries=cache_entries
+    )
+    for line in range(_N_LINES):
+        tree.record_line(line * 128, _LINE)
+    return tree
+
+
+def test_mac_verify(benchmark):
+    mac = MACIntegrity(b"bench-key")
+    for line in range(_N_LINES):
+        mac.record_line(line * 128, _LINE)
+    benchmark(mac.verify_line, 0, _LINE)
+
+
+def test_hash_tree_verify_uncached(benchmark):
+    tree = _filled_tree(cache_entries=0)
+    benchmark(tree.verify_line, 0, _LINE)
+
+
+def test_hash_tree_verify_with_node_cache(benchmark, record_figure):
+    """The Gassend optimisation: verification stops at a trusted cached
+    ancestor instead of walking to the root."""
+    cold = _filled_tree(cache_entries=0)
+    warm = _filled_tree(cache_entries=1024)
+    for tree in (cold, warm):
+        tree.stats.hashes_computed = 0
+        for line in range(_N_LINES):
+            tree.verify_line(line * 128, _LINE)
+    table = "\n".join([
+        "ablation: hash-tree node cache (Gassend-style, section 2.2)",
+        f"{'configuration':<28} {'hashes/verify':>14}",
+        "-" * 44,
+        f"{'no node cache':<28} "
+        f"{cold.stats.hashes_computed / _N_LINES:>14.2f}",
+        f"{'1024-entry node cache':<28} "
+        f"{warm.stats.hashes_computed / _N_LINES:>14.2f}",
+    ])
+    record_figure("ablation_integrity", table)
+    assert warm.stats.hashes_computed < cold.stats.hashes_computed / 2
+
+    benchmark(warm.verify_line, 0, _LINE)
+
+
+def test_hash_tree_update(benchmark):
+    tree = _filled_tree(cache_entries=0)
+    benchmark(tree.record_line, 0, _LINE)

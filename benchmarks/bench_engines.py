@@ -1,0 +1,90 @@
+"""Functional engine path costs: baseline vs XOM vs OTP, read and write.
+
+Not a paper figure — these measure the *simulator's* per-line costs, and
+document the simulation-time ratio between the engines (the paper's cycle
+ratios are modelled, not wall-clock).
+"""
+
+import itertools
+
+import pytest
+
+from repro.crypto.des import DES
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.engine import BaselineEngine
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.xom_engine import XOMEngine
+
+_LINE = bytes(range(128))
+_KEY = bytes.fromhex("133457799BBCDFF1")
+
+
+def _dram():
+    return DRAM(line_bytes=128, latency=100)
+
+
+@pytest.fixture
+def baseline():
+    return BaselineEngine(_dram())
+
+
+@pytest.fixture
+def xom():
+    return XOMEngine(_dram(), DES(_KEY))
+
+
+@pytest.fixture
+def otp():
+    return OTPEngine(
+        _dram(), DES(_KEY),
+        snc=SequenceNumberCache(SNCConfig(size_bytes=2048, entry_bytes=2)),
+    )
+
+
+def test_baseline_write_read(benchmark, baseline):
+    addresses = itertools.cycle(range(0, 128 * 64, 128))
+
+    def op():
+        addr = next(addresses)
+        baseline.write_line(addr, _LINE)
+        baseline.read_line(addr, LineKind.DATA)
+
+    benchmark(op)
+
+
+def test_xom_write_read(benchmark, xom):
+    addresses = itertools.cycle(range(0, 128 * 64, 128))
+
+    def op():
+        addr = next(addresses)
+        xom.write_line(addr, _LINE)
+        xom.read_line(addr, LineKind.DATA)
+
+    benchmark(op)
+
+
+def test_otp_write_read_snc_hit(benchmark, otp):
+    addresses = itertools.cycle(range(0, 128 * 64, 128))
+
+    def op():
+        addr = next(addresses)
+        otp.write_line(addr, _LINE)
+        otp.read_line(addr, LineKind.DATA)
+
+    benchmark(op)
+
+
+def test_snc_query_update(benchmark):
+    """The SNC data structure alone: millions of these run per figure."""
+    snc = SequenceNumberCache(SNCConfig())
+    lines = itertools.cycle(range(40_000))
+
+    def op():
+        line = next(lines)
+        if snc.update(line) is None:
+            snc.insert(line, 1)
+        snc.query(line)
+
+    benchmark(op)

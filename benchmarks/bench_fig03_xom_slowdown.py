@@ -1,0 +1,25 @@
+"""Figure 3: XOM slowdown per benchmark (the paper's motivation).
+
+The XOM column is the calibration anchor (DESIGN.md §5), so the measured
+values must match the paper essentially exactly — this bench doubles as
+the calibration's self-test.  The timed portion is one full benchmark
+simulation at reduced scale: the cost of adding one workload to the sweep.
+"""
+
+import pytest
+
+from repro.eval.experiments import figure3
+from repro.eval.pipeline import QUICK_SCALE, simulate_benchmark
+from repro.eval.report import format_figure
+from repro.workloads.spec import BY_NAME
+
+
+def test_figure3_matches_paper(bench_events, record_figure, benchmark):
+    result = figure3(bench_events)
+    record_figure("figure3", format_figure(result))
+    series = result.series_by_label("XOM")
+    for name, paper_value in series.paper.items():
+        assert series.measured[name] == pytest.approx(paper_value, abs=0.05)
+    assert series.measured_avg == pytest.approx(series.paper_avg, abs=0.05)
+
+    benchmark(simulate_benchmark, BY_NAME["gcc"], scale=QUICK_SCALE)

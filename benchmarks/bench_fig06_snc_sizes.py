@@ -1,0 +1,38 @@
+"""Figure 6: SNC capacity sweep (32KB / 64KB / 128KB, LRU).
+
+The paper's conclusion: 64KB is the sweet spot — 32KB visibly hurts the
+straddling benchmarks (equake, mcf), 128KB helps little beyond 64KB.
+"""
+
+import pytest
+
+from repro.eval.experiments import figure6
+from repro.eval.report import format_figure
+
+
+def test_figure6_shape(bench_events, record_figure, benchmark):
+    result = benchmark(figure6, bench_events)
+    record_figure("figure6", format_figure(result))
+
+    snc32 = result.series_by_label("32KB")
+    snc64 = result.series_by_label("64KB")
+    snc128 = result.series_by_label("128KB")
+
+    # Monotone on average: more SNC never hurts.
+    assert snc32.measured_avg > snc64.measured_avg >= snc128.measured_avg
+
+    # equake is the 32KB poster child: its footprint fits 64KB but
+    # thrashes 16K entries (7.58% vs 0.06% in the paper).
+    assert snc32.measured["equake"] > 10 * snc64.measured["equake"]
+    assert snc32.measured["equake"] == pytest.approx(7.58, abs=2.5)
+
+    # mcf's tiers make its slowdown fall steeply with capacity.
+    assert snc32.measured["mcf"] > snc64.measured["mcf"] > (
+        snc128.measured["mcf"]
+    )
+
+    # Benchmarks that fit everywhere are flat across sizes.
+    for name in ("art", "vpr"):
+        assert snc32.measured[name] == pytest.approx(
+            snc128.measured[name], abs=0.15
+        )

@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The trace simulation runs once per pytest session (it feeds every figure);
+each bench file prices its own figure from the shared events, registers the
+paper-vs-measured table, and benchmarks a representative piece of the
+pipeline.  All registered tables print in the terminal summary, and are
+also written to ``benchmarks/results/`` so a plain file records the run.
+
+Scale control: set ``REPRO_BENCH_REFS=warmup:measure`` (e.g. ``30000:50000``)
+to shrink the trace for a quick pass; the default is the full scale used
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import run_all_benchmarks
+from repro.eval.pipeline import SimulationScale
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: dict[str, str] = {}
+
+
+def _scale_from_env() -> SimulationScale:
+    raw = os.environ.get("REPRO_BENCH_REFS")
+    if not raw:
+        return SimulationScale()
+    warmup, measure = (int(part) for part in raw.split(":"))
+    return SimulationScale(warmup_refs=warmup, measure_refs=measure)
+
+
+@pytest.fixture(scope="session")
+def bench_events():
+    """All 11 benchmarks simulated once; every figure prices these."""
+    return run_all_benchmarks(scale=_scale_from_env())
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Register a rendered figure table for the terminal summary."""
+
+    def _record(figure_id: str, table: str) -> None:
+        _TABLES[figure_id] = table
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{figure_id}.txt").write_text(table + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced figures (paper vs measured)")
+    for figure_id in sorted(_TABLES):
+        terminalreporter.write_line(_TABLES[figure_id])
+        terminalreporter.write_line("")

@@ -1,0 +1,71 @@
+"""Quickstart: run an encrypted program on the one-time-pad processor.
+
+The whole pipeline in one page:
+
+1. write a small SRP-32 program and assemble it;
+2. the *vendor* encrypts it for one specific processor (one-time-pad
+   seeds derived from virtual addresses, symmetric key wrapped under the
+   processor's public RSA key — paper §2.1 / §3.4.1);
+3. the processor unwraps the key once and executes the ciphertext image,
+   decrypting lines on the fly with pads that overlap memory latency;
+4. we check that the program worked, that only ciphertext ever reached
+   memory, and what the protection cost in cycles.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cpu import assemble
+from repro.secure import EngineKind, SecureProcessor, package_program
+
+SOURCE = """
+# Sum the 10 words in `table`, print the total.
+main:
+    la   t0, table
+    li   t1, 10
+    li   s0, 0
+loop:
+    lw   t2, 0(t0)
+    add  s0, s0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bne  t1, zero, loop
+    mov  a0, s0
+    li   v0, 1          # syscall: print integer
+    syscall
+    halt
+    .data
+table:
+    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3
+"""
+
+
+def main() -> None:
+    # The customer's processor: its private key never leaves the "die".
+    cpu = SecureProcessor(key_seed="quickstart-cpu",
+                          engine_kind=EngineKind.OTP)
+
+    # The vendor targets that processor's public key.
+    program = assemble(SOURCE, name="sum10")
+    protected = package_program(program, cpu.public_key,
+                                vendor_seed="quickstart-vendor")
+
+    report = cpu.run(protected)
+
+    print(f"program output : {report.output!r}  (expected '39')")
+    print(f"instructions   : {report.result.steps}")
+    print(f"approx cycles  : {report.cycles}")
+
+    # The anti-tamper evidence: the text segment in untrusted memory is
+    # ciphertext, not the code we wrote.
+    text = next(s for s in protected.segments if s.name == "text")
+    in_memory = report.engine.dram.peek(text.base, 16)
+    plain_text = next(s for s in program.segments if s.name == "text")
+    print(f"code in memory : {in_memory.hex()} ...")
+    print(f"code as written: {plain_text.data[:16].hex()} ...")
+    assert in_memory != plain_text.data[:16]
+    assert report.output == "39"
+    print("ok: correct output, and memory never saw plaintext code")
+
+
+if __name__ == "__main__":
+    main()

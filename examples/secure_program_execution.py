@@ -1,0 +1,149 @@
+"""The full vendor -> customer story, on all three processors.
+
+A vector-dot-product "application" is:
+
+1. packaged by the vendor for a specific customer processor, in both the
+   XOM (direct-encryption) and OTP image formats;
+2. executed on the insecure baseline, the XOM processor, and the OTP
+   processor — same output everywhere, very different cycle bills;
+3. pirated: a second processor with a different die key tries to run the
+   same image and fails at key unwrap (§2.1);
+4. interrupted mid-run by a "malicious OS" that tries to read the task's
+   registers and gets a trap, then a ciphertext frame (§2.3).
+
+Run:  python examples/secure_program_execution.py
+"""
+
+from repro.cpu import assemble
+from repro.crypto.des import DES
+from repro.errors import CompartmentViolation, KeyExchangeError
+from repro.secure import (
+    CompartmentManager,
+    EngineKind,
+    ProtectionScheme,
+    SecureProcessor,
+    TaggedRegisterFile,
+    package_program,
+)
+
+SOURCE = """
+# Fill two 2048-word vectors, then run two dot-product passes over them.
+# The vectors (16KB) exceed the demo L2 (4KB), so the compute passes
+# re-read lines that were encrypted on their way out — the paper's case.
+main:
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, 2048
+    li   t3, 0
+fill:
+    sw   t3, 0(t0)
+    li   t4, 2
+    sw   t4, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t3, t3, 1
+    addi t2, t2, -1
+    bne  t2, zero, fill
+    li   s1, 2            # dot-product passes
+pass:
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, 2048
+    li   s0, 0
+dot:
+    lw   t3, 0(t0)
+    lw   t4, 0(t1)
+    mul  t5, t3, t4
+    add  s0, s0, t5
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bne  t2, zero, dot
+    addi s1, s1, -1
+    bne  s1, zero, pass
+    mov  a0, s0
+    li   v0, 1
+    syscall
+    halt
+    .data
+vec_a: .space 8192
+vec_b: .space 8192
+"""
+
+_EXPECTED = str(2047 * 2048)  # 2 * sum(0..2047)
+
+
+def _demo_processor(kind):
+    """Small caches so a 16KB working set actually exercises memory."""
+    from repro.memory.cache import CacheConfig
+    return SecureProcessor(
+        key_seed="customer-cpu", engine_kind=kind,
+        l1i_config=CacheConfig(1024, 4, 32, name="L1I"),
+        l1d_config=CacheConfig(1024, 4, 32, name="L1D"),
+        l2_config=CacheConfig(4096, 4, 128, name="L2"),
+    )
+
+
+def run_everywhere() -> None:
+    program = assemble(SOURCE, name="dotprod")
+    print("== one program, three processors ==")
+
+    baseline = _demo_processor(EngineKind.BASELINE).run_plain(program)
+    print(f"baseline : output={baseline.output:>8}  "
+          f"cycles={baseline.cycles:>8}")
+
+    xom_cpu = _demo_processor(EngineKind.XOM)
+    xom_image = package_program(
+        program, xom_cpu.public_key, scheme=ProtectionScheme.DIRECT
+    )
+    xom = xom_cpu.run(xom_image)
+    print(f"XOM      : output={xom.output:>8}  cycles={xom.cycles:>8}  "
+          f"(+{100 * (xom.cycles / baseline.cycles - 1):.1f}%)")
+
+    otp_cpu = _demo_processor(EngineKind.OTP)
+    otp_image = package_program(
+        program, otp_cpu.public_key, scheme=ProtectionScheme.OTP
+    )
+    otp = otp_cpu.run(otp_image)
+    print(f"OTP+SNC  : output={otp.output:>8}  cycles={otp.cycles:>8}  "
+          f"(+{100 * (otp.cycles / baseline.cycles - 1):.1f}%)")
+
+    assert baseline.output == xom.output == otp.output == _EXPECTED
+    assert xom.cycles > otp.cycles > baseline.cycles
+
+    print("\n== piracy attempt ==")
+    pirate = SecureProcessor(key_seed="pirate-cpu",
+                             engine_kind=EngineKind.OTP)
+    try:
+        pirate.run(otp_image)
+    except KeyExchangeError as exc:
+        print(f"pirate processor rejected the image: {exc}")
+
+
+def malicious_os_demo() -> None:
+    print("\n== malicious OS at an interrupt (§2.3) ==")
+    manager = CompartmentManager()
+    task = manager.create(DES(b"task-key"))
+    registers = TaggedRegisterFile(manager)
+
+    manager.enter(task.xom_id)
+    registers.write(8, 0x5EC12E7)  # the task's secret register value
+    frame = registers.interrupt_save()
+    manager.exit()  # the OS now runs, outside any compartment
+
+    print(f"OS sees ciphertext frame: {frame.ciphertext[:16].hex()}...")
+    try:
+        manager.enter(task.xom_id)
+        registers.interrupt_restore(frame)
+        manager.exit()
+        # A second compartment (the 'OS helper task') tries to peek.
+        snoop = manager.create(DES(b"os-snoop"))
+        manager.enter(snoop.xom_id)
+        registers.read(8)
+    except CompartmentViolation as exc:
+        print(f"register snoop trapped: {exc}")
+
+
+if __name__ == "__main__":
+    run_everywhere()
+    malicious_os_demo()

@@ -1,0 +1,52 @@
+"""The paper's evaluation in miniature: sweep the SNC design space.
+
+Runs the trace-driven pipeline on three representative workloads at a
+reduced scale and prints Figure 5/6/7-style tables, plus the Figure 8
+area-equivalence check — a taste of what ``pytest benchmarks/`` does at
+full scale.
+
+Run:  python examples/snc_design_space.py
+"""
+
+from repro.area import figure8_area_check, l2_area, snc_area
+from repro.eval.experiments import PAPER_LATENCIES
+from repro.eval.pipeline import SimulationScale, simulate_benchmark
+from repro.timing.model import (
+    baseline_cycles,
+    otp_cycles,
+    slowdown_pct,
+    xom_cycles,
+)
+from repro.workloads.spec import BY_NAME
+
+SCALE = SimulationScale(warmup_refs=100_000, measure_refs=120_000)
+WORKLOADS = ("equake", "mcf", "gcc")  # fits / too big / poisons-NoRepl
+
+
+def main() -> None:
+    lat = PAPER_LATENCIES
+    print(f"{'workload':<10} {'XOM':>8} {'NoRepl':>8} {'LRU-32K':>8} "
+          f"{'LRU-64K':>8} {'LRU-128K':>9} {'32-way':>8}   [slowdown %]")
+    print("-" * 72)
+    for name in WORKLOADS:
+        events = simulate_benchmark(BY_NAME[name], scale=SCALE)
+        base = baseline_cycles(events.trace_events(), lat)
+        row = [slowdown_pct(xom_cycles(events.trace_events(), lat), base)]
+        for key in ("norepl64", "lru32", "lru64", "lru128", "lru64_32way"):
+            row.append(
+                slowdown_pct(otp_cycles(events.trace_events(key), lat), base)
+            )
+        print(f"{name:<10} " + " ".join(f"{value:8.2f}" for value in row))
+
+    print("\nFigure 8 fairness check (CACTI-style area units):")
+    check = figure8_area_check()
+    print(f"  256KB 4-way L2 + 64KB 32-way SNC : {check.l2_plus_snc:12.0f}")
+    print(f"  320KB 5-way L2                   : {check.l2_320k_5way:12.0f}")
+    print(f"  384KB 6-way L2                   : {check.l2_384k_6way:12.0f}")
+    print(f"  L2+SNC sits between the two      : {check.holds}")
+    print("\n(the full 11-benchmark, full-scale sweep: "
+          "pytest benchmarks/ --benchmark-only)")
+
+
+if __name__ == "__main__":
+    main()

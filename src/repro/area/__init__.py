@@ -1,0 +1,22 @@
+"""Cache area estimation (simplified CACTI), for the Figure 8 fairness
+argument."""
+
+from repro.area.cacti import (
+    CacheGeometry,
+    Figure8AreaCheck,
+    cache_area,
+    figure8_area_check,
+    l2_area,
+    l2_area_overhead_for_vas,
+    snc_area,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "Figure8AreaCheck",
+    "cache_area",
+    "figure8_area_check",
+    "l2_area",
+    "l2_area_overhead_for_vas",
+    "snc_area",
+]

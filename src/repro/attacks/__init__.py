@@ -1,0 +1,29 @@
+"""Adversary models and the attacks of the XOM threat model.
+
+Everything here works strictly from outside the security boundary: bus
+transactions and untrusted memory.  The test suite runs each attack twice —
+against the configuration it defeats and against the one that stops it."""
+
+from repro.attacks.adversary import BusTap, MemoryAdversary, Snapshot
+from repro.attacks.known_plaintext import (
+    CounterRecovery,
+    recover_counter_steps,
+    xor_leak,
+)
+from repro.attacks.pattern import (
+    PatternReport,
+    analyze_blocks,
+    matching_lines,
+)
+
+__all__ = [
+    "BusTap",
+    "CounterRecovery",
+    "MemoryAdversary",
+    "PatternReport",
+    "Snapshot",
+    "analyze_blocks",
+    "matching_lines",
+    "recover_counter_steps",
+    "xor_leak",
+]

@@ -1,0 +1,92 @@
+"""The adversary of the paper's threat model (§1): everything outside the
+processor die is theirs.
+
+They can tap the bus (:class:`BusTap`), and read, rewrite, and replay main
+memory at will (:class:`MemoryAdversary`).  What they cannot do is see
+inside the chip — so every attack in this package works only with bus
+transactions and DRAM contents, never with simulator internals that map to
+on-chip state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.memory.bus import BusTransaction, MemoryBus, TransactionKind
+from repro.memory.dram import DRAM
+
+
+class BusTap:
+    """A passive wiretap on the processor-memory bus."""
+
+    def __init__(self, bus: MemoryBus):
+        self.transactions: list[BusTransaction] = []
+        bus.attach(self.transactions.append)
+
+    def payloads(self, kind: TransactionKind | None = None) -> list[bytes]:
+        return [
+            t.payload for t in self.transactions
+            if kind is None or t.kind is kind
+        ]
+
+    def contains(self, needle: bytes) -> bool:
+        """Did ``needle`` ever cross the bus inside any payload?"""
+        return any(needle in t.payload for t in self.transactions)
+
+    def writes_to(self, addr: int) -> list[bytes]:
+        """Every payload written to one address, oldest first."""
+        return [
+            t.payload for t in self.transactions
+            if t.is_write and t.addr == addr
+        ]
+
+    def repeated_payloads(self) -> dict[bytes, int]:
+        """Payloads observed more than once — the raw material of
+        pattern analysis (paper §3.4)."""
+        counts = Counter(t.payload for t in self.transactions)
+        return {
+            payload: count for payload, count in counts.items() if count > 1
+        }
+
+
+@dataclass
+class Snapshot:
+    """A recorded (address, line) pair, for replay."""
+
+    addr: int
+    line: bytes
+
+
+class MemoryAdversary:
+    """Active control over untrusted memory."""
+
+    def __init__(self, dram: DRAM):
+        self.dram = dram
+        self._snapshots: dict[int, Snapshot] = {}
+
+    def record(self, addr: int) -> Snapshot:
+        """Save the current ciphertext at ``addr`` for later replay."""
+        snapshot = Snapshot(addr, self.dram.read_line(addr))
+        self._snapshots[addr] = snapshot
+        return snapshot
+
+    def replay(self, addr: int) -> None:
+        """Restore the previously recorded line — the replay attack."""
+        snapshot = self._snapshots[addr]
+        self.dram.write_line(addr, snapshot.line)
+
+    def splice(self, source_addr: int, target_addr: int) -> None:
+        """Copy a valid ciphertext line to a different address — the
+        splicing attack."""
+        self.dram.write_line(target_addr, self.dram.read_line(source_addr))
+
+    def corrupt(self, addr: int, byte_offset: int = 0) -> None:
+        """Flip one bit — the spoofing/tamper attack."""
+        line = bytearray(self.dram.read_line(addr))
+        line[byte_offset] ^= 0x01
+        self.dram.write_line(addr, bytes(line))
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read raw memory (always possible for the adversary)."""
+        return self.dram.peek(addr, size)

@@ -1,0 +1,73 @@
+"""The constant-seed leak — §3.4's 'Disadvantage', demonstrated.
+
+If the pad for a location never changes, two ciphertexts of that location
+leak the XOR of their plaintexts without touching the key::
+
+    C1 = D1 xor E_K(seed)
+    C2 = D2 xor E_K(seed)
+    C1 xor C2 == D1 xor D2
+
+Against low-entropy data (counters, flags, ASCII) this is devastating: the
+paper's example is a location holding 0, 1, 2, ... whose ciphertext stream
+is ``E xor 0, E xor 1, E xor 2`` for a constant ``E`` — "with little
+effort, the ciphertexts stored in memory can be cracked".
+
+The attack functions here are what the sequence-number machinery defeats:
+:func:`xor_leak` works against a constant-seed engine and returns garbage
+against the real OTP engine, which is exactly what the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import xor_bytes
+
+
+def xor_leak(ciphertext_1: bytes, ciphertext_2: bytes) -> bytes:
+    """The pad cancels: returns D1 xor D2 if the two ciphertexts were
+    encrypted with the same pad."""
+    return xor_bytes(ciphertext_1, ciphertext_2)
+
+
+@dataclass(frozen=True)
+class CounterRecovery:
+    """Result of :func:`recover_counter_steps`."""
+
+    steps: list[int]
+    consistent: bool  # True if the stream matched the counter hypothesis
+
+
+def recover_counter_steps(ciphertexts: list[bytes],
+                          word_bytes: int = 4) -> CounterRecovery:
+    """Try to read a counter through constant-pad encryption.
+
+    Given successive ciphertexts of a location suspected to hold a small
+    counter, the XOR of consecutive snapshots equals ``n xor (n+step)``;
+    for small values this is recognisable without any key material.  The
+    function reports the inferred steps and whether the whole stream is
+    consistent with a monotonically increasing counter starting anywhere
+    in [0, 2^16).
+    """
+    if len(ciphertexts) < 2:
+        raise ValueError("need at least two snapshots")
+    word_masks = []
+    for earlier, later in zip(ciphertexts, ciphertexts[1:]):
+        delta = xor_bytes(earlier[:word_bytes], later[:word_bytes])
+        word_masks.append(int.from_bytes(delta, "big"))
+    # Hypothesis search: a start value whose increments produce the masks.
+    for start in range(1 << 16):
+        value = start
+        steps = []
+        for mask in word_masks:
+            # n xor (n+s) == mask  for some small positive s?
+            for step in range(1, 9):
+                if (value ^ (value + step)) == mask:
+                    steps.append(step)
+                    value += step
+                    break
+            else:
+                break
+        if len(steps) == len(word_masks):
+            return CounterRecovery(steps=steps, consistent=True)
+    return CounterRecovery(steps=[], consistent=False)

@@ -1,0 +1,39 @@
+"""The SRP-32 CPU substrate: ISA, assembler, and functional machine."""
+
+from repro.cpu.assembler import Assembler, assemble
+from repro.cpu.isa import (
+    Format,
+    Instruction,
+    N_REGISTERS,
+    Op,
+    REGISTER_ALIASES,
+    REGISTER_NAMES,
+    WORD_BYTES,
+    decode,
+)
+from repro.cpu.machine import (
+    HaltReason,
+    Machine,
+    MachineResult,
+    Syscall,
+)
+from repro.cpu.registers import RegisterFile, ZeroGuard
+
+__all__ = [
+    "Assembler",
+    "Format",
+    "HaltReason",
+    "Instruction",
+    "Machine",
+    "MachineResult",
+    "N_REGISTERS",
+    "Op",
+    "REGISTER_ALIASES",
+    "REGISTER_NAMES",
+    "RegisterFile",
+    "Syscall",
+    "WORD_BYTES",
+    "ZeroGuard",
+    "assemble",
+    "decode",
+]

@@ -1,0 +1,409 @@
+"""A two-pass assembler for SRP-32.
+
+Accepts the usual small-RISC dialect::
+
+        .text
+    main:
+        li    t0, 100            # pseudo: expands to addi/lui+ori
+        la    t1, table          # pseudo: address of a label
+    loop:
+        lw    t2, 0(t1)
+        add   s0, s0, t2
+        addi  t1, t1, 4
+        addi  t0, t0, -1
+        bne   t0, zero, loop
+        halt
+        .data
+    table:
+        .word 1, 2, 3, 4
+        .asciiz "hello"
+
+Pass 1 sizes everything and collects labels; pass 2 encodes.  The output
+is a :class:`~repro.secure.software.PlainProgram` ready for the vendor
+packaging flow, with code and data in separate segments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import (
+    Format,
+    Instruction,
+    Op,
+    REGISTER_ALIASES,
+    WORD_BYTES,
+)
+from repro.errors import AssemblerError
+from repro.secure.software import PlainProgram, Segment, SegmentKind
+
+DEFAULT_TEXT_BASE = 0x0000_1000
+DEFAULT_DATA_BASE = 0x0010_0000
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+@dataclass
+class _Item:
+    """One statement placed at an address during pass 1."""
+
+    kind: str  # "instr" | "bytes"
+    address: int
+    payload: object  # (mnemonic, operands, line_no) or bytes
+    line_no: int = 0
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: expected a number, got {text!r}"
+        ) from None
+
+
+def _parse_register(text: str, line_no: int) -> int:
+    name = text.strip().lower().lstrip("$")
+    if name not in REGISTER_ALIASES:
+        raise AssemblerError(f"line {line_no}: unknown register {text!r}")
+    return REGISTER_ALIASES[name]
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`PlainProgram`."""
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE,
+                 data_base: int = DEFAULT_DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # ------------------------------------------------------------- public
+
+    def assemble(self, source: str, name: str = "a.out") -> PlainProgram:
+        items, labels, entry = self._first_pass(source)
+        text = bytearray()
+        data = bytearray()
+        for item in items:
+            if item.kind == "bytes":
+                blob: bytes = item.payload  # type: ignore[assignment]
+                self._place(item.address, blob, text, data)
+            else:
+                mnemonic, operands, line_no = item.payload  # type: ignore
+                words = self._encode(
+                    mnemonic, operands, item.address, labels, line_no
+                )
+                encoded = b"".join(w.encode().to_bytes(4, "big") for w in words)
+                self._place(item.address, encoded, text, data)
+        segments = []
+        if text:
+            segments.append(
+                Segment(self.text_base, bytes(text), SegmentKind.CODE, "text")
+            )
+        if data:
+            segments.append(
+                Segment(self.data_base, bytes(data), SegmentKind.DATA, "data")
+            )
+        if not segments:
+            raise AssemblerError("program has no content")
+        return PlainProgram(
+            segments=tuple(segments), entry_point=entry, name=name
+        )
+
+    # -------------------------------------------------------------- pass 1
+
+    def _first_pass(self, source: str):
+        items: list[_Item] = []
+        labels: dict[str, int] = {}
+        section = "text"
+        cursors = {"text": self.text_base, "data": self.data_base}
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            while True:
+                match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.*)$", line)
+                if not match:
+                    break
+                label, line = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblerError(
+                        f"line {line_no}: duplicate label {label!r}"
+                    )
+                labels[label] = cursors[section]
+            if not line:
+                continue
+            if line.startswith("."):
+                section = self._directive(
+                    line, line_no, section, cursors, items
+                )
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            size = self._instruction_size(mnemonic, operands, line_no)
+            items.append(
+                _Item("instr", cursors[section],
+                      (mnemonic, operands, line_no), line_no)
+            )
+            if section != "text":
+                raise AssemblerError(
+                    f"line {line_no}: instructions outside .text"
+                )
+            cursors[section] += size
+        entry = labels.get("main", self.text_base)
+        return items, labels, entry
+
+    def _directive(self, line: str, line_no: int, section: str,
+                   cursors: dict[str, int], items: list[_Item]) -> str:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name == ".globl":
+            return section  # accepted and ignored
+        if name == ".align":
+            power = _parse_int(rest.strip(), line_no)
+            step = 1 << power
+            cursor = cursors[section]
+            padding = (-cursor) % step
+            if padding:
+                items.append(
+                    _Item("bytes", cursor, b"\x00" * padding, line_no)
+                )
+                cursors[section] += padding
+            return section
+        if name == ".space":
+            count = _parse_int(rest.strip(), line_no)
+            items.append(_Item("bytes", cursors[section], b"\x00" * count,
+                               line_no))
+            cursors[section] += count
+            return section
+        if name == ".word":
+            values = [
+                _parse_int(token, line_no) & 0xFFFFFFFF
+                for token in _split_operands(rest)
+            ]
+            blob = b"".join(v.to_bytes(4, "big") for v in values)
+            items.append(_Item("bytes", cursors[section], blob, line_no))
+            cursors[section] += len(blob)
+            return section
+        if name == ".byte":
+            values = [
+                _parse_int(token, line_no) & 0xFF
+                for token in _split_operands(rest)
+            ]
+            items.append(_Item("bytes", cursors[section], bytes(values),
+                               line_no))
+            cursors[section] += len(values)
+            return section
+        if name == ".asciiz":
+            match = re.match(r'^"(.*)"$', rest.strip())
+            if not match:
+                raise AssemblerError(
+                    f"line {line_no}: .asciiz needs a quoted string"
+                )
+            blob = (
+                match.group(1)
+                .encode()
+                .decode("unicode_escape")
+                .encode("latin-1")
+                + b"\x00"
+            )
+            items.append(_Item("bytes", cursors[section], blob, line_no))
+            cursors[section] += len(blob)
+            return section
+        raise AssemblerError(f"line {line_no}: unknown directive {name}")
+
+    def _place(self, address: int, blob: bytes, text: bytearray,
+               data: bytearray) -> None:
+        if address >= self.data_base:
+            base, target = self.data_base, data
+        else:
+            base, target = self.text_base, text
+        offset = address - base
+        if len(target) < offset:
+            target.extend(b"\x00" * (offset - len(target)))
+        target[offset : offset + len(blob)] = blob
+
+    # -------------------------------------------------------------- pass 2
+
+    _PSEUDO_SIZES = {
+        "li": None, "la": 2, "mov": 1, "nop": 1, "b": 1,
+        "bgt": 1, "ble": 1, "neg": 1, "not": 2, "ret": 1, "push": 2,
+        "pop": 2,
+    }
+
+    def _instruction_size(self, mnemonic: str, operands: list[str],
+                          line_no: int) -> int:
+        if mnemonic in self._PSEUDO_SIZES:
+            if mnemonic == "li":
+                value = _parse_int(operands[1], line_no) if len(operands) == 2 \
+                    else 0
+                return WORD_BYTES if -0x8000 <= value < 0x8000 else 8
+            return self._PSEUDO_SIZES[mnemonic] * WORD_BYTES
+        return WORD_BYTES
+
+    def _encode(self, mnemonic: str, operands: list[str], address: int,
+                labels: dict[str, int], line_no: int) -> list[Instruction]:
+        expanded = self._expand_pseudo(mnemonic, operands, line_no, labels)
+        if expanded is not None:
+            out = []
+            offset = 0
+            for sub_mnemonic, sub_operands in expanded:
+                out.extend(
+                    self._encode(sub_mnemonic, sub_operands,
+                                 address + offset, labels, line_no)
+                )
+                offset += WORD_BYTES
+            return out
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise AssemblerError(
+                f"line {line_no}: unknown instruction {mnemonic!r}"
+            ) from None
+        return [self._encode_one(op, operands, address, labels, line_no)]
+
+    def _expand_pseudo(self, mnemonic: str, operands: list[str],
+                       line_no: int, labels: dict[str, int]):
+        if mnemonic == "li":
+            register, value_text = operands
+            value = _parse_int(value_text, line_no)
+            if -0x8000 <= value < 0x8000:
+                return [("addi", [register, "zero", str(value)])]
+            value &= 0xFFFFFFFF
+            return [
+                ("lui", [register, str(value >> 16)]),
+                ("ori", [register, register, str(value & 0xFFFF)]),
+            ]
+        if mnemonic == "la":
+            register, label = operands
+            if label not in labels:
+                raise AssemblerError(f"line {line_no}: unknown label {label!r}")
+            value = labels[label]
+            return [
+                ("lui", [register, str(value >> 16)]),
+                ("ori", [register, register, str(value & 0xFFFF)]),
+            ]
+        if mnemonic == "mov":
+            return [("add", [operands[0], operands[1], "zero"])]
+        if mnemonic == "nop":
+            return [("sll", ["zero", "zero", "zero"])]
+        if mnemonic == "b":
+            return [("beq", ["zero", "zero", operands[0]])]
+        if mnemonic == "bgt":  # bgt a, b, target == blt b, a, target
+            return [("blt", [operands[1], operands[0], operands[2]])]
+        if mnemonic == "ble":  # ble a, b, target == bge b, a, target
+            return [("bge", [operands[1], operands[0], operands[2]])]
+        if mnemonic == "neg":
+            return [("sub", [operands[0], "zero", operands[1]])]
+        if mnemonic == "not":
+            # XORI zero-extends, so build the all-ones mask in the
+            # assembler temporary first (classic `at` usage).
+            return [
+                ("addi", ["at", "zero", "-1"]),
+                ("xor", [operands[0], operands[1], "at"]),
+            ]
+        if mnemonic == "ret":
+            return [("jr", ["ra"])]
+        if mnemonic == "push":
+            return [
+                ("addi", ["sp", "sp", "-4"]),
+                ("sw", [operands[0], "0(sp)"]),
+            ]
+        if mnemonic == "pop":
+            return [
+                ("lw", [operands[0], "0(sp)"]),
+                ("addi", ["sp", "sp", "4"]),
+            ]
+        return None
+
+    def _encode_one(self, op: Op, operands: list[str], address: int,
+                    labels: dict[str, int], line_no: int) -> Instruction:
+        fmt = op.format
+        if fmt is Format.S:
+            imm = 0
+            if operands:
+                imm = _parse_int(operands[0], line_no)
+            return Instruction(op, imm=imm)
+        if fmt is Format.J:
+            target = self._resolve(operands[0], labels, line_no)
+            if target % WORD_BYTES:
+                raise AssemblerError(
+                    f"line {line_no}: jump target {target:#x} not aligned"
+                )
+            return Instruction(op, imm=target // WORD_BYTES)
+        if op in (Op.JR,):
+            return Instruction(op, a=_parse_register(operands[0], line_no))
+        if op is Op.JALR:
+            link = _parse_register(operands[0], line_no)
+            target = _parse_register(operands[1], line_no)
+            return Instruction(op, a=link, b=target)
+        if fmt is Format.R:
+            a, b, c = (_parse_register(text, line_no) for text in operands)
+            return Instruction(op, a=a, b=b, c=c)
+        # I-format
+        if op is Op.LUI:
+            register = _parse_register(operands[0], line_no)
+            value = _parse_int(operands[1], line_no)
+            return Instruction(op, a=register, imm=value & 0xFFFF)
+        if op in (Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB):
+            register = _parse_register(operands[0], line_no)
+            match = _MEM_OPERAND_RE.match(operands[1].replace(" ", ""))
+            if not match:
+                raise AssemblerError(
+                    f"line {line_no}: expected offset(base), "
+                    f"got {operands[1]!r}"
+                )
+            offset = _parse_int(match.group(1), line_no)
+            base = _parse_register(match.group(2), line_no)
+            self._check_imm16(offset, line_no)
+            return Instruction(op, a=register, b=base, imm=offset & 0xFFFF)
+        if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            a = _parse_register(operands[0], line_no)
+            b = _parse_register(operands[1], line_no)
+            target = self._resolve(operands[2], labels, line_no)
+            delta = target - (address + WORD_BYTES)
+            if delta % WORD_BYTES:
+                raise AssemblerError(
+                    f"line {line_no}: branch target not word-aligned"
+                )
+            words = delta // WORD_BYTES
+            self._check_imm16(words, line_no)
+            return Instruction(op, a=a, b=b, imm=words & 0xFFFF)
+        # Plain ALU immediate: op rd, rs, imm
+        rd = _parse_register(operands[0], line_no)
+        rs = _parse_register(operands[1], line_no)
+        value = _parse_int(operands[2], line_no)
+        self._check_imm16(value, line_no)
+        return Instruction(op, a=rd, b=rs, imm=value & 0xFFFF)
+
+    @staticmethod
+    def _check_imm16(value: int, line_no: int) -> None:
+        if not -0x8000 <= value <= 0xFFFF:
+            raise AssemblerError(
+                f"line {line_no}: immediate {value} does not fit in 16 bits"
+            )
+
+    def _resolve(self, token: str, labels: dict[str, int],
+                 line_no: int) -> int:
+        token = token.strip()
+        if _LABEL_RE.match(token) and token in labels:
+            return labels[token]
+        if _LABEL_RE.match(token) and not token[0].isdigit():
+            raise AssemblerError(f"line {line_no}: unknown label {token!r}")
+        return _parse_int(token, line_no)
+
+
+def assemble(source: str, name: str = "a.out", **kwargs) -> PlainProgram:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler(**kwargs).assemble(source, name=name)

@@ -1,0 +1,107 @@
+"""SRP-32 disassembler.
+
+The inverse of the assembler, used three ways:
+
+* debugging example programs (``python -m repro.cpu.disassembler file``);
+* the attack demos — showing that XOM-encrypted text *doesn't* disassemble
+  is the visible face of the tamper-resistance story;
+* round-trip property tests (assemble -> disassemble -> assemble).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Format, Instruction, Op, WORD_BYTES, decode
+from repro.errors import IllegalInstructionError
+
+_REGISTER_NAMES = {
+    0: "zero", 1: "at", 2: "v0", 3: "v1",
+    4: "a0", 5: "a1", 6: "a2", 7: "a3",
+    8: "t0", 9: "t1", 10: "t2", 11: "t3",
+    12: "t4", 13: "t5", 14: "t6", 15: "t7",
+    16: "s0", 17: "s1", 18: "s2", 19: "s3",
+    20: "s4", 21: "s5", 22: "s6", 23: "s7",
+    24: "t8", 25: "t9", 26: "k0", 27: "k1",
+    28: "gp", 29: "sp", 30: "fp", 31: "ra",
+}
+
+_MEMORY_OPS = {Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB}
+_BRANCH_OPS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE}
+
+
+def _reg(index: int) -> str:
+    return _REGISTER_NAMES[index & 0x1F]
+
+
+def format_instruction(ins: Instruction, address: int | None = None) -> str:
+    """Render one decoded instruction in assembler syntax.
+
+    When ``address`` is given, branch targets are shown as absolute
+    addresses (what you want when reading a dump)."""
+    mnemonic = ins.op.name.lower()
+    fmt = ins.op.format
+    if ins.op in _MEMORY_OPS:
+        return f"{mnemonic} {_reg(ins.a)}, {ins.signed_imm}({_reg(ins.b)})"
+    if ins.op in _BRANCH_OPS:
+        if address is not None:
+            target = address + WORD_BYTES + ins.signed_imm * WORD_BYTES
+            return f"{mnemonic} {_reg(ins.a)}, {_reg(ins.b)}, {target:#x}"
+        return f"{mnemonic} {_reg(ins.a)}, {_reg(ins.b)}, {ins.signed_imm}"
+    if ins.op is Op.LUI:
+        return f"{mnemonic} {_reg(ins.a)}, {ins.imm:#x}"
+    if ins.op is Op.JR:
+        return f"{mnemonic} {_reg(ins.a)}"
+    if ins.op is Op.JALR:
+        return f"{mnemonic} {_reg(ins.a)}, {_reg(ins.b)}"
+    if fmt is Format.R:
+        return f"{mnemonic} {_reg(ins.a)}, {_reg(ins.b)}, {_reg(ins.c)}"
+    if fmt is Format.I:
+        return f"{mnemonic} {_reg(ins.a)}, {_reg(ins.b)}, {ins.signed_imm}"
+    if fmt is Format.J:
+        return f"{mnemonic} {ins.imm * WORD_BYTES:#x}"
+    return mnemonic  # system format
+
+
+def disassemble_word(word: int, address: int | None = None) -> str:
+    """Decode and render one word; garbage renders as ``.word``."""
+    try:
+        return format_instruction(decode(word), address)
+    except IllegalInstructionError:
+        return f".word {word:#010x}"
+
+
+def disassemble(blob: bytes, base_address: int = 0) -> list[str]:
+    """Disassemble a byte string into one line per word.
+
+    Lines are ``address: hexword  mnemonic operands``.  Undecodable words
+    (data, or ciphertext masquerading as code) render as ``.word``."""
+    if len(blob) % WORD_BYTES:
+        blob = blob + b"\x00" * (WORD_BYTES - len(blob) % WORD_BYTES)
+    lines = []
+    for offset in range(0, len(blob), WORD_BYTES):
+        address = base_address + offset
+        word = int.from_bytes(blob[offset : offset + WORD_BYTES], "big")
+        lines.append(
+            f"{address:#010x}: {word:08x}  {disassemble_word(word, address)}"
+        )
+    return lines
+
+
+def decode_rate(blob: bytes) -> float:
+    """Fraction of words that decode as valid instructions.
+
+    Plaintext SRP-32 code decodes at ~100%; DES/AES ciphertext decodes at
+    a small background rate — a cheap statistical test for 'is this
+    segment actually encrypted?' used by the attack tooling."""
+    if not blob:
+        return 0.0
+    total = 0
+    valid = 0
+    for offset in range(0, len(blob) - WORD_BYTES + 1, WORD_BYTES):
+        total += 1
+        word = int.from_bytes(blob[offset : offset + WORD_BYTES], "big")
+        try:
+            decode(word)
+            valid += 1
+        except IllegalInstructionError:
+            pass
+    return valid / total if total else 0.0

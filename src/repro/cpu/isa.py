@@ -1,0 +1,194 @@
+"""SRP-32: the Secure RISC Processor instruction set.
+
+A small MIPS-flavoured ISA, sufficient to write the example workloads that
+run end-to-end through the encrypted memory path.  Design points that
+matter for the reproduction:
+
+* fixed 32-bit instructions — two per 64-bit DES block, exactly the §3.4.1
+  pairing the paper describes for vendor code encryption;
+* explicit security instructions (``XENTER``/``XEXIT``) mirroring XOM's
+  "new instructions ... for handling start/termination of XOM mode" (§2.3);
+* loads/stores are word/byte aligned so no access ever straddles a cache
+  line, keeping the functional hierarchy honest.
+
+Encoding: ``opcode[31:26] a[25:21] b[20:16] c[15:11]`` with the low 16 bits
+an immediate for I-format and the low 26 bits a word target for J-format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IllegalInstructionError
+
+WORD_BYTES = 4
+N_REGISTERS = 32
+
+
+class Format(enum.Enum):
+    R = "register"  # op a, b, c
+    I = "immediate"  # op a, b, imm16
+    J = "jump"  # op target26
+    S = "system"  # no operands (imm carried for XENTER)
+
+
+class Op(enum.Enum):
+    """Every SRP-32 opcode, with its binary encoding value."""
+
+    # R-format ALU
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SLL = 0x06
+    SRL = 0x07
+    SRA = 0x08
+    SLT = 0x09
+    SLTU = 0x0A
+    MUL = 0x0B
+    DIVU = 0x0C
+    REMU = 0x0D
+    JR = 0x0E
+    JALR = 0x0F
+    # I-format ALU
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLTI = 0x14
+    SLLI = 0x15
+    SRLI = 0x16
+    SRAI = 0x17
+    LUI = 0x18
+    # I-format memory
+    LW = 0x20
+    SW = 0x21
+    LB = 0x22
+    LBU = 0x23
+    SB = 0x24
+    # I-format control
+    BEQ = 0x28
+    BNE = 0x29
+    BLT = 0x2A
+    BGE = 0x2B
+    # J-format
+    J = 0x30
+    JAL = 0x31
+    # System / security
+    SYSCALL = 0x38
+    HALT = 0x39
+    XENTER = 0x3A
+    XEXIT = 0x3B
+
+    @property
+    def format(self) -> Format:
+        return _FORMATS[self]
+
+
+_FORMATS = {
+    Op.ADD: Format.R, Op.SUB: Format.R, Op.AND: Format.R, Op.OR: Format.R,
+    Op.XOR: Format.R, Op.SLL: Format.R, Op.SRL: Format.R, Op.SRA: Format.R,
+    Op.SLT: Format.R, Op.SLTU: Format.R, Op.MUL: Format.R, Op.DIVU: Format.R,
+    Op.REMU: Format.R, Op.JR: Format.R, Op.JALR: Format.R,
+    Op.ADDI: Format.I, Op.ANDI: Format.I, Op.ORI: Format.I, Op.XORI: Format.I,
+    Op.SLTI: Format.I, Op.SLLI: Format.I, Op.SRLI: Format.I,
+    Op.SRAI: Format.I, Op.LUI: Format.I,
+    Op.LW: Format.I, Op.SW: Format.I, Op.LB: Format.I, Op.LBU: Format.I,
+    Op.SB: Format.I,
+    Op.BEQ: Format.I, Op.BNE: Format.I, Op.BLT: Format.I, Op.BGE: Format.I,
+    Op.J: Format.J, Op.JAL: Format.J,
+    Op.SYSCALL: Format.S, Op.HALT: Format.S,
+    Op.XENTER: Format.S, Op.XEXIT: Format.S,
+}
+
+_BY_VALUE = {op.value: op for op in Op}
+
+_MASK16 = 0xFFFF
+_MASK26 = 0x03FFFFFF
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded SRP-32 instruction."""
+
+    op: Op
+    a: int = 0  # register slot [25:21]
+    b: int = 0  # register slot [20:16]
+    c: int = 0  # register slot [15:11] (R-format third operand)
+    imm: int = 0  # 16-bit immediate (I) or 26-bit word target (J/S)
+
+    def encode(self) -> int:
+        """Pack into a 32-bit word."""
+        word = self.op.value << 26
+        fmt = self.op.format
+        if fmt is Format.R:
+            word |= (self.a & 0x1F) << 21
+            word |= (self.b & 0x1F) << 16
+            word |= (self.c & 0x1F) << 11
+        elif fmt is Format.I:
+            word |= (self.a & 0x1F) << 21
+            word |= (self.b & 0x1F) << 16
+            word |= self.imm & _MASK16
+        else:  # J and S formats carry a 26-bit payload
+            word |= self.imm & _MASK26
+        return word
+
+    @property
+    def signed_imm(self) -> int:
+        """The 16-bit immediate, sign-extended."""
+        imm = self.imm & _MASK16
+        return imm - 0x10000 if imm & 0x8000 else imm
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises IllegalInstructionError for garbage.
+
+    Under XOM, an illegal decode is the expected symptom of executing
+    tampered or spliced ciphertext — the processor 'raises exceptions and
+    then halts' (§1)."""
+    opcode = (word >> 26) & 0x3F
+    op = _BY_VALUE.get(opcode)
+    if op is None:
+        raise IllegalInstructionError(
+            f"opcode {opcode:#04x} in word {word:#010x} does not decode"
+        )
+    fmt = op.format
+    if fmt is Format.R:
+        tail = word & 0x7FF
+        if tail:
+            raise IllegalInstructionError(
+                f"R-format word {word:#010x} has non-zero reserved bits"
+            )
+        return Instruction(
+            op,
+            a=(word >> 21) & 0x1F,
+            b=(word >> 16) & 0x1F,
+            c=(word >> 11) & 0x1F,
+        )
+    if fmt is Format.I:
+        return Instruction(
+            op,
+            a=(word >> 21) & 0x1F,
+            b=(word >> 16) & 0x1F,
+            imm=word & _MASK16,
+        )
+    return Instruction(op, imm=word & _MASK26)
+
+
+#: Conventional register names (MIPS-style), used by the assembler and
+#: the register file's calling convention.
+REGISTER_NAMES = {
+    "zero": 0, "at": 1, "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11,
+    "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+    "s0": 16, "s1": 17, "s2": 18, "s3": 19,
+    "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "t8": 24, "t9": 25, "k0": 26, "k1": 27,
+    "gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+REGISTER_ALIASES = dict(REGISTER_NAMES)
+REGISTER_ALIASES.update({f"r{i}": i for i in range(N_REGISTERS)})

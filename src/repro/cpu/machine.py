@@ -1,0 +1,267 @@
+"""The SRP-32 functional simulator.
+
+Executes programs against a :class:`~repro.memory.hierarchy.MemoryHierarchy`
+so every fetch, load and store travels the full cache path and — when the
+hierarchy is backed by a secure engine — the genuine crypto path.
+
+Cycle accounting is deliberately simple (1 issue cycle per instruction plus
+the hierarchy's stall cycles); the quantitative evaluation uses the
+trace-driven pipeline in :mod:`repro.eval`, not this machine.  What the
+machine is *for* is end-to-end fidelity: encrypted image in, correct
+program output out, with ciphertext (and only ciphertext) on the bus.
+
+Immediate conventions: ``ADDI``/``SLTI``/loads/stores/branches sign-extend;
+``ANDI``/``ORI``/``XORI`` zero-extend (so ``LUI``+``ORI`` builds constants).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cpu.isa import Instruction, Op, WORD_BYTES, decode
+from repro.cpu.registers import RegisterFile, RegisterFileLike
+from repro.errors import MachineError
+from repro.memory.hierarchy import MemoryHierarchy
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class HaltReason(enum.Enum):
+    HALT_INSTRUCTION = "halt"
+    EXIT_SYSCALL = "exit"
+    STEP_LIMIT = "step-limit"
+
+
+@dataclass
+class MachineResult:
+    """What a finished run reports."""
+
+    reason: HaltReason
+    steps: int
+    cycles: int
+    output: str
+    exit_code: int = 0
+
+
+class Syscall(enum.IntEnum):
+    """The SRP-32 system-call numbers (code in v0, argument in a0)."""
+
+    PRINT_INT = 1
+    PRINT_CHAR = 2
+    PRINT_STRING = 3
+    READ_INT = 5
+    EXIT = 10
+
+
+class Machine:
+    """A single-issue functional SRP-32 core."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, entry_point: int,
+                 registers: RegisterFileLike | None = None,
+                 stack_top: int = 0x0020_0000,
+                 on_xom_enter: Callable[[], None] | None = None,
+                 on_xom_exit: Callable[[], None] | None = None):
+        self.hierarchy = hierarchy
+        self.registers = registers if registers is not None else RegisterFile()
+        self.pc = entry_point
+        self.steps = 0
+        self.output_parts: list[str] = []
+        self.input_queue: list[int] = []
+        self.exit_code = 0
+        self._halted: HaltReason | None = None
+        self._on_xom_enter = on_xom_enter
+        self._on_xom_exit = on_xom_exit
+        self.registers.write(29, stack_top)  # sp
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, max_steps: int = 1_000_000) -> MachineResult:
+        """Execute until HALT/exit or the step limit."""
+        while self._halted is None and self.steps < max_steps:
+            self.step()
+        if self._halted is None:
+            self._halted = HaltReason.STEP_LIMIT
+        return MachineResult(
+            reason=self._halted,
+            steps=self.steps,
+            cycles=self.steps + self.hierarchy.stats.stall_cycles,
+            output="".join(self.output_parts),
+            exit_code=self.exit_code,
+        )
+
+    def step(self) -> None:
+        """Fetch-decode-execute one instruction."""
+        if self._halted is not None:
+            raise MachineError("machine has halted")
+        word = int.from_bytes(self.hierarchy.fetch(self.pc, WORD_BYTES), "big")
+        instruction = decode(word)
+        self.steps += 1
+        next_pc = self.pc + WORD_BYTES
+        self.pc = self._execute(instruction, next_pc)
+
+    # ------------------------------------------------------------- execute
+
+    def _execute(self, ins: Instruction, next_pc: int) -> int:
+        op = ins.op
+        read = self.registers.read
+        write = self.registers.write
+
+        # R-format ALU ------------------------------------------------------
+        if op is Op.ADD:
+            write(ins.a, read(ins.b) + read(ins.c))
+        elif op is Op.SUB:
+            write(ins.a, read(ins.b) - read(ins.c))
+        elif op is Op.AND:
+            write(ins.a, read(ins.b) & read(ins.c))
+        elif op is Op.OR:
+            write(ins.a, read(ins.b) | read(ins.c))
+        elif op is Op.XOR:
+            write(ins.a, read(ins.b) ^ read(ins.c))
+        elif op is Op.SLL:
+            write(ins.a, read(ins.b) << (read(ins.c) & 31))
+        elif op is Op.SRL:
+            write(ins.a, (read(ins.b) & _MASK32) >> (read(ins.c) & 31))
+        elif op is Op.SRA:
+            write(ins.a, _signed(read(ins.b)) >> (read(ins.c) & 31))
+        elif op is Op.SLT:
+            write(ins.a, int(_signed(read(ins.b)) < _signed(read(ins.c))))
+        elif op is Op.SLTU:
+            write(ins.a, int((read(ins.b) & _MASK32) < (read(ins.c) & _MASK32)))
+        elif op is Op.MUL:
+            write(ins.a, read(ins.b) * read(ins.c))
+        elif op is Op.DIVU:
+            divisor = read(ins.c) & _MASK32
+            if divisor == 0:
+                raise MachineError(f"division by zero at pc={self.pc:#x}")
+            write(ins.a, (read(ins.b) & _MASK32) // divisor)
+        elif op is Op.REMU:
+            divisor = read(ins.c) & _MASK32
+            if divisor == 0:
+                raise MachineError(f"remainder by zero at pc={self.pc:#x}")
+            write(ins.a, (read(ins.b) & _MASK32) % divisor)
+
+        # I-format ALU ------------------------------------------------------
+        elif op is Op.ADDI:
+            write(ins.a, read(ins.b) + ins.signed_imm)
+        elif op is Op.ANDI:
+            write(ins.a, read(ins.b) & ins.imm)
+        elif op is Op.ORI:
+            write(ins.a, read(ins.b) | ins.imm)
+        elif op is Op.XORI:
+            write(ins.a, read(ins.b) ^ ins.imm)
+        elif op is Op.SLTI:
+            write(ins.a, int(_signed(read(ins.b)) < ins.signed_imm))
+        elif op is Op.SLLI:
+            write(ins.a, read(ins.b) << (ins.imm & 31))
+        elif op is Op.SRLI:
+            write(ins.a, (read(ins.b) & _MASK32) >> (ins.imm & 31))
+        elif op is Op.SRAI:
+            write(ins.a, _signed(read(ins.b)) >> (ins.imm & 31))
+        elif op is Op.LUI:
+            write(ins.a, ins.imm << 16)
+
+        # Memory --------------------------------------------------------
+        elif op is Op.LW:
+            addr = (read(ins.b) + ins.signed_imm) & _MASK32
+            self._check_alignment(addr, 4)
+            write(ins.a, int.from_bytes(self.hierarchy.load(addr, 4), "big"))
+        elif op is Op.SW:
+            addr = (read(ins.b) + ins.signed_imm) & _MASK32
+            self._check_alignment(addr, 4)
+            self.hierarchy.store(
+                addr, (read(ins.a) & _MASK32).to_bytes(4, "big")
+            )
+        elif op is Op.LB:
+            addr = (read(ins.b) + ins.signed_imm) & _MASK32
+            byte = self.hierarchy.load(addr, 1)[0]
+            write(ins.a, byte - 0x100 if byte & 0x80 else byte)
+        elif op is Op.LBU:
+            addr = (read(ins.b) + ins.signed_imm) & _MASK32
+            write(ins.a, self.hierarchy.load(addr, 1)[0])
+        elif op is Op.SB:
+            addr = (read(ins.b) + ins.signed_imm) & _MASK32
+            self.hierarchy.store(addr, bytes([read(ins.a) & 0xFF]))
+
+        # Control -------------------------------------------------------
+        elif op is Op.BEQ:
+            if read(ins.a) == read(ins.b):
+                return next_pc + ins.signed_imm * WORD_BYTES
+        elif op is Op.BNE:
+            if read(ins.a) != read(ins.b):
+                return next_pc + ins.signed_imm * WORD_BYTES
+        elif op is Op.BLT:
+            if _signed(read(ins.a)) < _signed(read(ins.b)):
+                return next_pc + ins.signed_imm * WORD_BYTES
+        elif op is Op.BGE:
+            if _signed(read(ins.a)) >= _signed(read(ins.b)):
+                return next_pc + ins.signed_imm * WORD_BYTES
+        elif op is Op.J:
+            return ins.imm * WORD_BYTES
+        elif op is Op.JAL:
+            write(31, next_pc)
+            return ins.imm * WORD_BYTES
+        elif op is Op.JR:
+            return read(ins.a) & _MASK32
+        elif op is Op.JALR:
+            target = read(ins.b) & _MASK32
+            write(ins.a, next_pc)
+            return target
+
+        # System ----------------------------------------------------------
+        elif op is Op.SYSCALL:
+            self._syscall()
+        elif op is Op.HALT:
+            self._halted = HaltReason.HALT_INSTRUCTION
+        elif op is Op.XENTER:
+            if self._on_xom_enter is not None:
+                self._on_xom_enter()
+        elif op is Op.XEXIT:
+            if self._on_xom_exit is not None:
+                self._on_xom_exit()
+        else:  # pragma: no cover - the decoder already rejects unknowns
+            raise MachineError(f"unimplemented op {op}")
+        return next_pc
+
+    @staticmethod
+    def _check_alignment(addr: int, size: int) -> None:
+        if addr % size:
+            raise MachineError(
+                f"unaligned {size}-byte access at {addr:#x}"
+            )
+
+    # ------------------------------------------------------------- syscalls
+
+    def _syscall(self) -> None:
+        code = self.registers.read(2)  # v0
+        arg = self.registers.read(4)  # a0
+        if code == Syscall.PRINT_INT:
+            self.output_parts.append(str(_signed(arg)))
+        elif code == Syscall.PRINT_CHAR:
+            self.output_parts.append(chr(arg & 0xFF))
+        elif code == Syscall.PRINT_STRING:
+            self.output_parts.append(self._read_string(arg))
+        elif code == Syscall.READ_INT:
+            if not self.input_queue:
+                raise MachineError("READ_INT with empty input queue")
+            self.registers.write(2, self.input_queue.pop(0) & _MASK32)
+        elif code == Syscall.EXIT:
+            self.exit_code = _signed(arg)
+            self._halted = HaltReason.EXIT_SYSCALL
+        else:
+            raise MachineError(f"unknown syscall {code}")
+
+    def _read_string(self, addr: int, limit: int = 4096) -> str:
+        chars = []
+        for offset in range(limit):
+            byte = self.hierarchy.load(addr + offset, 1)[0]
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)

@@ -1,0 +1,199 @@
+"""A small library of ready-made SRP-32 programs.
+
+Real kernels — sorting, matrix multiply, string search, checksumming —
+used as protected-execution workloads by tests and available to users who
+want something meatier than the quickstart to run through the secure
+processors.  Each entry pairs assembly source with the expected output so
+callers can verify runs mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.assembler import assemble
+from repro.secure.software import PlainProgram
+
+
+@dataclass(frozen=True)
+class SampleProgram:
+    """Source plus the output a correct run prints."""
+
+    name: str
+    source: str
+    expected_output: str
+
+    def assemble(self) -> PlainProgram:
+        return assemble(self.source, name=self.name)
+
+
+BUBBLE_SORT = SampleProgram(
+    name="bubble-sort",
+    source="""
+# Bubble-sort a 12-word array in place, then print it space-separated.
+main:
+    li   s1, 12            # n
+outer:
+    addi s1, s1, -1
+    beq  s1, zero, show
+    la   t0, array
+    li   t1, 0             # i
+inner:
+    lw   t2, 0(t0)
+    lw   t3, 4(t0)
+    ble  t2, t3, no_swap
+    sw   t3, 0(t0)
+    sw   t2, 4(t0)
+no_swap:
+    addi t0, t0, 4
+    addi t1, t1, 1
+    bne  t1, s1, inner
+    b    outer
+show:
+    la   s0, array
+    li   s2, 12
+print_loop:
+    lw   a0, 0(s0)
+    li   v0, 1
+    syscall
+    addi s2, s2, -1
+    beq  s2, zero, done
+    li   a0, 32
+    li   v0, 2
+    syscall
+    addi s0, s0, 4
+    b    print_loop
+done:
+    halt
+    .data
+array: .word 170, 45, 75, 90, 2, 802, 24, 66, 17, 3, 99, 1
+""",
+    expected_output="1 2 3 17 24 45 66 75 90 99 170 802",
+)
+
+
+MATRIX_MULTIPLY = SampleProgram(
+    name="matmul-3x3",
+    source="""
+# C = A x B for 3x3 matrices; print the trace of C.
+main:
+    li   t7, 3             # matrix dimension, kept in a register (R-format
+    li   s0, 0             # i                   MUL has no immediate form)
+    li   s3, 0             # trace accumulator
+row:
+    li   s1, 0             # j
+col:
+    li   s2, 0             # k
+    li   t6, 0             # dot accumulator
+dot:
+    # t0 = A[i][k]
+    mul  t1, s0, t7
+    add  t1, t1, s2
+    slli t1, t1, 2
+    la   t2, mat_a
+    add  t2, t2, t1
+    lw   t0, 0(t2)
+    # t3 = B[k][j]
+    mul  t4, s2, t7
+    add  t4, t4, s1
+    slli t4, t4, 2
+    la   t5, mat_b
+    add  t5, t5, t4
+    lw   t3, 0(t5)
+    mul  t0, t0, t3
+    add  t6, t6, t0
+    addi s2, s2, 1
+    bne  s2, t7, dot
+    # store C[i][j]
+    mul  t1, s0, t7
+    add  t1, t1, s1
+    slli t1, t1, 2
+    la   t2, mat_c
+    add  t2, t2, t1
+    sw   t6, 0(t2)
+    bne  s0, s1, skip_trace
+    add  s3, s3, t6
+skip_trace:
+    addi s1, s1, 1
+    li   t7, 3
+    bne  s1, t7, col
+    addi s0, s0, 1
+    bne  s0, t7, row
+    mov  a0, s3
+    li   v0, 1
+    syscall
+    halt
+    .data
+mat_a: .word 1, 2, 3, 4, 5, 6, 7, 8, 9
+mat_b: .word 9, 8, 7, 6, 5, 4, 3, 2, 1
+mat_c: .space 36
+""",
+    # C[0][0]=1*9+2*6+3*3=30; C[1][1]=4*8+5*5+6*2=69; C[2][2]=7*7+8*4+9*1=90
+    expected_output=str(30 + 69 + 90),
+)
+
+
+STRING_SEARCH = SampleProgram(
+    name="strstr",
+    source="""
+# Count occurrences of "the" in a text (naive scan).
+main:
+    la   s0, text
+    li   s1, 0             # count
+scan:
+    lbu  t0, 0(s0)
+    beq  t0, zero, done
+    li   t1, 116           # 't'
+    bne  t0, t1, next
+    lbu  t2, 1(s0)
+    li   t1, 104           # 'h'
+    bne  t2, t1, next
+    lbu  t2, 2(s0)
+    li   t1, 101           # 'e'
+    bne  t2, t1, next
+    addi s1, s1, 1
+next:
+    addi s0, s0, 1
+    b    scan
+done:
+    mov  a0, s1
+    li   v0, 1
+    syscall
+    halt
+    .data
+text: .asciiz "the quick brown fox jumped over the lazy dog and then the cat"
+""",
+    expected_output="4",  # the, the, then(the), the
+)
+
+
+FIBONACCI = SampleProgram(
+    name="fibonacci",
+    source="""
+# Iterative Fibonacci: print F(30).
+main:
+    li   t0, 0
+    li   t1, 1
+    li   t2, 30
+fib:
+    add  t3, t0, t1
+    mov  t0, t1
+    mov  t1, t3
+    addi t2, t2, -1
+    bne  t2, zero, fib
+    mov  a0, t0
+    li   v0, 1
+    syscall
+    halt
+""",
+    expected_output="832040",
+)
+
+
+#: Every sample, for parametrized testing.
+SAMPLES: tuple[SampleProgram, ...] = (
+    BUBBLE_SORT,
+    MATRIX_MULTIPLY,
+    STRING_SEARCH,
+    FIBONACCI,
+)

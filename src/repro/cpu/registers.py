@@ -1,0 +1,80 @@
+"""Register files for the SRP-32 machine.
+
+Two interchangeable implementations share the read/write protocol:
+
+* :class:`RegisterFile` — a plain 32 x 32-bit file for the insecure
+  baseline machine;
+* :class:`~repro.secure.compartment.TaggedRegisterFile` — the XOM-style
+  file whose entries carry compartment ownership tags (§2.3).
+
+Both enforce the ``r0 == 0`` convention here rather than in the machine,
+so no caller can forget it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+_MASK32 = 0xFFFFFFFF
+
+
+class RegisterFileLike(Protocol):
+    """What the machine requires of a register file."""
+
+    def read(self, index: int) -> int: ...
+
+    def write(self, index: int, value: int) -> None: ...
+
+
+class RegisterFile:
+    """A plain 32-entry register file with a hardwired zero register."""
+
+    def __init__(self, n_registers: int = 32):
+        if n_registers < 2:
+            raise ConfigurationError("need at least r0 and one register")
+        self.n_registers = n_registers
+        self._values = [0] * n_registers
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise ConfigurationError(f"register index {index} out of range")
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        if index == 0:
+            return  # r0 is hardwired to zero
+        self._values[index] = value & _MASK32
+
+    def snapshot(self) -> list[int]:
+        """A copy of all register values (debugging, tests)."""
+        return list(self._values)
+
+
+class ZeroGuard:
+    """Wraps any register file to enforce the r0-is-zero convention.
+
+    The tagged file from :mod:`repro.secure.compartment` knows nothing
+    about SRP-32 conventions; this adapter adds them without inheritance.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def read(self, index: int) -> int:
+        if index == 0:
+            return 0
+        return self._inner.read(index)
+
+    def write(self, index: int, value: int) -> None:
+        if index == 0:
+            return
+        self._inner.write(index, value)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

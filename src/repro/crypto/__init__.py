@@ -1,0 +1,60 @@
+"""From-scratch cryptographic substrate for the secure-processor simulator.
+
+Everything the paper's trust model needs, with no external dependencies:
+block ciphers (DES/3DES/AES), hashes (SHA-1/SHA-256), MACs, modes of
+operation including the one-time-pad/counter mode that is the paper's
+contribution, textbook RSA for vendor key exchange, and deterministic DRBGs
+so simulations are reproducible.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.blockcipher import BlockCipher, IdentityCipher
+from repro.crypto.des import DES, TripleDES
+from repro.crypto.keys import CipherSuite, SymmetricKey
+from repro.crypto.mac import cbc_mac, constant_time_equal, hmac_sha256
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    otp_transform,
+)
+from repro.crypto.otp import PadStream, pad_for_seed
+from repro.crypto.prng import HashDRBG, simulation_rng
+from repro.crypto.rsa import (
+    RSAKeyPair,
+    RSAPrivateKey,
+    RSAPublicKey,
+    unwrap_key,
+    wrap_key,
+)
+from repro.crypto.sha import sha1, sha256
+
+__all__ = [
+    "AES",
+    "BlockCipher",
+    "CipherSuite",
+    "DES",
+    "HashDRBG",
+    "IdentityCipher",
+    "PadStream",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "SymmetricKey",
+    "TripleDES",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "cbc_mac",
+    "constant_time_equal",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "hmac_sha256",
+    "otp_transform",
+    "pad_for_seed",
+    "sha1",
+    "sha256",
+    "simulation_rng",
+    "unwrap_key",
+    "wrap_key",
+]

@@ -1,0 +1,202 @@
+"""AES-128/192/256, implemented from FIPS 197.
+
+The paper's Figure 10 experiment swaps the 50-cycle DES pipeline for a
+102-cycle unit representative of stronger ciphers such as AES.  The secure
+engines accept any :class:`~repro.crypto.blockcipher.BlockCipher`, so this
+module makes that experiment runnable on the functional path too.
+
+Rather than transcribing the 256-entry S-box (an easy place to introduce a
+silent typo), we *derive* it from its definition — multiplicative inversion
+in GF(2^8) followed by the affine transform — and validate the whole cipher
+against the FIPS 197 Appendix C known-answer vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.errors import CryptoError
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+    return result & 0xFF
+
+
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Construct the AES S-box and its inverse from first principles."""
+
+    # Multiplicative inverse via log tables over the generator 3.
+    log = [0] * 256
+    antilog = [0] * 256
+    value = 1
+    for exponent in range(255):
+        antilog[exponent] = value
+        log[value] = exponent
+        value = _gf_mul(value, 3)
+
+    def inverse(x: int) -> int:
+        if x == 0:
+            return 0
+        # log(1) == 0, so reduce the exponent mod 255 (antilog has period 255).
+        return antilog[(255 - log[x]) % 255]
+
+    def affine(x: int) -> int:
+        result = 0x63
+        for shift in range(5):
+            rotated = ((x << shift) | (x >> (8 - shift))) & 0xFF
+            result ^= rotated
+        return result & 0xFF
+
+    sbox = [affine(inverse(x)) for x in range(256)]
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+# Precomputed GF multiply tables for MixColumns / InvMixColumns.
+_MUL2 = tuple(_xtime(x) for x in range(256))
+_MUL3 = tuple(_xtime(x) ^ x for x in range(256))
+_MUL9 = tuple(_gf_mul(x, 9) for x in range(256))
+_MUL11 = tuple(_gf_mul(x, 11) for x in range(256))
+_MUL13 = tuple(_gf_mul(x, 13) for x in range(256))
+_MUL14 = tuple(_gf_mul(x, 14) for x in range(256))
+
+
+class AES(BlockCipher):
+    """AES with a 16, 24 or 32 byte key (AES-128/192/256)."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEYLEN:
+            raise CryptoError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self.key = key
+        self._rounds = _ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[bytes]:
+        """FIPS 197 key expansion, returned as one 16-byte key per round."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        rcon = 1
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            word = list(words[i - 1])
+            if i % nk == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= rcon
+                rcon = _xtime(rcon)
+            elif nk > 6 and i % nk == 4:
+                word = [_SBOX[b] for b in word]
+            words.append([w ^ p for w, p in zip(word, words[i - nk])])
+        flat = bytes(b for word in words for b in word)
+        return [flat[16 * r : 16 * r + 16] for r in range(self._rounds + 1)]
+
+    # State layout: FIPS column-major — state[row + 4*col] == input[4*col + row]
+    # is avoided by keeping the state as the flat input byte string and doing
+    # ShiftRows over byte indices directly.
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: bytes) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # Row r (bytes r, r+4, r+8, r+12 in column-major order) rotates left r.
+        state[1], state[5], state[9], state[13] = (
+            state[5], state[9], state[13], state[1],
+        )
+        state[2], state[6], state[10], state[14] = (
+            state[10], state[14], state[2], state[6],
+        )
+        state[3], state[7], state[11], state[15] = (
+            state[15], state[3], state[7], state[11],
+        )
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        state[5], state[9], state[13], state[1] = (
+            state[1], state[5], state[9], state[13],
+        )
+        state[10], state[14], state[2], state[6] = (
+            state[2], state[6], state[10], state[14],
+        )
+        state[15], state[3], state[7], state[11] = (
+            state[3], state[7], state[11], state[15],
+        )
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_number in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_number])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_number in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_number])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,70 @@
+"""Common interface for the from-scratch block ciphers.
+
+The secure-processor engines (:mod:`repro.secure`) are written against this
+interface so the encryption algorithm is a configuration choice: the paper
+uses DES (64-bit blocks, matching its pairing of two 32-bit instructions per
+ciphertext block) but notes that stronger ciphers such as AES apply directly
+— at the cost of a longer latency parameter, which is exactly the Figure 10
+experiment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import CryptoError
+
+
+class BlockCipher(ABC):
+    """A keyed pseudorandom permutation over fixed-size blocks."""
+
+    #: Block size in bytes; subclasses must override.
+    block_size: int = 0
+
+    @abstractmethod
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one block."""
+
+    @abstractmethod
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one block."""
+
+    def _check_block(self, block: bytes) -> None:
+        if len(block) != self.block_size:
+            raise CryptoError(
+                f"{type(self).__name__} requires {self.block_size}-byte "
+                f"blocks, got {len(block)} bytes"
+            )
+
+    def encrypt_int(self, value: int) -> int:
+        """Encrypt a block given as an unsigned integer (convenience)."""
+        width = self.block_size
+        return int.from_bytes(
+            self.encrypt_block(value.to_bytes(width, "big")), "big"
+        )
+
+    def decrypt_int(self, value: int) -> int:
+        """Decrypt a block given as an unsigned integer (convenience)."""
+        width = self.block_size
+        return int.from_bytes(
+            self.decrypt_block(value.to_bytes(width, "big")), "big"
+        )
+
+
+class IdentityCipher(BlockCipher):
+    """A no-op 'cipher' for plumbing tests and insecure-baseline plumbing.
+
+    Never used on a secure path; exists so that the baseline processor can
+    share the exact same code path as the secure ones with crypto disabled.
+    """
+
+    def __init__(self, block_size: int = 8):
+        self.block_size = block_size
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        return block
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        return block

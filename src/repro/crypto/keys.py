@@ -1,0 +1,82 @@
+"""Key material and cipher construction for the secure-processor model.
+
+Roles, following the paper's §2.1:
+
+* The **processor** owns an asymmetric key pair; the private half never
+  leaves the die.
+* The **vendor** picks a per-program symmetric key, encrypts the program
+  with it, and ships the key wrapped under the processor's public key.
+
+:class:`CipherSuite` names the symmetric algorithm so the same program image
+can be built for DES (the paper's running example), 3DES, or AES.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.des import DES, TripleDES
+from repro.crypto.prng import HashDRBG
+from repro.errors import CryptoError
+
+
+class CipherSuite(enum.Enum):
+    """Symmetric cipher choices for program/data encryption."""
+
+    DES = "des"
+    TRIPLE_DES = "3des"
+    AES128 = "aes128"
+    AES256 = "aes256"
+
+    @property
+    def key_bytes(self) -> int:
+        return _KEY_BYTES[self]
+
+    @property
+    def block_bytes(self) -> int:
+        return 16 if self in (CipherSuite.AES128, CipherSuite.AES256) else 8
+
+    def new_cipher(self, key: bytes) -> BlockCipher:
+        """Instantiate the cipher; key length is validated by the cipher."""
+        if self is CipherSuite.DES:
+            return DES(key)
+        if self is CipherSuite.TRIPLE_DES:
+            return TripleDES(key)
+        if self in (CipherSuite.AES128, CipherSuite.AES256):
+            return AES(key)
+        raise CryptoError(f"unknown cipher suite {self!r}")
+
+
+_KEY_BYTES = {
+    CipherSuite.DES: 8,
+    CipherSuite.TRIPLE_DES: 24,
+    CipherSuite.AES128: 16,
+    CipherSuite.AES256: 32,
+}
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A symmetric key tagged with the suite it belongs to."""
+
+    suite: CipherSuite
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != self.suite.key_bytes:
+            raise CryptoError(
+                f"{self.suite.value} needs {self.suite.key_bytes}-byte keys, "
+                f"got {len(self.material)}"
+            )
+
+    def new_cipher(self) -> BlockCipher:
+        return self.suite.new_cipher(self.material)
+
+    @staticmethod
+    def generate(suite: CipherSuite, seed: bytes | str | int) -> "SymmetricKey":
+        """Deterministically derive a key (vendor-side convenience)."""
+        rng = HashDRBG(seed if not isinstance(seed, int) else f"sym-{seed}")
+        return SymmetricKey(suite, rng.random_bytes(suite.key_bytes))

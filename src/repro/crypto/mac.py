@@ -1,0 +1,52 @@
+"""Message authentication codes for the memory-integrity extension.
+
+The paper itself defers integrity verification to Gassend et al. (§2.2) and
+only accelerates privacy; :mod:`repro.secure.integrity` implements the
+deferred piece as an extension, built on these MACs.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.sha import sha256
+from repro.utils.bitops import xor_bytes
+
+_HMAC_BLOCK = 64  # SHA-256 block size in bytes
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """RFC 2104 HMAC over SHA-256."""
+    if len(key) > _HMAC_BLOCK:
+        key = sha256(key)
+    key = key.ljust(_HMAC_BLOCK, b"\x00")
+    outer = xor_bytes(key, b"\x5c" * _HMAC_BLOCK)
+    inner = xor_bytes(key, b"\x36" * _HMAC_BLOCK)
+    return sha256(outer + sha256(inner + message))
+
+
+def cbc_mac(cipher: BlockCipher, message: bytes) -> bytes:
+    """Classic CBC-MAC, one block of output.
+
+    Suitable here because every message is fixed-length (one cache line plus
+    its address/version header), which is the setting where plain CBC-MAC is
+    sound.
+    """
+    size = cipher.block_size
+    if len(message) % size:
+        message = message + b"\x00" * (size - len(message) % size)
+    state = b"\x00" * size
+    for offset in range(0, len(message), size):
+        state = cipher.encrypt_block(
+            xor_bytes(state, message[offset : offset + size])
+        )
+    return state
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two tags without early exit (hygiene for verification code)."""
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

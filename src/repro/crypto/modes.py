@@ -1,0 +1,89 @@
+"""Block cipher modes of operation.
+
+Three modes cover every use in the simulator:
+
+* **ECB** — what XOM's "direct encryption" of a cache line amounts to; its
+  value-pattern leakage is exactly the weakness §3.4 of the paper discusses
+  and :mod:`repro.attacks.pattern` demonstrates.
+* **CBC** — used when the vendor packages non-executable payloads and when
+  evicted sequence-number groups are spilled to memory.
+* **Counter/OTP** — the paper's contribution; the keystream generator itself
+  lives in :mod:`repro.crypto.otp`, this module exposes it with the usual
+  encrypt/decrypt signature.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.otp import pad_for_seed
+from repro.errors import CryptoError
+from repro.utils.bitops import xor_bytes
+
+
+def _check_aligned(cipher: BlockCipher, data: bytes, what: str) -> None:
+    if len(data) % cipher.block_size:
+        raise CryptoError(
+            f"{what} length {len(data)} is not a multiple of the "
+            f"{cipher.block_size}-byte block size"
+        )
+
+
+def ecb_encrypt(cipher: BlockCipher, plaintext: bytes) -> bytes:
+    """Encrypt block-by-block with no chaining (XOM direct encryption)."""
+    _check_aligned(cipher, plaintext, "plaintext")
+    size = cipher.block_size
+    return b"".join(
+        cipher.encrypt_block(plaintext[i : i + size])
+        for i in range(0, len(plaintext), size)
+    )
+
+
+def ecb_decrypt(cipher: BlockCipher, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`ecb_encrypt`."""
+    _check_aligned(cipher, ciphertext, "ciphertext")
+    size = cipher.block_size
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i : i + size])
+        for i in range(0, len(ciphertext), size)
+    )
+
+
+def cbc_encrypt(cipher: BlockCipher, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC encryption with an explicit IV (caller manages IV uniqueness)."""
+    _check_aligned(cipher, plaintext, "plaintext")
+    if len(iv) != cipher.block_size:
+        raise CryptoError("IV must be exactly one block")
+    size = cipher.block_size
+    previous = iv
+    out = []
+    for i in range(0, len(plaintext), size):
+        previous = cipher.encrypt_block(
+            xor_bytes(previous, plaintext[i : i + size])
+        )
+        out.append(previous)
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher: BlockCipher, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`cbc_encrypt`."""
+    _check_aligned(cipher, ciphertext, "ciphertext")
+    if len(iv) != cipher.block_size:
+        raise CryptoError("IV must be exactly one block")
+    size = cipher.block_size
+    previous = iv
+    out = []
+    for i in range(0, len(ciphertext), size):
+        block = ciphertext[i : i + size]
+        out.append(xor_bytes(previous, cipher.decrypt_block(block)))
+        previous = block
+    return b"".join(out)
+
+
+def otp_transform(cipher: BlockCipher, seed: int, data: bytes) -> bytes:
+    """Counter-mode transform: XOR ``data`` with the pad stream for ``seed``.
+
+    Encryption and decryption are the same operation (equations 2 and 3 of
+    the paper), which is why a single function suffices.
+    """
+    pad = pad_for_seed(cipher, seed, len(data))
+    return xor_bytes(data, pad)

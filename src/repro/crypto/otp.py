@@ -1,0 +1,74 @@
+"""One-time-pad (counter-mode) keystream generation — the paper's equation 2/3.
+
+The pad for a cache line is produced by encrypting a *seed* rather than the
+data itself::
+
+    pad_j = E_K(seed + j)          for the j-th cipher block of the line
+    C     = D xor pad
+    D     = C xor pad
+
+Because the seed is known before (instruction fetch) or independently of
+(data fetch, given the sequence number) the memory contents, pad generation
+overlaps the DRAM access; only the final XOR sits on the critical path.
+
+Seed *construction* — how virtual addresses and sequence numbers combine
+into a unique integer per (line, version, chunk) — is the secure layer's
+responsibility (:mod:`repro.secure.seeds`).  This module only turns a seed
+into keystream bytes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.errors import CryptoError
+
+
+def pad_for_seed(cipher: BlockCipher, seed: int, length: int) -> bytes:
+    """Generate ``length`` keystream bytes from ``seed``.
+
+    Block *j* of the stream is ``E_K(seed + j)``; ``length`` must be a whole
+    number of cipher blocks, which is always true for cache lines.
+    """
+    size = cipher.block_size
+    if length % size:
+        raise CryptoError(
+            f"pad length {length} is not a multiple of the {size}-byte block"
+        )
+    if seed < 0:
+        raise CryptoError("seed must be non-negative")
+    mask = (1 << (8 * size)) - 1
+    blocks = []
+    for j in range(length // size):
+        block_seed = (seed + j) & mask
+        blocks.append(cipher.encrypt_block(block_seed.to_bytes(size, "big")))
+    return b"".join(blocks)
+
+
+class PadStream:
+    """An incremental pad generator for streaming uses (register spill areas).
+
+    Keeps a block counter so successive calls never reuse keystream — the
+    cardinal one-time-pad rule.
+    """
+
+    def __init__(self, cipher: BlockCipher, seed: int):
+        self._cipher = cipher
+        self._seed = seed
+        self._next_block = 0
+
+    @property
+    def blocks_consumed(self) -> int:
+        """How many cipher blocks of keystream have been emitted so far."""
+        return self._next_block
+
+    def take(self, length: int) -> bytes:
+        """Return the next ``length`` keystream bytes (whole blocks only)."""
+        size = self._cipher.block_size
+        if length % size:
+            raise CryptoError(
+                f"pad length {length} is not a multiple of "
+                f"the {size}-byte block"
+            )
+        start = self._seed + self._next_block
+        self._next_block += length // size
+        return pad_for_seed(self._cipher, start, length)

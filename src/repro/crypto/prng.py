@@ -1,0 +1,65 @@
+"""Deterministic pseudo-random generators.
+
+Two flavours:
+
+* :class:`HashDRBG` — a SHA-256 counter DRBG used wherever "randomness" has
+  security meaning inside the simulation (RSA key generation, session keys,
+  interrupt mutation values).  Deterministic given its seed, so every test
+  and experiment is exactly reproducible.
+* :func:`simulation_rng` — a convenience constructor for plain
+  ``random.Random`` used by workload generators, where only statistical
+  properties matter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.sha import sha256
+
+
+class HashDRBG:
+    """A minimal SHA-256 counter DRBG (deterministic random bit generator)."""
+
+    def __init__(self, seed: bytes | str | int):
+        if isinstance(seed, str):
+            seed = seed.encode()
+        elif isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=False)
+        self._key = sha256(b"repro-drbg-init" + seed)
+        self._counter = 0
+
+    def random_bytes(self, length: int) -> bytes:
+        """Return ``length`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < length:
+            block = sha256(self._key + self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            out.extend(block)
+        return bytes(out[:length])
+
+    def random_int(self, bits: int) -> int:
+        """Return a uniform integer in ``[0, 2**bits)``."""
+        length = (bits + 7) // 8
+        value = int.from_bytes(self.random_bytes(length), "big")
+        return value >> (8 * length - bits)
+
+    def random_odd_int(self, bits: int) -> int:
+        """Return an odd integer with the top bit set — a prime candidate."""
+        value = self.random_int(bits)
+        return value | (1 << (bits - 1)) | 1
+
+    def random_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` by rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        bits = bound.bit_length()
+        while True:
+            candidate = self.random_int(bits)
+            if candidate < bound:
+                return candidate
+
+
+def simulation_rng(seed: int) -> random.Random:
+    """A seeded ``random.Random`` for workload generation (non-security)."""
+    return random.Random(seed)

@@ -1,0 +1,171 @@
+"""Textbook RSA for the vendor -> processor key-exchange protocol (§2.1).
+
+The XOM distribution model: each processor owns an asymmetric key pair; the
+vendor encrypts the program under a fast symmetric key ``Ks`` and ships
+``Ks`` wrapped under the processor's public key.  The processor unwraps
+``Ks`` exactly once at program start (slow) and uses it for every subsequent
+line (fast) — the asymmetry the paper's §2.1 describes.
+
+Key sizes here are simulation-scale (default 512 bits): the *protocol shape*
+is what matters for the reproduction, and the primitives are still real
+(Miller–Rabin primality, modular inverse via extended Euclid, random
+non-zero padding for the wrap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prng import HashDRBG
+from repro.errors import CryptoError, KeyExchangeError
+
+_MILLER_RABIN_ROUNDS = 40
+
+
+def _is_probable_prime(n: int, rng: HashDRBG) -> bool:
+    """Miller–Rabin with random bases (plus a small-prime prefilter)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = 2 + rng.random_below(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: HashDRBG) -> int:
+    while True:
+        candidate = rng.random_odd_int(bits)
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _modinv(a: int, m: int) -> int:
+    """Modular inverse by extended Euclid."""
+    old_r, r = a % m, m
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    if old_r != 1:
+        raise CryptoError("modular inverse does not exist")
+    return old_s % m
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """The processor's public key, printed on the box (conceptually)."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt_int(self, m: int) -> int:
+        if not 0 <= m < self.n:
+            raise CryptoError("message out of range for this modulus")
+        return pow(m, self.e, self.n)
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """The private half, burned into the processor die."""
+
+    n: int
+    d: int
+
+    def decrypt_int(self, c: int) -> int:
+        if not 0 <= c < self.n:
+            raise CryptoError("ciphertext out of range for this modulus")
+        return pow(c, self.d, self.n)
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+    @staticmethod
+    def generate(bits: int = 512, seed: bytes | str | int = 0) -> "RSAKeyPair":
+        """Generate a deterministic key pair from ``seed``.
+
+        Determinism lets every test and example reconstruct "the processor's
+        burned-in key" without shipping key material in the repo.
+        """
+        if bits < 64:
+            raise CryptoError("modulus below 64 bits cannot wrap a DES key")
+        rng = HashDRBG(seed if not isinstance(seed, int) else f"rsa-{seed}-{bits}")
+        e = 65537
+        while True:
+            p = _generate_prime(bits // 2, rng)
+            q = _generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            if n.bit_length() != bits:
+                continue
+            d = _modinv(e, phi)
+            return RSAKeyPair(RSAPublicKey(n, e), RSAPrivateKey(n, d))
+
+
+def wrap_key(public: RSAPublicKey, symmetric_key: bytes,
+             rng: HashDRBG | None = None) -> int:
+    """Encrypt a symmetric key under ``public`` with random non-zero padding.
+
+    Layout (big-endian): ``0x02 | padding(nonzero) | 0x00 | key``, a
+    PKCS#1-v1.5-shaped wrap sized to the modulus.
+    """
+    rng = rng or HashDRBG("repro-wrap-default")
+    k = public.modulus_bytes
+    if len(symmetric_key) > k - 11:
+        raise KeyExchangeError(
+            f"symmetric key of {len(symmetric_key)} bytes does not fit in a "
+            f"{k}-byte modulus"
+        )
+    pad_len = k - 3 - len(symmetric_key)
+    padding = bytearray()
+    while len(padding) < pad_len:
+        byte = rng.random_bytes(1)
+        if byte != b"\x00":
+            padding.extend(byte)
+    blob = b"\x00\x02" + bytes(padding) + b"\x00" + symmetric_key
+    return public.encrypt_int(int.from_bytes(blob, "big"))
+
+
+def unwrap_key(private: RSAPrivateKey, wrapped: int) -> bytes:
+    """Recover the symmetric key wrapped by :func:`wrap_key`."""
+    k = (private.n.bit_length() + 7) // 8
+    blob = private.decrypt_int(wrapped).to_bytes(k, "big")
+    if blob[0:2] != b"\x00\x02":
+        raise KeyExchangeError("bad wrap header — wrong processor key?")
+    try:
+        separator = blob.index(b"\x00", 2)
+    except ValueError as exc:
+        raise KeyExchangeError("malformed key wrap: no separator") from exc
+    if separator < 10:
+        raise KeyExchangeError("malformed key wrap: padding too short")
+    return blob[separator + 1 :]

@@ -1,0 +1,113 @@
+"""SHA-1 and SHA-256 from scratch (FIPS 180-4).
+
+Used by the integrity extension (per-line MACs and the Merkle hash tree of
+the Gassend et al. related work) and by the deterministic DRBG that drives
+RSA key generation.
+
+The SHA-256 round constants are *derived* rather than transcribed: FIPS
+defines them as the first 32 bits of the fractional parts of the cube roots
+of the first 64 primes (square roots of the first 8 primes for the initial
+hash value).  Deriving them with exact integer arithmetic removes any chance
+of a silent table typo; the "abc" known-answer tests then validate the
+whole construction.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import rotl32, rotr32
+
+
+def _first_primes(count: int) -> list[int]:
+    primes: list[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes if p * p <= candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def _integer_root(value: int, degree: int) -> int:
+    """Floor of the ``degree``-th root of ``value`` via Newton iteration."""
+    if value == 0:
+        return 0
+    guess = 1 << (value.bit_length() // degree + 1)
+    while True:
+        better = ((degree - 1) * guess + value // guess ** (degree - 1)) // degree
+        if better >= guess:
+            return guess
+        guess = better
+
+
+def _fractional_root_bits(prime: int, degree: int) -> int:
+    """First 32 fractional bits of ``prime ** (1/degree)``, exactly."""
+    scaled_root = _integer_root(prime << (degree * 32), degree)
+    return scaled_root & 0xFFFFFFFF
+
+
+_SHA256_H0 = tuple(_fractional_root_bits(p, 2) for p in _first_primes(8))
+_SHA256_K = tuple(_fractional_root_bits(p, 3) for p in _first_primes(64))
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _pad_message(message: bytes) -> bytes:
+    """Merkle–Damgard strengthening shared by SHA-1 and SHA-256."""
+    bit_length = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded)) % 64)
+    return padded + bit_length.to_bytes(8, "big")
+
+
+def sha256(message: bytes) -> bytes:
+    """Return the 32-byte SHA-256 digest of ``message``."""
+    h = list(_SHA256_H0)
+    padded = _pad_message(message)
+    for offset in range(0, len(padded), 64):
+        block = padded[offset : offset + 64]
+        w = [int.from_bytes(block[i : i + 4], "big") for i in range(0, 64, 4)]
+        for t in range(16, 64):
+            s0 = rotr32(w[t - 15], 7) ^ rotr32(w[t - 15], 18) ^ (w[t - 15] >> 3)
+            s1 = rotr32(w[t - 2], 17) ^ rotr32(w[t - 2], 19) ^ (w[t - 2] >> 10)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+        a, b, c, d, e, f, g, hh = h
+        for t in range(64):
+            big_s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (hh + big_s1 + ch + _SHA256_K[t] + w[t]) & _MASK32
+            big_s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK32
+            hh, g, f, e = g, f, e, (d + temp1) & _MASK32
+            d, c, b, a = c, b, a, (temp1 + temp2) & _MASK32
+        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e, f, g, hh))]
+    return b"".join(x.to_bytes(4, "big") for x in h)
+
+
+def sha1(message: bytes) -> bytes:
+    """Return the 20-byte SHA-1 digest of ``message``.
+
+    Included for completeness of the substrate (2003-era integrity designs
+    used SHA-1); new code in this repo prefers :func:`sha256`.
+    """
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    padded = _pad_message(message)
+    for offset in range(0, len(padded), 64):
+        block = padded[offset : offset + 64]
+        w = [int.from_bytes(block[i : i + 4], "big") for i in range(0, 64, 4)]
+        for t in range(16, 80):
+            w.append(rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | (~b & d), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            temp = (rotl32(a, 5) + f + e + k + w[t]) & _MASK32
+            e, d, c, b, a = d, c, rotl32(b, 30), a, temp
+        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e))]
+    return b"".join(x.to_bytes(4, "big") for x in h)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one handler while still being able
+to discriminate the security-relevant failures (tamper detection, compartment
+violations) from plain configuration mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused (bad key/block size, etc.)."""
+
+
+class KeyExchangeError(CryptoError):
+    """The vendor/CPU key-exchange protocol failed."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source could not be translated into an SRP-32 image."""
+
+
+class MachineError(ReproError):
+    """The functional CPU simulator hit an illegal state."""
+
+
+class IllegalInstructionError(MachineError):
+    """The CPU fetched a word that does not decode to a valid instruction.
+
+    Under XOM this is the typical symptom of executing spliced or corrupted
+    ciphertext: the decrypted garbage fails to decode.
+    """
+
+
+class MemoryFault(MachineError):
+    """An access fell outside the mapped address space."""
+
+
+class SecurityViolation(ReproError):
+    """Base class for violations of the secure-processor model."""
+
+
+class CompartmentViolation(SecurityViolation):
+    """A task touched register or cache state tagged with a foreign XOM ID."""
+
+
+class TamperDetected(SecurityViolation):
+    """Memory integrity verification failed (MAC or hash-tree mismatch)."""
+
+
+class ReplayDetected(TamperDetected):
+    """A stale-but-authentic memory line was detected by integrity checking."""

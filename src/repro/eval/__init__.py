@@ -1,0 +1,53 @@
+"""Evaluation harness: trace pipeline, per-figure drivers, reporting."""
+
+from repro.eval.experiments import (
+    ALL_FIGURES,
+    FigureResult,
+    PAPER_LATENCIES,
+    SLOW_CRYPTO_LATENCIES,
+    Series,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    run_all_benchmarks,
+    run_everything,
+)
+from repro.eval.pipeline import (
+    BenchmarkEvents,
+    QUICK_SCALE,
+    SimulationScale,
+    simulate_benchmark,
+    standard_snc_configs,
+)
+from repro.eval.charts import render_averages, render_chart
+from repro.eval.report import format_figure, format_summary
+
+__all__ = [
+    "ALL_FIGURES",
+    "BenchmarkEvents",
+    "FigureResult",
+    "PAPER_LATENCIES",
+    "QUICK_SCALE",
+    "SLOW_CRYPTO_LATENCIES",
+    "Series",
+    "SimulationScale",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "format_figure",
+    "format_summary",
+    "render_averages",
+    "render_chart",
+    "run_all_benchmarks",
+    "run_everything",
+    "simulate_benchmark",
+    "standard_snc_configs",
+]

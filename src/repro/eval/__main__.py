@@ -1,0 +1,5 @@
+"""``python -m repro.eval`` — regenerate the paper's figures."""
+
+from repro.eval.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""ASCII bar charts for the reproduced figures.
+
+The paper's evaluation figures are grouped bar charts; this module renders
+our :class:`~repro.eval.experiments.FigureResult` objects in the same
+spirit, paper bars against measured bars, entirely in text — nothing in
+this repository needs a display.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import FigureResult
+from repro.eval.paper_data import BENCHMARK_ORDER
+
+_BAR_GLYPH = "#"
+_PAPER_GLYPH = "="
+
+
+def _bar(value: float, scale: float, width: int, glyph: str) -> str:
+    if scale <= 0:
+        return ""
+    length = int(round(value / scale * width))
+    return glyph * max(0, min(width, length))
+
+
+def render_chart(result: FigureResult, width: int = 48) -> str:
+    """Render one figure as grouped horizontal bars.
+
+    Each benchmark gets one ``=`` bar (paper) and one ``#`` bar (measured)
+    per series, scaled to the figure's maximum value."""
+    peak = 0.0
+    for series in result.series:
+        peak = max(
+            peak,
+            max(series.paper.values()),
+            max(series.measured.values()),
+        )
+    lines = [
+        f"{result.figure_id}: {result.caption} [{result.unit}]",
+        f"scale: 0 .. {peak:.2f}   ('=' paper, '#' measured)",
+        "",
+    ]
+    label_width = max(len(name) for name in BENCHMARK_ORDER) + 2
+    for bench in BENCHMARK_ORDER:
+        for index, series in enumerate(result.series):
+            label = bench if index == 0 else ""
+            tag = series.label[:12]
+            lines.append(
+                f"{label:<{label_width}}{tag:>14} |"
+                f"{_bar(series.paper[bench], peak, width, _PAPER_GLYPH)}"
+                f" {series.paper[bench]:.2f}"
+            )
+            lines.append(
+                f"{'':<{label_width}}{'':>14} |"
+                f"{_bar(series.measured[bench], peak, width, _BAR_GLYPH)}"
+                f" {series.measured[bench]:.2f}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_averages(result: FigureResult, width: int = 40) -> str:
+    """A compact averages-only chart (one pair of bars per series)."""
+    peak = max(
+        max(series.paper_avg, series.measured_avg)
+        for series in result.series
+    )
+    lines = [f"{result.figure_id} averages [{result.unit}]"]
+    for series in result.series:
+        lines.append(
+            f"  {series.label:<22} paper "
+            f"|{_bar(series.paper_avg, peak, width, _PAPER_GLYPH)} "
+            f"{series.paper_avg:.2f}"
+        )
+        lines.append(
+            f"  {'':<22} ours  "
+            f"|{_bar(series.measured_avg, peak, width, _BAR_GLYPH)} "
+            f"{series.measured_avg:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""One driver per figure of the paper's evaluation (§5).
+
+Each ``figureN`` function takes the per-benchmark event sets produced by
+:func:`run_all_benchmarks` and returns a :class:`FigureResult` pairing the
+paper's published series with the reproduced ones.  The benchmark files in
+``benchmarks/`` print these tables; EXPERIMENTS.md archives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval import paper_data
+from repro.eval.pipeline import (
+    BenchmarkEvents,
+    SimulationScale,
+    simulate_benchmark,
+)
+from repro.secure.engine import LatencyParams
+from repro.timing.model import (
+    baseline_cycles,
+    normalized_time,
+    otp_cycles,
+    slowdown_pct,
+    snc_traffic_pct,
+    xom_cycles,
+)
+from repro.workloads.spec import BENCHMARKS
+
+#: The paper's two crypto-latency configurations.
+PAPER_LATENCIES = LatencyParams(memory=100, crypto=50, xor=1)
+SLOW_CRYPTO_LATENCIES = LatencyParams(memory=100, crypto=102, xor=1)
+
+
+def run_all_benchmarks(scale: SimulationScale | None = None,
+                       seed: int = 1) -> dict[str, BenchmarkEvents]:
+    """Simulate all 11 benchmarks once; every figure prices these events."""
+    return {
+        bench.name: simulate_benchmark(bench, scale=scale, seed=seed)
+        for bench in BENCHMARKS
+    }
+
+
+@dataclass
+class Series:
+    """One line/bar group of a figure: paper values vs measured values."""
+
+    label: str
+    paper: dict[str, float]
+    measured: dict[str, float]
+    paper_avg: float
+
+    @property
+    def measured_avg(self) -> float:
+        values = list(self.measured.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: id, caption, and its series."""
+
+    figure_id: str
+    caption: str
+    unit: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)
+
+
+def _slowdowns(events: dict[str, BenchmarkEvents], pricer,
+               lat: LatencyParams) -> dict[str, float]:
+    out = {}
+    for name, bench_events in events.items():
+        base = baseline_cycles(bench_events.trace_events(), lat)
+        out[name] = slowdown_pct(pricer(bench_events, lat), base)
+    return out
+
+
+def _xom(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
+    return xom_cycles(events_one.trace_events(), lat)
+
+
+def _otp(snc_key: str):
+    def pricer(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
+        return otp_cycles(events_one.trace_events(snc_key), lat)
+    return pricer
+
+
+def figure3(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """XOM slowdown per benchmark (the calibration anchor)."""
+    result = FigureResult(
+        "figure3",
+        "Performance loss due to serial encryption/decryption (XOM)",
+        "slowdown [%]",
+    )
+    result.series.append(Series(
+        "XOM", paper_data.FIGURE3_XOM,
+        _slowdowns(events, _xom, PAPER_LATENCIES),
+        paper_data.FIGURE3_XOM_AVG,
+    ))
+    return result
+
+
+def figure5(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """XOM vs SNC-NoRepl vs SNC-LRU (64KB SNC)."""
+    result = FigureResult(
+        "figure5",
+        "Performance comparison for XOM, SNC with LRU and no replacement",
+        "slowdown [%]",
+    )
+    result.series.append(Series(
+        "XOM", paper_data.FIGURE3_XOM,
+        _slowdowns(events, _xom, PAPER_LATENCIES),
+        paper_data.FIGURE3_XOM_AVG,
+    ))
+    result.series.append(Series(
+        "SNC-NoRepl", paper_data.FIGURE5_SNC_NOREPL,
+        _slowdowns(events, _otp("norepl64"), PAPER_LATENCIES),
+        paper_data.FIGURE5_SNC_NOREPL_AVG,
+    ))
+    result.series.append(Series(
+        "SNC-LRU", paper_data.FIGURE5_SNC_LRU,
+        _slowdowns(events, _otp("lru64"), PAPER_LATENCIES),
+        paper_data.FIGURE5_SNC_LRU_AVG,
+    ))
+    return result
+
+
+def figure6(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """SNC capacity sweep: 32KB / 64KB / 128KB, LRU."""
+    result = FigureResult(
+        "figure6", "Performance comparison for different sized SNC (LRU)",
+        "slowdown [%]",
+    )
+    for label, key, paper, avg in (
+        ("32KB", "lru32", paper_data.FIGURE6_SNC_32KB,
+         paper_data.FIGURE6_SNC_32KB_AVG),
+        ("64KB", "lru64", paper_data.FIGURE6_SNC_64KB,
+         paper_data.FIGURE6_SNC_64KB_AVG),
+        ("128KB", "lru128", paper_data.FIGURE6_SNC_128KB,
+         paper_data.FIGURE6_SNC_128KB_AVG),
+    ):
+        result.series.append(Series(
+            label, paper,
+            _slowdowns(events, _otp(key), PAPER_LATENCIES), avg,
+        ))
+    return result
+
+
+def figure7(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """Fully associative vs 32-way set associative 64KB SNC."""
+    result = FigureResult(
+        "figure7",
+        "Fully associative vs 32-way set associative SNC",
+        "slowdown [%]",
+    )
+    result.series.append(Series(
+        "fully-assoc", paper_data.FIGURE7_FULLY,
+        _slowdowns(events, _otp("lru64"), PAPER_LATENCIES),
+        paper_data.FIGURE7_FULLY_AVG,
+    ))
+    result.series.append(Series(
+        "32-way", paper_data.FIGURE7_32WAY,
+        _slowdowns(events, _otp("lru64_32way"), PAPER_LATENCIES),
+        paper_data.FIGURE7_32WAY_AVG,
+    ))
+    return result
+
+
+def figure8(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """Equal-area comparison: bigger L2 for XOM vs L2 + SNC for OTP."""
+    result = FigureResult(
+        "figure8", "Impact of a larger L2 cache (area-equalized)",
+        "normalized execution time",
+    )
+    lat = PAPER_LATENCIES
+    xom256, xom384, snc = {}, {}, {}
+    for name, bench_events in events.items():
+        base = baseline_cycles(bench_events.trace_events(), lat)
+        xom256[name] = normalized_time(
+            xom_cycles(bench_events.trace_events(), lat), base
+        )
+        xom384[name] = normalized_time(
+            xom_cycles(bench_events.trace_events(), lat, use_alt_l2=True),
+            base,
+        )
+        snc[name] = normalized_time(
+            otp_cycles(bench_events.trace_events("lru64_32way"), lat), base
+        )
+    result.series.append(Series(
+        "XOM-256KL2", paper_data.FIGURE8_XOM_256K, xom256,
+        paper_data.FIGURE8_XOM_256K_AVG,
+    ))
+    result.series.append(Series(
+        "XOM-384KL2", paper_data.FIGURE8_XOM_384K, xom384,
+        paper_data.FIGURE8_XOM_384K_AVG,
+    ))
+    result.series.append(Series(
+        "SNC-32way-LRU-256KL2", paper_data.FIGURE8_SNC_32WAY_256K, snc,
+        paper_data.FIGURE8_SNC_32WAY_256K_AVG,
+    ))
+    return result
+
+
+def figure9(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """SNC-induced additional memory traffic (64KB LRU SNC)."""
+    result = FigureResult(
+        "figure9", "SNC induced additional memory traffic",
+        "% of L2<->memory traffic",
+    )
+    measured = {
+        name: snc_traffic_pct(bench_events.trace_events("lru64"))
+        for name, bench_events in events.items()
+    }
+    result.series.append(Series(
+        "traffic", paper_data.FIGURE9_TRAFFIC, measured,
+        paper_data.FIGURE9_TRAFFIC_AVG,
+    ))
+    return result
+
+
+def figure10(events: dict[str, BenchmarkEvents]) -> FigureResult:
+    """The 102-cycle crypto unit: same events, slower pipeline."""
+    result = FigureResult(
+        "figure10",
+        "Performance with a longer encryption/decryption latency (102)",
+        "slowdown [%]",
+    )
+    lat = SLOW_CRYPTO_LATENCIES
+    result.series.append(Series(
+        "XOM", paper_data.FIGURE10_XOM,
+        _slowdowns(events, _xom, lat), paper_data.FIGURE10_XOM_AVG,
+    ))
+    result.series.append(Series(
+        "SNC-NoRepl", paper_data.FIGURE10_SNC_NOREPL,
+        _slowdowns(events, _otp("norepl64"), lat),
+        paper_data.FIGURE10_SNC_NOREPL_AVG,
+    ))
+    result.series.append(Series(
+        "SNC-LRU", paper_data.FIGURE10_SNC_LRU,
+        _slowdowns(events, _otp("lru64"), lat),
+        paper_data.FIGURE10_SNC_LRU_AVG,
+    ))
+    return result
+
+
+ALL_FIGURES = (figure3, figure5, figure6, figure7, figure8, figure9,
+               figure10)
+
+
+def run_everything(scale: SimulationScale | None = None,
+                   seed: int = 1) -> list[FigureResult]:
+    """Simulate once, regenerate every figure."""
+    events = run_all_benchmarks(scale=scale, seed=seed)
+    return [figure(events) for figure in ALL_FIGURES]

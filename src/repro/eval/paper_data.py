@@ -1,0 +1,98 @@
+"""The paper's published per-benchmark numbers, transcribed from the data
+labels embedded in Figures 3 and 5-10 of the MICRO-36 text.
+
+Every experiment driver reports *paper vs measured* side by side from
+these tables; EXPERIMENTS.md records the final comparison.
+"""
+
+from __future__ import annotations
+
+#: Benchmark order used throughout the paper's figures.
+BENCHMARK_ORDER = (
+    "ammp", "art", "bzip2", "equake", "gcc", "gzip",
+    "mcf", "mesa", "parser", "vortex", "vpr",
+)
+
+
+def _table(values):
+    return dict(zip(BENCHMARK_ORDER, values))
+
+
+#: Figure 3 / Figure 5 "XOM": slowdown [%] with 100-cycle memory, 50-cycle
+#: crypto, 256KB 4-way L2.
+FIGURE3_XOM = _table((
+    23.02, 34.91, 15.82, 14.27, 18.30, 1.08, 34.76, 0.63, 13.39, 7.05, 21.16,
+))
+FIGURE3_XOM_AVG = 16.76
+
+#: Figure 5: slowdown [%], 64KB SNC.
+FIGURE5_SNC_NOREPL = _table((
+    4.57, 0.23, 1.04, 0.06, 18.07, 0.51, 13.51, 0.24, 6.94, 5.02, 0.24,
+))
+FIGURE5_SNC_NOREPL_AVG = 4.59
+FIGURE5_SNC_LRU = _table((
+    2.76, 0.23, 0.56, 0.06, 1.40, 0.31, 6.44, 0.07, 0.95, 1.03, 0.24,
+))
+FIGURE5_SNC_LRU_AVG = 1.28
+
+#: Figure 6: LRU SNC size sweep, slowdown [%].
+FIGURE6_SNC_32KB = _table((
+    4.36, 0.23, 1.61, 7.58, 1.44, 0.33, 15.23, 0.14, 2.70, 1.86, 0.24,
+))
+FIGURE6_SNC_32KB_AVG = 3.25
+FIGURE6_SNC_64KB = FIGURE5_SNC_LRU
+FIGURE6_SNC_64KB_AVG = FIGURE5_SNC_LRU_AVG
+FIGURE6_SNC_128KB = _table((
+    0.41, 0.23, 0.34, 0.06, 1.29, 0.30, 1.45, 0.01, 0.57, 0.70, 0.24,
+))
+FIGURE6_SNC_128KB_AVG = 0.51
+
+#: Figure 7: 64KB SNC associativity, slowdown [%].
+FIGURE7_FULLY = FIGURE5_SNC_LRU
+FIGURE7_FULLY_AVG = FIGURE5_SNC_LRU_AVG
+FIGURE7_32WAY = _table((
+    9.62, 0.23, 0.55, 0.18, 1.38, 0.31, 6.34, 0.07, 0.94, 1.03, 0.24,
+))
+FIGURE7_32WAY_AVG = 1.90
+
+#: Figure 8: execution time normalized to the 256KB-L2 insecure baseline.
+FIGURE8_XOM_256K = _table((
+    1.23, 1.35, 1.16, 1.14, 1.18, 1.01, 1.35, 1.01, 1.13, 1.07, 1.21,
+))
+FIGURE8_XOM_256K_AVG = 1.17
+FIGURE8_XOM_384K = _table((
+    1.20, 1.35, 1.03, 1.14, 0.96, 1.00, 1.32, 0.99, 1.02, 0.93, 1.04,
+))
+FIGURE8_XOM_384K_AVG = 1.09
+FIGURE8_SNC_32WAY_256K = _table((
+    1.10, 1.00, 1.01, 1.00, 1.01, 1.00, 1.06, 1.00, 1.01, 1.01, 1.00,
+))
+FIGURE8_SNC_32WAY_256K_AVG = 1.02
+
+#: Figure 9: SNC-induced extra memory traffic [% of L2<->memory traffic].
+FIGURE9_TRAFFIC = _table((
+    0.32, 0.00, 0.09, 0.00, 0.05, 1.03, 0.47, 0.90, 0.18, 0.39, 0.00,
+))
+FIGURE9_TRAFFIC_AVG = 0.31
+
+#: Figure 10: slowdown [%] with a 102-cycle crypto unit.
+FIGURE10_XOM = _table((
+    46.95, 71.21, 32.27, 29.10, 37.36, 2.21, 70.91, 1.28, 27.32, 14.42, 43.16,
+))
+FIGURE10_XOM_AVG = 34.20
+FIGURE10_SNC_NOREPL = _table((
+    8.95, 0.23, 1.82, 0.06, 36.89, 1.04, 27.30, 0.48, 14.02, 10.23, 0.24,
+))
+FIGURE10_SNC_NOREPL_AVG = 9.21
+FIGURE10_SNC_LRU = _table((
+    2.72, 0.23, 0.56, 0.06, 1.38, 0.30, 6.32, 0.07, 0.94, 1.01, 0.24,
+))
+FIGURE10_SNC_LRU_AVG = 1.26
+
+#: §5: the paper's headline averages.
+HEADLINE = {
+    "xom_avg_slowdown_pct": 16.76,
+    "snc_norepl_avg_slowdown_pct": 4.59,
+    "snc_lru_avg_slowdown_pct": 1.28,
+    "max_xom_improvement_pct": 34.7,
+}

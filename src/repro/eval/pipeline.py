@@ -1,0 +1,151 @@
+"""The trace-driven simulation pipeline behind every figure.
+
+One pass per benchmark drives:
+
+* the baseline 256KB 4-way L2 (2048 lines) — its miss/writeback stream is
+  what the paper's mechanisms act on;
+* the Figure 8 alternate 384KB 6-way L2 (3072 lines), fed the same
+  references;
+* five SNC timing simulators (64KB LRU / 64KB no-replacement / 32KB LRU /
+  128KB LRU / 64KB 32-way LRU) fed the baseline L2's miss stream.
+
+Counters reset at the warmup boundary while all cache/SNC *state* stays
+warm, mirroring the paper's fast-forward methodology (10B instructions of
+warmup before measurement).  Every event is then priced by
+:mod:`repro.timing.model` under any latency configuration — Figure 10 needs
+no re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import TagOnlyCache
+from repro.secure.snc import SNCConfig, SNCPolicy
+from repro.timing.model import (
+    SNCEventCounts,
+    SNCTimingSim,
+    TraceEvents,
+    calibrate_compute_cycles,
+)
+from repro.workloads.spec import BenchmarkModel
+
+#: The paper's cache geometries, in 128-byte lines.
+L2_BASE_LINES, L2_BASE_ASSOC = 2048, 4  # 256KB 4-way
+L2_BIG_LINES, L2_BIG_ASSOC = 3072, 6  # 384KB 6-way (Figure 8)
+
+
+def standard_snc_configs() -> dict[str, SNCConfig]:
+    """The five SNC configurations the evaluation sweeps."""
+    return {
+        "lru64": SNCConfig(size_bytes=64 * 1024),
+        "norepl64": SNCConfig(
+            size_bytes=64 * 1024, policy=SNCPolicy.NO_REPLACEMENT
+        ),
+        "lru32": SNCConfig(size_bytes=32 * 1024),
+        "lru128": SNCConfig(size_bytes=128 * 1024),
+        "lru64_32way": SNCConfig(size_bytes=64 * 1024, assoc=32),
+    }
+
+
+@dataclass(frozen=True)
+class SimulationScale:
+    """Trace length (references at L2-input granularity)."""
+
+    warmup_refs: int = 200_000
+    measure_refs: int = 250_000
+
+    @property
+    def total_refs(self) -> int:
+        return self.warmup_refs + self.measure_refs
+
+
+#: A smaller scale for unit tests and quick smoke runs.
+QUICK_SCALE = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
+
+
+@dataclass
+class BenchmarkEvents:
+    """Everything measured for one benchmark, post-warmup."""
+
+    name: str
+    xom_slowdown_target: float
+    read_misses: int = 0
+    allocate_misses: int = 0
+    writebacks: int = 0
+    read_misses_big_l2: int = 0
+    allocate_misses_big_l2: int = 0
+    compute_cycles: int = 0
+    snc: dict[str, SNCEventCounts] = field(default_factory=dict)
+
+    def trace_events(self, snc_key: str | None = None) -> TraceEvents:
+        """Assemble the pricing view for one SNC configuration."""
+        return TraceEvents(
+            name=self.name,
+            read_misses=self.read_misses,
+            allocate_misses=self.allocate_misses,
+            writebacks=self.writebacks,
+            compute_cycles=self.compute_cycles,
+            snc=self.snc.get(snc_key) if snc_key else None,
+            read_misses_alt_l2=self.read_misses_big_l2,
+        )
+
+
+def simulate_benchmark(bench: BenchmarkModel,
+                       scale: SimulationScale | None = None,
+                       snc_configs: dict[str, SNCConfig] | None = None,
+                       seed: int = 1) -> BenchmarkEvents:
+    """Run one benchmark through the L2s and all SNC configurations."""
+    scale = scale or SimulationScale()
+    snc_configs = snc_configs or standard_snc_configs()
+    generator = bench.generator(seed=seed)
+    l2 = TagOnlyCache(L2_BASE_LINES, L2_BASE_ASSOC)
+    l2_big = TagOnlyCache(L2_BIG_LINES, L2_BIG_ASSOC)
+    sims = {name: SNCTimingSim(cfg) for name, cfg in snc_configs.items()}
+    events = BenchmarkEvents(bench.name, bench.xom_slowdown_pct)
+
+    measuring = False
+    warmup = scale.warmup_refs
+    sims_values = list(sims.values())
+    for position in range(scale.total_refs):
+        if position == warmup:
+            measuring = True
+        line, is_write = next(generator)
+
+        hit, victim = l2.access(line, is_write)
+        if not hit:
+            if measuring:
+                if is_write:
+                    events.allocate_misses += 1
+                else:
+                    events.read_misses += 1
+            for sim in sims_values:
+                sim.read_miss(line, critical=not is_write)
+        if victim is not None:
+            if measuring:
+                events.writebacks += 1
+            for sim in sims_values:
+                sim.writeback(victim)
+        if not measuring and position + 1 == warmup:
+            for sim in sims_values:
+                sim.reset_counts()
+
+        big_hit, _ = l2_big.access(line, is_write)
+        if not big_hit and measuring:
+            if is_write:
+                events.allocate_misses_big_l2 += 1
+            else:
+                events.read_misses_big_l2 += 1
+
+    events.snc = {name: sim.counts for name, sim in sims.items()}
+    if events.read_misses == 0:
+        raise ConfigurationError(
+            f"{bench.name}: the measurement window saw no load misses — "
+            "the trace scale is too small to get past the benchmark's "
+            "initialization phase (use at least the QUICK_SCALE lengths)"
+        )
+    events.compute_cycles = calibrate_compute_cycles(
+        events.read_misses, bench.xom_slowdown_pct
+    )
+    return events

@@ -1,0 +1,66 @@
+"""Plain-text reporting: the same rows the paper's figures print.
+
+``format_figure`` renders one reproduced figure as a paper-vs-measured
+table; ``format_summary`` prints the headline averages.  These are what
+``pytest benchmarks/ --benchmark-only`` and the examples show.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import FigureResult
+from repro.eval.paper_data import BENCHMARK_ORDER
+
+
+def _fmt(value: float, width: int = 7) -> str:
+    return f"{value:{width}.2f}"
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render a figure as an aligned paper-vs-measured text table."""
+    lines = [
+        f"{result.figure_id}: {result.caption}",
+        f"unit: {result.unit}",
+    ]
+    header = f"{'benchmark':<10}"
+    for series in result.series:
+        header += f" | {series.label + ' paper':>18} {'ours':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench in BENCHMARK_ORDER:
+        row = f"{bench:<10}"
+        for series in result.series:
+            row += (
+                f" | {_fmt(series.paper[bench], 18)}"
+                f" {_fmt(series.measured[bench])}"
+            )
+        lines.append(row)
+    avg_row = f"{'average':<10}"
+    for series in result.series:
+        avg_row += (
+            f" | {_fmt(series.paper_avg, 18)} {_fmt(series.measured_avg)}"
+        )
+    lines.append(avg_row)
+    return "\n".join(lines)
+
+
+def format_summary(results: list[FigureResult]) -> str:
+    """The paper's §5 headlines, paper vs measured."""
+    by_id = {result.figure_id: result for result in results}
+    lines = ["Headline comparison (paper -> measured):"]
+    if "figure5" in by_id:
+        fig = by_id["figure5"]
+        for label in ("XOM", "SNC-NoRepl", "SNC-LRU"):
+            series = fig.series_by_label(label)
+            lines.append(
+                f"  avg {label:<11} slowdown: "
+                f"{series.paper_avg:6.2f}% -> {series.measured_avg:6.2f}%"
+            )
+    if "figure10" in by_id:
+        fig = by_id["figure10"]
+        for label in ("XOM", "SNC-LRU"):
+            series = fig.series_by_label(label)
+            lines.append(
+                f"  avg {label:<11} slowdown @102-cycle crypto: "
+                f"{series.paper_avg:6.2f}% -> {series.measured_avg:6.2f}%"
+            )
+    return "\n".join(lines)

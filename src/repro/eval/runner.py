@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    python -m repro.eval                      # all figures, full scale
+    python -m repro.eval --figures 5 10       # just Figures 5 and 10
+    python -m repro.eval --scale quick        # fast smoke (short traces)
+    python -m repro.eval --scale 100000:150000 --charts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.charts import render_averages, render_chart
+from repro.eval.experiments import (
+    ALL_FIGURES,
+    run_all_benchmarks,
+)
+from repro.eval.pipeline import QUICK_SCALE, SimulationScale
+from repro.eval.report import format_figure, format_summary
+
+_FIGURES_BY_NUMBER = {
+    figure.__name__.removeprefix("figure"): figure for figure in ALL_FIGURES
+}
+
+
+def parse_scale(text: str) -> SimulationScale:
+    if text == "full":
+        return SimulationScale()
+    if text == "quick":
+        return QUICK_SCALE
+    try:
+        warmup, measure = (int(part) for part in text.split(":"))
+        return SimulationScale(warmup_refs=warmup, measure_refs=measure)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale must be 'full', 'quick' or 'warmup:measure', got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description=(
+            "Regenerate the evaluation figures of 'Fast Secure Processor "
+            "for Inhibiting Software Piracy and Tampering' (MICRO-36 2003) "
+            "and print paper-vs-measured tables."
+        ),
+    )
+    parser.add_argument(
+        "--figures", nargs="*", default=sorted(_FIGURES_BY_NUMBER),
+        choices=sorted(_FIGURES_BY_NUMBER), metavar="N",
+        help="which figures to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale", type=parse_scale, default=SimulationScale(),
+        help="'full' (default), 'quick', or 'warmup:measure' reference "
+             "counts",
+    )
+    parser.add_argument(
+        "--charts", action="store_true",
+        help="render ASCII bar charts in addition to the tables",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload seed (default 1)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    print(
+        f"simulating 11 benchmarks "
+        f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
+        f"measured refs each)...",
+        file=sys.stderr,
+    )
+    events = run_all_benchmarks(scale=args.scale, seed=args.seed)
+    print(f"done in {time.time() - started:.1f}s\n", file=sys.stderr)
+    results = []
+    for number in args.figures:
+        result = _FIGURES_BY_NUMBER[number](events)
+        results.append(result)
+        print(format_figure(result))
+        print()
+        if args.charts:
+            print(render_averages(result))
+            print()
+    print(format_summary(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

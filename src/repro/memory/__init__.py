@@ -1,0 +1,45 @@
+"""Memory-system substrate: DRAM, caches, write buffer, and the bus."""
+
+from repro.memory.bus import (
+    BusTransaction,
+    MemoryBus,
+    TransactionKind,
+)
+from repro.memory.cache import (
+    CacheConfig,
+    CacheLine,
+    CacheStats,
+    SetAssociativeCache,
+    TagOnlyCache,
+)
+from repro.memory.dram import DRAM, DRAMStats
+from repro.memory.hierarchy import (
+    HierarchyStats,
+    LineEngine,
+    LineKind,
+    MemoryHierarchy,
+    default_l1_config,
+    default_l2_config,
+)
+from repro.memory.write_buffer import WriteBuffer, WriteBufferStats
+
+__all__ = [
+    "BusTransaction",
+    "CacheConfig",
+    "CacheLine",
+    "CacheStats",
+    "DRAM",
+    "DRAMStats",
+    "HierarchyStats",
+    "LineEngine",
+    "LineKind",
+    "MemoryBus",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "TagOnlyCache",
+    "TransactionKind",
+    "WriteBuffer",
+    "WriteBufferStats",
+    "default_l1_config",
+    "default_l2_config",
+]

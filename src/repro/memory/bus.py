@@ -1,0 +1,101 @@
+"""The processor -> memory bus: the attack surface.
+
+Every transaction that crosses the chip boundary goes through here, which
+gives us two things:
+
+* traffic accounting (Figure 9 measures SNC-induced extra traffic as a
+  percentage of L2<->memory traffic), and
+* a tap point for :mod:`repro.attacks` — the paper's adversary "taps the
+  communication channel such as the system bus", so attack code subscribes
+  to the bus rather than reaching into simulator internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+
+class TransactionKind(enum.Enum):
+    """What a bus transaction carries, for traffic attribution."""
+
+    INSTRUCTION_READ = "ifetch"
+    DATA_READ = "read"
+    DATA_WRITE = "write"
+    SEQNUM_READ = "seqnum_read"
+    SEQNUM_WRITE = "seqnum_write"
+    MAC_READ = "mac_read"
+    MAC_WRITE = "mac_write"
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One line-sized transfer as seen on the external bus."""
+
+    kind: TransactionKind
+    addr: int
+    payload: bytes
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (
+            TransactionKind.DATA_WRITE,
+            TransactionKind.SEQNUM_WRITE,
+            TransactionKind.MAC_WRITE,
+        )
+
+
+BusObserver = Callable[[BusTransaction], None]
+
+
+class MemoryBus:
+    """Records and publishes every off-chip transaction."""
+
+    def __init__(self) -> None:
+        self._observers: list[BusObserver] = []
+        self.counts: dict[TransactionKind, int] = {
+            kind: 0 for kind in TransactionKind
+        }
+        self.bytes_moved: dict[TransactionKind, int] = {
+            kind: 0 for kind in TransactionKind
+        }
+
+    def attach(self, observer: BusObserver) -> None:
+        """Subscribe to all future transactions (adversary tap, loggers)."""
+        self._observers.append(observer)
+
+    def detach(self, observer: BusObserver) -> None:
+        self._observers.remove(observer)
+
+    def record(self, kind: TransactionKind, addr: int, payload: bytes) -> None:
+        """Log one transaction and publish it to observers."""
+        self.counts[kind] += 1
+        self.bytes_moved[kind] += len(payload)
+        if self._observers:
+            transaction = BusTransaction(kind, addr, payload)
+            for observer in self._observers:
+                observer(transaction)
+
+    # -- traffic summaries used by the Figure 9 experiment ------------------
+
+    @property
+    def program_transactions(self) -> int:
+        """L2<->memory traffic for program lines (the Figure 9 denominator)."""
+        return (
+            self.counts[TransactionKind.INSTRUCTION_READ]
+            + self.counts[TransactionKind.DATA_READ]
+            + self.counts[TransactionKind.DATA_WRITE]
+        )
+
+    @property
+    def seqnum_transactions(self) -> int:
+        """SNC spill/fill traffic (the Figure 9 numerator)."""
+        return (
+            self.counts[TransactionKind.SEQNUM_READ]
+            + self.counts[TransactionKind.SEQNUM_WRITE]
+        )
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,254 @@
+"""A generic set-associative write-back cache with true LRU.
+
+Used three ways in this repo:
+
+* functionally, holding real line bytes, for the L1/L2 of the
+  :class:`~repro.secure.processor.SecureProcessor`;
+* tag-only, for the fast trace-driven L2 used by the evaluation harness
+  (:class:`TagOnlyCache`, array-based for speed);
+* as the backing structure the paper requires for keeping each L2 line's
+  *virtual* address alongside its tag (§4: "the VA of each L2 cache line
+  should be kept within the L2 cache"), carried here in ``CacheLine.meta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.utils.intmath import is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        for attr in ("size_bytes", "assoc", "line_bytes"):
+            value = getattr(self, attr)
+            if value <= 0 or not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{self.name}: {attr}={value} must be a positive power of 2"
+                )
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.assoc
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_exact(self.n_sets)
+
+
+@dataclass
+class CacheLine:
+    """One resident line: tag plus optional payload and metadata."""
+
+    line_addr: int
+    data: bytearray | None = None
+    dirty: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """Set-associative cache with per-set true-LRU replacement.
+
+    The cache stores *lines*; callers address it by any byte address and the
+    cache masks off the offset.  It does not fetch on miss — the memory
+    hierarchy orchestrates the miss path — it only answers lookups and
+    accepts fills, returning the victim on eviction.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        # Each set is an LRU-ordered list (index 0 = LRU, last = MRU).
+        self._sets: list[list[CacheLine]] = [
+            [] for _ in range(config.n_sets)
+        ]
+
+    def _line_addr(self, addr: int) -> int:
+        return addr & ~(self.config.line_bytes - 1)
+
+    def _set_for(self, line_addr: int) -> list[CacheLine]:
+        index = (line_addr >> self.config.offset_bits) % self.config.n_sets
+        return self._sets[index]
+
+    def lookup(self, addr: int) -> CacheLine | None:
+        """Return the resident line (promoting it to MRU), or None on miss."""
+        line_addr = self._line_addr(addr)
+        cache_set = self._set_for(line_addr)
+        for position, line in enumerate(cache_set):
+            if line.line_addr == line_addr:
+                self.stats.hits += 1
+                cache_set.append(cache_set.pop(position))
+                return line
+        self.stats.misses += 1
+        return None
+
+    def probe(self, addr: int) -> CacheLine | None:
+        """Like lookup but with no LRU update and no stats (for tests/tools)."""
+        line_addr = self._line_addr(addr)
+        for line in self._set_for(line_addr):
+            if line.line_addr == line_addr:
+                return line
+        return None
+
+    def fill(self, addr: int, data: bytearray | None = None,
+             dirty: bool = False, meta: dict[str, Any] | None = None
+             ) -> CacheLine | None:
+        """Insert a line (as MRU); return the evicted victim if the set was full.
+
+        The caller must not fill an address that is already resident — that
+        would create duplicates; use lookup first.
+        """
+        line_addr = self._line_addr(addr)
+        cache_set = self._set_for(line_addr)
+        victim = None
+        if len(cache_set) >= self.config.assoc:
+            victim = cache_set.pop(0)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+        cache_set.append(
+            CacheLine(line_addr, data, dirty, dict(meta or {}))
+        )
+        return victim
+
+    def invalidate(self, addr: int) -> CacheLine | None:
+        """Drop a line without writing it back; return it if it was present."""
+        line_addr = self._line_addr(addr)
+        cache_set = self._set_for(line_addr)
+        for position, line in enumerate(cache_set):
+            if line.line_addr == line_addr:
+                return cache_set.pop(position)
+        return None
+
+    def drain_dirty(self) -> list[CacheLine]:
+        """Remove and return every dirty line (cache flush on context switch)."""
+        drained = []
+        for cache_set in self._sets:
+            keep = []
+            for line in cache_set:
+                if line.dirty:
+                    drained.append(line)
+                else:
+                    keep.append(line)
+            cache_set[:] = keep
+        return drained
+
+    def resident_lines(self) -> list[CacheLine]:
+        """All resident lines, LRU order within each set (diagnostics)."""
+        return [line for cache_set in self._sets for line in cache_set]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class TagOnlyCache:
+    """A fast tag-only cache for trace-driven evaluation.
+
+    Same geometry and LRU policy as :class:`SetAssociativeCache` but holds
+    only line indices and dirty bits, with the hot path written as plain
+    list operations so the Figure-3..10 sweeps (millions of references)
+    stay cheap in pure Python.
+
+    Addresses are given as *line indices*, not byte addresses.
+    """
+
+    __slots__ = ("n_sets", "assoc", "_tags", "_dirty", "hits", "misses",
+                 "evictions", "writebacks")
+
+    def __init__(self, n_lines: int, assoc: int):
+        if n_lines <= 0 or assoc <= 0 or n_lines % assoc:
+            raise ConfigurationError("assoc must divide the line count")
+        if not is_power_of_two(n_lines // assoc):
+            # The set count must be a power of two for modulo indexing to
+            # model real index bits; the line count itself may be odd-sized
+            # (the paper's 384KB 6-way L2 is 3072 lines over 512 sets).
+            raise ConfigurationError("the set count must be a power of 2")
+        self.n_sets = n_lines // assoc
+        self.assoc = assoc
+        self._tags: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._dirty: list[set[int]] = [set() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def access(self, line_index: int, is_write: bool
+               ) -> tuple[bool, int | None]:
+        """Touch ``line_index``; return ``(hit, dirty_victim_line_or_None)``.
+
+        Miss handling is fetch-on-miss with write-allocate, matching the
+        functional hierarchy.
+        """
+        set_index = line_index % self.n_sets
+        tags = self._tags[set_index]
+        try:
+            position = tags.index(line_index)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            self.hits += 1
+            if position != len(tags) - 1:
+                tags.append(tags.pop(position))
+            if is_write:
+                self._dirty[set_index].add(line_index)
+            return True, None
+        self.misses += 1
+        victim_dirty: int | None = None
+        if len(tags) >= self.assoc:
+            victim = tags.pop(0)
+            self.evictions += 1
+            if victim in self._dirty[set_index]:
+                self._dirty[set_index].discard(victim)
+                self.writebacks += 1
+                victim_dirty = victim
+        tags.append(line_index)
+        if is_write:
+            self._dirty[set_index].add(line_index)
+        return False, victim_dirty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,114 @@
+"""Untrusted main memory.
+
+Everything stored here is outside the security boundary (paper Figure 4):
+the adversary can read it, rewrite it, and replay old values.  The secure
+engines therefore only ever hand this module ciphertext (or data from
+explicitly-plaintext regions, §4.3).
+
+The store is sparse — a dict of line-index to ``bytes`` — so simulating a
+1 GB address space costs only what is actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.utils.intmath import is_power_of_two
+
+
+@dataclass
+class DRAMStats:
+    """Access counters, in line-sized transactions."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class DRAM:
+    """A byte-addressable main memory accessed in whole lines.
+
+    ``latency`` is the access time in CPU cycles (the paper's typical value
+    is 100); the functional simulator charges it per line transaction.
+    """
+
+    def __init__(self, line_bytes: int = 128, latency: int = 100,
+                 fill_byte: int = 0):
+        if not is_power_of_two(line_bytes):
+            raise ConfigurationError(f"line size {line_bytes} not a power of 2")
+        if latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.fill_byte = fill_byte
+        self.stats = DRAMStats()
+        self._lines: dict[int, bytes] = {}
+
+    def _line_index(self, addr: int) -> int:
+        if addr % self.line_bytes:
+            raise ConfigurationError(
+                f"address {addr:#x} is not aligned to the "
+                f"{self.line_bytes}-byte line size"
+            )
+        return addr // self.line_bytes
+
+    def read_line(self, addr: int) -> bytes:
+        """Read the line starting at the aligned address ``addr``."""
+        index = self._line_index(addr)
+        self.stats.reads += 1
+        return self._lines.get(index, bytes([self.fill_byte]) * self.line_bytes)
+
+    def write_line(self, addr: int, data: bytes) -> None:
+        """Write one full line at the aligned address ``addr``."""
+        if len(data) != self.line_bytes:
+            raise ConfigurationError(
+                f"line write of {len(data)} bytes, expected {self.line_bytes}"
+            )
+        index = self._line_index(addr)
+        self.stats.writes += 1
+        self._lines[index] = bytes(data)
+
+    # -- raw access for loaders and adversaries (not on the timed path) ----
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Read raw bytes without touching counters (adversary/test access)."""
+        out = bytearray()
+        while size:
+            base = (addr // self.line_bytes) * self.line_bytes
+            line = self._lines.get(
+                base // self.line_bytes,
+                bytes([self.fill_byte]) * self.line_bytes,
+            )
+            offset = addr - base
+            take = min(size, self.line_bytes - offset)
+            out.extend(line[offset : offset + take])
+            addr += take
+            size -= take
+        return bytes(out)
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write raw bytes without touching counters (loader/adversary)."""
+        position = 0
+        while position < len(data):
+            base = (addr // self.line_bytes) * self.line_bytes
+            index = base // self.line_bytes
+            line = bytearray(
+                self._lines.get(
+                    index, bytes([self.fill_byte]) * self.line_bytes
+                )
+            )
+            offset = addr - base
+            take = min(len(data) - position, self.line_bytes - offset)
+            line[offset : offset + take] = data[position : position + take]
+            self._lines[index] = bytes(line)
+            addr += take
+            position += take
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of distinct lines ever written (sparse footprint)."""
+        return len(self._lines)

@@ -1,0 +1,200 @@
+"""The on-chip memory hierarchy: split L1 I/D over a unified write-back L2.
+
+Geometry follows the paper's baseline: 32KB 4-way separate L1 instruction
+and data caches and a 256KB 4-way unified L2 with 128-byte lines, with a
+write buffer between L2 and memory.
+
+Everything *above* the engine is inside the security boundary and holds
+plaintext; the pluggable :class:`LineEngine` decides what actually crosses
+the chip edge (nothing for the insecure baseline, ciphertext for XOM/OTP).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError, MemoryFault
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.write_buffer import WriteBuffer
+
+
+class LineKind(enum.Enum):
+    """Instruction lines are read-only; data lines are versioned (§3.4)."""
+
+    INSTRUCTION = "instruction"
+    DATA = "data"
+
+
+class LineEngine(Protocol):
+    """What the hierarchy needs from a memory-encryption engine."""
+
+    def read_line(self, line_addr: int, kind: LineKind) -> tuple[bytes, int]:
+        """Fetch + decrypt a line; return (plaintext, critical-path cycles)."""
+        ...
+
+    def write_line(self, line_addr: int, plaintext: bytes) -> int:
+        """Encrypt + write back a line; return critical-path cycles (~0)."""
+        ...
+
+
+@dataclass
+class HierarchyStats:
+    """Cycle and event accounting for a functional run."""
+
+    l1i_hit_cycles: int = 1
+    l1d_hit_cycles: int = 1
+    l2_hit_cycles: int = 10
+    stall_cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    fetches: int = 0
+
+
+def default_l1_config(name: str) -> CacheConfig:
+    return CacheConfig(size_bytes=32 * 1024, assoc=4, line_bytes=32, name=name)
+
+
+def default_l2_config() -> CacheConfig:
+    return CacheConfig(size_bytes=256 * 1024, assoc=4, line_bytes=128, name="L2")
+
+
+class MemoryHierarchy:
+    """Functional two-level cache hierarchy over a line engine."""
+
+    def __init__(self, engine: LineEngine,
+                 l1i_config: CacheConfig | None = None,
+                 l1d_config: CacheConfig | None = None,
+                 l2_config: CacheConfig | None = None,
+                 write_buffer_capacity: int = 8):
+        self.engine = engine
+        self.l1i = SetAssociativeCache(l1i_config or default_l1_config("L1I"))
+        self.l1d = SetAssociativeCache(l1d_config or default_l1_config("L1D"))
+        self.l2 = SetAssociativeCache(l2_config or default_l2_config())
+        if self.l2.config.line_bytes < self.l1d.config.line_bytes:
+            raise ConfigurationError("L2 lines must not be smaller than L1's")
+        self.write_buffer = WriteBuffer(
+            write_buffer_capacity,
+            drain_action=self._drain_to_engine,
+        )
+        self.stats = HierarchyStats()
+
+    # -- public CPU-facing operations ---------------------------------------
+
+    def fetch(self, addr: int, size: int) -> bytes:
+        """Instruction fetch through L1I."""
+        self.stats.fetches += 1
+        self.stats.stall_cycles += self.stats.l1i_hit_cycles
+        return self._l1_read(self.l1i, addr, size, LineKind.INSTRUCTION)
+
+    def load(self, addr: int, size: int) -> bytes:
+        """Data load through L1D."""
+        self.stats.loads += 1
+        self.stats.stall_cycles += self.stats.l1d_hit_cycles
+        return self._l1_read(self.l1d, addr, size, LineKind.DATA)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Data store through L1D (write-allocate, write-back)."""
+        self.stats.stores += 1
+        self.stats.stall_cycles += self.stats.l1d_hit_cycles
+        line = self._l1_line(self.l1d, addr, LineKind.DATA)
+        offset = addr - line.line_addr
+        self._check_within_line(self.l1d.config, addr, len(data))
+        line.data[offset : offset + len(data)] = data
+        line.dirty = True
+
+    def flush(self) -> None:
+        """Write every dirty line down to memory (program exit / interrupt)."""
+        for l1 in (self.l1i, self.l1d):
+            for line in l1.drain_dirty():
+                self._store_into_l2(line.line_addr, bytes(line.data))
+        for line in self.l2.drain_dirty():
+            self.write_buffer.push(line.line_addr, bytes(line.data))
+        self.write_buffer.drain_all()
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _check_within_line(config: CacheConfig, addr: int, size: int) -> None:
+        line_addr = addr & ~(config.line_bytes - 1)
+        if addr + size > line_addr + config.line_bytes:
+            raise MemoryFault(
+                f"access at {addr:#x} size {size} crosses a "
+                f"{config.line_bytes}-byte line boundary"
+            )
+
+    def _l1_read(self, l1: SetAssociativeCache, addr: int, size: int,
+                 kind: LineKind) -> bytes:
+        line = self._l1_line(l1, addr, kind)
+        offset = addr - line.line_addr
+        self._check_within_line(l1.config, addr, size)
+        return bytes(line.data[offset : offset + size])
+
+    def _l1_line(self, l1: SetAssociativeCache, addr: int, kind: LineKind):
+        line = l1.lookup(addr)
+        if line is not None:
+            return line
+        l1_line_bytes = l1.config.line_bytes
+        line_addr = addr & ~(l1_line_bytes - 1)
+        data = self._read_from_l2(line_addr, l1_line_bytes, kind)
+        victim = l1.fill(line_addr, bytearray(data))
+        if victim is not None and victim.dirty:
+            self._store_into_l2(victim.line_addr, bytes(victim.data))
+        return l1.probe(line_addr)
+
+    def _read_from_l2(self, addr: int, size: int, kind: LineKind) -> bytes:
+        line = self._l2_line(addr, kind)
+        offset = addr - line.line_addr
+        return bytes(line.data[offset : offset + size])
+
+    def _store_into_l2(self, addr: int, data: bytes) -> None:
+        """Accept an L1 dirty victim (data path only — code is read-only)."""
+        line = self._l2_line(addr, LineKind.DATA)
+        offset = addr - line.line_addr
+        line.data[offset : offset + len(data)] = data
+        line.dirty = True
+
+    def _l2_line(self, addr: int, kind: LineKind):
+        line = self.l2.lookup(addr)
+        if line is not None:
+            self.stats.stall_cycles += self.stats.l2_hit_cycles
+            return line
+        l2_line_bytes = self.l2.config.line_bytes
+        line_addr = addr & ~(l2_line_bytes - 1)
+        # A read may race a pending (not yet drained) writeback of the same
+        # line; the buffered copy is the newest data.
+        buffered = self.write_buffer.forward(line_addr)
+        if buffered is not None:
+            plaintext, cycles = buffered, self.stats.l2_hit_cycles
+        else:
+            plaintext, cycles = self.engine.read_line(line_addr, kind)
+        self.stats.stall_cycles += cycles
+        victim = self.l2.fill(
+            line_addr, bytearray(plaintext), meta={"va": line_addr, "kind": kind}
+        )
+        if victim is not None:
+            # Enforce inclusion: recall any L1 copies of the evicted line,
+            # merging their (possibly newer, dirty) bytes into the victim.
+            self._back_invalidate(victim)
+            if victim.dirty:
+                # Evicted dirty lines park in the write buffer; the engine
+                # encrypts them off the critical path (paper §4.2, update hit).
+                self.write_buffer.push(victim.line_addr, bytes(victim.data))
+        return self.l2.probe(line_addr)
+
+    def _back_invalidate(self, victim) -> None:
+        l2_line_bytes = self.l2.config.line_bytes
+        for l1 in (self.l1i, self.l1d):
+            step = l1.config.line_bytes
+            for sub_addr in range(
+                victim.line_addr, victim.line_addr + l2_line_bytes, step
+            ):
+                recalled = l1.invalidate(sub_addr)
+                if recalled is not None and recalled.dirty:
+                    offset = sub_addr - victim.line_addr
+                    victim.data[offset : offset + step] = recalled.data
+                    victim.dirty = True
+
+    def _drain_to_engine(self, line_addr: int, data: bytes) -> None:
+        self.engine.write_line(line_addr, data)

@@ -1,0 +1,79 @@
+"""The write buffer between L2 and memory (paper Figures 2 and 4).
+
+Dirty L2 victims park here while they are encrypted and until the bus is
+idle; the paper leans on this to argue writes are off the critical path
+(§3.4: "most processors are equipped with write buffers which can steal
+idle bus cycles efficiently").  The functional model preserves the ordering
+property that matters for correctness: a read that hits a buffered line must
+see the buffered (newest) data, not stale memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class WriteBufferStats:
+    enqueued: int = 0
+    drained: int = 0
+    forwarded_reads: int = 0
+    forced_drains: int = 0  # full buffer forced a synchronous drain
+
+
+class WriteBuffer:
+    """A FIFO of pending line writebacks with read forwarding.
+
+    ``drain_action`` performs the actual (encrypt +) memory write; it is
+    supplied by the secure engine so the buffer itself stays policy-free.
+    """
+
+    def __init__(self, capacity: int,
+                 drain_action: Callable[[int, bytes], None]):
+        if capacity <= 0:
+            raise ConfigurationError("write buffer capacity must be positive")
+        self.capacity = capacity
+        self._drain_action = drain_action
+        self._entries: OrderedDict[int, bytes] = OrderedDict()
+        self.stats = WriteBufferStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, line_addr: int, data: bytes) -> None:
+        """Queue a writeback; coalesces with a pending write to the same line."""
+        if line_addr in self._entries:
+            self._entries.move_to_end(line_addr)
+        else:
+            if len(self._entries) >= self.capacity:
+                self.stats.forced_drains += 1
+                self.drain_one()
+        self._entries[line_addr] = bytes(data)
+        self.stats.enqueued += 1
+
+    def forward(self, line_addr: int) -> bytes | None:
+        """Return buffered data for a read of ``line_addr``, if pending."""
+        data = self._entries.get(line_addr)
+        if data is not None:
+            self.stats.forwarded_reads += 1
+        return data
+
+    def drain_one(self) -> bool:
+        """Write the oldest entry to memory; False if the buffer was empty."""
+        if not self._entries:
+            return False
+        line_addr, data = self._entries.popitem(last=False)
+        self._drain_action(line_addr, data)
+        self.stats.drained += 1
+        return True
+
+    def drain_all(self) -> int:
+        """Flush everything (program exit, context switch); returns count."""
+        drained = 0
+        while self.drain_one():
+            drained += 1
+        return drained

@@ -1,0 +1,86 @@
+"""The paper's contribution: one-time-pad memory encryption with an SNC,
+plus the XOM baseline it improves on and the surrounding machinery
+(compartments, vendor packaging, integrity, context switching).
+"""
+
+from repro.secure.compartment import (
+    SHARED_ID,
+    Compartment,
+    CompartmentManager,
+    InterruptFrame,
+    TaggedRegisterFile,
+)
+from repro.secure.context import (
+    ContextSwitchReport,
+    MultiTaskSNCModel,
+    SwitchStrategy,
+    TaskStream,
+)
+from repro.secure.engine import BaselineEngine, EngineStats, LatencyParams
+from repro.secure.integrity import (
+    HashTreeIntegrity,
+    IntegrityStats,
+    MACIntegrity,
+)
+from repro.secure.otp_engine import SEQNUM_TABLE_BASE, OTPEngine
+from repro.secure.regions import Region, RegionMap
+from repro.secure.seeds import SeedScheme
+from repro.secure.snc import (
+    Evicted,
+    SequenceNumberCache,
+    SNCConfig,
+    SNCPolicy,
+    SNCStats,
+)
+from repro.secure.processor import EngineKind, RunReport, SecureProcessor
+from repro.secure.software import (
+    PlainProgram,
+    ProtectionScheme,
+    SecureProgram,
+    Segment,
+    SegmentKind,
+    install_image,
+    package_program,
+    unwrap_program_key,
+)
+from repro.secure.xom_engine import XOMEngine
+
+__all__ = [
+    "BaselineEngine",
+    "Compartment",
+    "CompartmentManager",
+    "EngineKind",
+    "ProtectionScheme",
+    "RunReport",
+    "SecureProcessor",
+    "ContextSwitchReport",
+    "EngineStats",
+    "Evicted",
+    "HashTreeIntegrity",
+    "IntegrityStats",
+    "InterruptFrame",
+    "LatencyParams",
+    "MACIntegrity",
+    "MultiTaskSNCModel",
+    "OTPEngine",
+    "PlainProgram",
+    "Region",
+    "RegionMap",
+    "SEQNUM_TABLE_BASE",
+    "SHARED_ID",
+    "SNCConfig",
+    "SNCPolicy",
+    "SNCStats",
+    "SecureProgram",
+    "SeedScheme",
+    "Segment",
+    "SegmentKind",
+    "SequenceNumberCache",
+    "SwitchStrategy",
+    "TaggedRegisterFile",
+    "TaskStream",
+    "XOMEngine",
+    "install_image",
+    "package_program",
+    "unwrap_program_key",
+]

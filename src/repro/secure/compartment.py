@@ -1,0 +1,201 @@
+"""XOM compartments: per-task isolation inside the chip (paper §2.3).
+
+Each protected task runs in a *compartment* with its own ID and symmetric
+key.  The ID tags every register and cache line the task produces, so even
+a malicious operating system — which by assumption can run privileged code
+and take interrupts at will — can never observe or forge another task's
+on-chip state:
+
+* reading a register tagged with a foreign ID raises a trap
+  (:class:`~repro.errors.CompartmentViolation`);
+* on an interrupt, the hardware encrypts the task's registers with a
+  **mutating** counter folded into the pad seed (§3.4 recalls this XOM
+  mechanism: a fresh value per interrupt event, so identical register
+  files never produce identical ciphertext);
+* restore verifies the frame belongs to the resuming compartment and that
+  the counter matches, so the OS cannot replay a stale frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.mac import constant_time_equal, hmac_sha256
+from repro.crypto.otp import pad_for_seed
+from repro.errors import CompartmentViolation, ConfigurationError
+from repro.utils.bitops import xor_bytes
+
+#: The "null" compartment: untagged state, readable by anyone (XOM's
+#: shared/untrusted world, where the OS lives).
+SHARED_ID = 0
+
+
+@dataclass
+class Compartment:
+    """One protected task's identity and key material."""
+
+    xom_id: int
+    cipher: BlockCipher
+    interrupt_counter: int = 0
+
+
+class CompartmentManager:
+    """Allocates compartment IDs and tracks which one is executing."""
+
+    def __init__(self) -> None:
+        self._compartments: dict[int, Compartment] = {}
+        self._next_id = 1
+        self.active_id = SHARED_ID
+
+    def create(self, cipher: BlockCipher) -> Compartment:
+        compartment = Compartment(self._next_id, cipher)
+        self._compartments[self._next_id] = compartment
+        self._next_id += 1
+        return compartment
+
+    def get(self, xom_id: int) -> Compartment:
+        try:
+            return self._compartments[xom_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown compartment {xom_id}") from None
+
+    def enter(self, xom_id: int) -> None:
+        """Enter XOM mode for a task (the enter_xom instruction)."""
+        if xom_id != SHARED_ID:
+            self.get(xom_id)  # validates existence
+        self.active_id = xom_id
+
+    def exit(self) -> None:
+        """Leave XOM mode (back to the shared/null compartment)."""
+        self.active_id = SHARED_ID
+
+
+@dataclass
+class _TaggedValue:
+    value: int = 0
+    owner: int = SHARED_ID
+
+
+@dataclass(frozen=True)
+class InterruptFrame:
+    """An encrypted register file as handed to the (untrusted) OS."""
+
+    xom_id: int
+    counter: int
+    ciphertext: bytes
+    tag: bytes
+
+
+class TaggedRegisterFile:
+    """A register file whose entries carry compartment ownership tags."""
+
+    def __init__(self, manager: CompartmentManager, n_registers: int = 32,
+                 register_bytes: int = 4):
+        self.manager = manager
+        self.n_registers = n_registers
+        self.register_bytes = register_bytes
+        self._registers = [_TaggedValue() for _ in range(n_registers)]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise ConfigurationError(f"register index {index} out of range")
+
+    def read(self, index: int) -> int:
+        """Read a register; foreign-owned data traps (§2.3 tagging)."""
+        self._check_index(index)
+        entry = self._registers[index]
+        active = self.manager.active_id
+        if entry.owner not in (SHARED_ID, active):
+            raise CompartmentViolation(
+                f"compartment {active} read register r{index} "
+                f"owned by compartment {entry.owner}"
+            )
+        return entry.value
+
+    def write(self, index: int, value: int) -> None:
+        """Write a register, tagging it with the active compartment."""
+        self._check_index(index)
+        mask = (1 << (8 * self.register_bytes)) - 1
+        self._registers[index] = _TaggedValue(
+            value & mask, self.manager.active_id
+        )
+
+    def owner_of(self, index: int) -> int:
+        self._check_index(index)
+        return self._registers[index].owner
+
+    # -- interrupt save/restore (the malicious-OS boundary) ------------------
+
+    def _serialize(self) -> bytes:
+        return b"".join(
+            entry.value.to_bytes(self.register_bytes, "big")
+            for entry in self._registers
+        )
+
+    def interrupt_save(self) -> InterruptFrame:
+        """Encrypt the active compartment's registers for delivery to the OS.
+
+        Uses a pad derived from a *mutating* per-compartment counter so two
+        interrupts with identical register state never produce identical
+        ciphertext, and authenticates the frame so restore can reject
+        forgeries."""
+        active = self.manager.active_id
+        if active == SHARED_ID:
+            raise ConfigurationError(
+                "interrupt_save outside a compartment: nothing to protect"
+            )
+        compartment = self.manager.get(active)
+        compartment.interrupt_counter += 1
+        counter = compartment.interrupt_counter
+        plaintext = self._serialize()
+        pad = self._frame_pad(compartment, counter, len(plaintext))
+        ciphertext = xor_bytes(plaintext, pad)
+        tag = self._frame_tag(compartment, counter, ciphertext)
+        for index in range(self.n_registers):
+            self._registers[index] = _TaggedValue()  # scrub for the OS
+        return InterruptFrame(active, counter, ciphertext, tag)
+
+    def interrupt_restore(self, frame: InterruptFrame) -> None:
+        """Decrypt and re-install a saved frame for the resuming task."""
+        compartment = self.manager.get(frame.xom_id)
+        expected_tag = self._frame_tag(
+            compartment, frame.counter, frame.ciphertext
+        )
+        if not constant_time_equal(frame.tag, expected_tag):
+            raise CompartmentViolation(
+                "interrupt frame failed authentication — forged or corrupted"
+            )
+        if frame.counter != compartment.interrupt_counter:
+            raise CompartmentViolation(
+                f"interrupt frame counter {frame.counter} is stale "
+                f"(expected {compartment.interrupt_counter}) — replayed frame"
+            )
+        pad = self._frame_pad(
+            compartment, frame.counter, len(frame.ciphertext)
+        )
+        plaintext = xor_bytes(frame.ciphertext, pad)
+        for index in range(self.n_registers):
+            start = index * self.register_bytes
+            value = int.from_bytes(
+                plaintext[start : start + self.register_bytes], "big"
+            )
+            self._registers[index] = _TaggedValue(value, frame.xom_id)
+
+    @staticmethod
+    def _frame_pad(compartment: Compartment, counter: int,
+                   length: int) -> bytes:
+        block = compartment.cipher.block_size
+        padded_length = -(-length // block) * block
+        # Disambiguate frame pads from memory-line pads by a high tweak bit.
+        seed = (1 << (8 * block - 1)) | counter * 0x10000
+        return pad_for_seed(compartment.cipher, seed, padded_length)[:length]
+
+    @staticmethod
+    def _frame_tag(compartment: Compartment, counter: int,
+                   ciphertext: bytes) -> bytes:
+        key_block = compartment.cipher.encrypt_block(
+            bytes(compartment.cipher.block_size)
+        )
+        message = counter.to_bytes(8, "big") + ciphertext
+        return hmac_sha256(key_block, message)[:16]

@@ -1,0 +1,128 @@
+"""SNC handling across context switches — the question §4.3 leaves open.
+
+The paper names two protection strategies for the SNC when the OS switches
+tasks, and explicitly does not evaluate them ("the impact on the overall
+performance in multi-task systems is currently open"):
+
+1. **FLUSH** — encrypt-and-spill every entry to the in-memory table on the
+   way out; the incoming task starts with a cold SNC.  Cost is paid at
+   switch time (spill writes) and after (query misses to re-warm).
+2. **TAG** — keep entries resident, tagged with their owner's XOM ID; no
+   switch-time cost, but tasks share capacity and a task's entries can be
+   evicted by another's traffic.
+
+:class:`MultiTaskSNCModel` simulates round-robin execution of several
+tasks' L2-miss streams under either strategy and reports the event counts
+the ablation benchmark (``bench_ablation_context_switch``) prices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+
+
+class SwitchStrategy(enum.Enum):
+    FLUSH = "flush"
+    TAG = "tag"
+
+
+@dataclass
+class ContextSwitchReport:
+    """Event counts from a multi-task SNC simulation."""
+
+    switches: int = 0
+    flush_spills: int = 0  # entries written to memory at switch time
+    query_hits: int = 0
+    query_misses: int = 0
+    update_hits: int = 0
+    update_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def query_hit_rate(self) -> float:
+        total = self.query_hits + self.query_misses
+        return self.query_hits / total if total else 0.0
+
+
+@dataclass
+class TaskStream:
+    """One task's L2-to-memory reference stream: (line_index, is_write)."""
+
+    xom_id: int
+    references: Sequence[tuple[int, bool]]
+
+
+class MultiTaskSNCModel:
+    """Round-robin tasks over one shared SNC under a switch strategy."""
+
+    def __init__(self, config: SNCConfig | None = None,
+                 strategy: SwitchStrategy = SwitchStrategy.TAG):
+        if config is not None and config.policy is not SNCPolicy.LRU:
+            raise ValueError("multi-task model requires the LRU policy")
+        self.snc = SequenceNumberCache(config or SNCConfig())
+        self.strategy = strategy
+        self.report = ContextSwitchReport()
+        # The spilled table: (xom_id, line_index) -> seq.  One entry per
+        # line; fetching one back on a query miss costs a memory round trip.
+        self._table: dict[tuple[int, int], int] = {}
+
+    def _reference(self, xom_id: int, line_index: int, is_write: bool) -> None:
+        tag = xom_id if self.strategy is SwitchStrategy.TAG else 0
+        key = (xom_id, line_index)
+        if is_write:
+            seq = self.snc.update(line_index, tag)
+            if seq is None:
+                self.report.update_misses += 1
+                seq = self._table.get(key, 0) + 1
+                victim = self.snc.insert(line_index, seq, tag)
+                self._note_eviction(victim, xom_id)
+            else:
+                self.report.update_hits += 1
+            self._table[key] = seq
+        else:
+            seq = self.snc.query(line_index, tag)
+            if seq is None:
+                self.report.query_misses += 1
+                seq = self._table.get(key, 0)
+                victim = self.snc.insert(line_index, seq, tag)
+                self._note_eviction(victim, xom_id)
+            else:
+                self.report.query_hits += 1
+
+    def _note_eviction(self, victim, xom_id: int) -> None:
+        if victim is None:
+            return
+        self.report.evictions += 1
+        owner = victim.xom_id if self.strategy is SwitchStrategy.TAG else xom_id
+        self._table[(owner, victim.line_index)] = victim.seq
+
+    def _switch_out(self, xom_id: int) -> None:
+        self.report.switches += 1
+        if self.strategy is SwitchStrategy.FLUSH:
+            for entry in self.snc.flush():
+                self._table[(xom_id, entry.line_index)] = entry.seq
+                self.report.flush_spills += 1
+
+    def run(self, tasks: Sequence[TaskStream], quantum: int) -> ContextSwitchReport:
+        """Interleave the tasks' streams, ``quantum`` references at a time."""
+        cursors = [iter(task.references) for task in tasks]
+        live = [True] * len(tasks)
+        while any(live):
+            for position, task in enumerate(tasks):
+                if not live[position]:
+                    continue
+                consumed = 0
+                for line_index, is_write in cursors[position]:
+                    self._reference(task.xom_id, line_index, is_write)
+                    consumed += 1
+                    if consumed >= quantum:
+                        break
+                if consumed < quantum:
+                    live[position] = False
+                if any(live):
+                    self._switch_out(task.xom_id)
+        return self.report

@@ -1,0 +1,115 @@
+"""Memory-encryption engine base: latency parameters, stats, baseline.
+
+An *engine* owns everything below L2: it talks to the bus/DRAM, performs
+whatever cryptography its security model requires, and reports how many
+cycles each read exposed on the critical path.  Three implementations:
+
+* :class:`BaselineEngine` (here) — the insecure processor: lines cross the
+  bus in plaintext, a read costs exactly the memory latency.
+* :class:`~repro.secure.xom_engine.XOMEngine` — direct encryption on the
+  memory path: every read costs ``memory + crypto`` (paper §2.2/Figure 2).
+* :class:`~repro.secure.otp_engine.OTPEngine` — the paper's contribution:
+  pad generation overlaps the DRAM access (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memory.bus import MemoryBus, TransactionKind
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """The cycle costs the paper composes (§3.2, §5).
+
+    ``memory`` is a full DRAM round trip (100 in the paper); ``crypto`` is
+    one fully-pipelined line encryption/decryption (50 for the DES ASIC
+    assumption, 102 for the Figure 10 stronger-cipher variant); ``xor`` is
+    the single pad-application cycle.
+    """
+
+    memory: int = 100
+    crypto: int = 50
+    xor: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.memory, self.crypto, self.xor) < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    # The four read-path costs of the design space.  Keeping the formulas
+    # here, named, means the functional engines and the trace-driven timing
+    # model can not drift apart.
+
+    @property
+    def baseline_read(self) -> int:
+        """Insecure read: just the memory."""
+        return self.memory
+
+    @property
+    def serial_read(self) -> int:
+        """XOM read: decrypt after fetch (also: OTP no-repl fallback)."""
+        return self.memory + self.crypto
+
+    @property
+    def overlapped_read(self) -> int:
+        """OTP read with the seed on chip: MAX(memory, crypto) + 1 (§3.2)."""
+        return max(self.memory, self.crypto) + self.xor
+
+    @property
+    def seqnum_miss_read(self) -> int:
+        """OTP read with an SNC query miss (LRU): fetch + decrypt the spilled
+        sequence number (memory + crypto, "150 cycles before the seed
+        encryption can start", §4.2), then one more crypto for pad
+        generation — the line fetch itself, issued in parallel, is already
+        complete by then — plus the XOR."""
+        return self.memory + self.crypto + self.crypto + self.xor
+
+
+@dataclass
+class EngineStats:
+    """Read/write event counts with their exposed critical-path cycles."""
+
+    instruction_reads: int = 0
+    data_reads: int = 0
+    plaintext_reads: int = 0
+    writes: int = 0
+    overlapped_reads: int = 0  # OTP fast path
+    serial_reads: int = 0  # XOM path or direct-encryption fallback
+    seqnum_miss_reads: int = 0  # LRU query misses
+    seq_overflows: int = 0
+    critical_cycles: int = 0
+
+    def charge(self, cycles: int) -> int:
+        self.critical_cycles += cycles
+        return cycles
+
+
+class BaselineEngine:
+    """The insecure processor: plaintext on the bus, memory latency only."""
+
+    def __init__(self, dram: DRAM, bus: MemoryBus | None = None,
+                 latencies: LatencyParams | None = None):
+        self.dram = dram
+        self.bus = bus or MemoryBus()
+        self.latencies = latencies or LatencyParams(memory=dram.latency)
+        self.stats = EngineStats()
+
+    def read_line(self, line_addr: int, kind: LineKind) -> tuple[bytes, int]:
+        data = self.dram.read_line(line_addr)
+        if kind is LineKind.INSTRUCTION:
+            self.stats.instruction_reads += 1
+            self.bus.record(TransactionKind.INSTRUCTION_READ, line_addr, data)
+        else:
+            self.stats.data_reads += 1
+            self.bus.record(TransactionKind.DATA_READ, line_addr, data)
+        return data, self.stats.charge(self.latencies.baseline_read)
+
+    def write_line(self, line_addr: int, plaintext: bytes) -> int:
+        self.stats.writes += 1
+        self.bus.record(TransactionKind.DATA_WRITE, line_addr, plaintext)
+        self.dram.write_line(line_addr, plaintext)
+        return 0

@@ -1,0 +1,211 @@
+"""Memory integrity verification — the piece the paper defers (§2.2).
+
+The paper handles *privacy* and points at Gassend et al. (HPCA 2003) for
+*integrity*; XOM's threat model names three active attacks:
+
+* **spoofing** — the adversary fabricates a line;
+* **splicing** — the adversary moves a valid ciphertext line to another
+  address;
+* **replay** — the adversary restores a stale (line, MAC) pair it recorded
+  earlier.
+
+Two providers, both pluggable into either engine via the ``integrity``
+constructor argument:
+
+* :class:`MACIntegrity` — a per-line keyed MAC bound to the line address.
+  Catches spoofing and splicing; **intentionally defeated by replay**
+  (the MAC travels with the line, so old-pair restoration verifies), which
+  the attack tests demonstrate.
+* :class:`HashTreeIntegrity` — a Merkle tree over the protected range with
+  the root register inside the security boundary.  Catches all three.  A
+  trusted on-chip node cache cuts verification work, modelling Gassend's
+  cached-hash-tree optimisation; its effect is an ablation benchmark.
+
+Both store their metadata in *untrusted* locations on purpose — attack code
+must be able to tamper with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.mac import constant_time_equal, hmac_sha256
+from repro.crypto.sha import sha256
+from repro.errors import ConfigurationError, ReplayDetected, TamperDetected
+from repro.utils.intmath import is_power_of_two, log2_exact
+
+
+@dataclass
+class IntegrityStats:
+    verifications: int = 0
+    updates: int = 0
+    hashes_computed: int = 0
+    node_cache_hits: int = 0
+    failures: int = 0
+
+
+class MACIntegrity:
+    """Per-line HMAC bound to the line's address.
+
+    The tag table lives in untrusted memory (modelled as a plain dict the
+    adversary may freely rewrite via :attr:`tag_table`).
+    """
+
+    def __init__(self, key: bytes, tag_bytes: int = 16):
+        if not 4 <= tag_bytes <= 32:
+            raise ConfigurationError("tag length must be 4..32 bytes")
+        self._key = key
+        self.tag_bytes = tag_bytes
+        #: address -> tag; untrusted, exposed for adversary manipulation.
+        self.tag_table: dict[int, bytes] = {}
+        self.stats = IntegrityStats()
+
+    def covers(self, line_addr: int) -> bool:
+        """MAC protection is on-demand: any line may carry a tag."""
+        return True
+
+    def _tag(self, line_addr: int, ciphertext: bytes) -> bytes:
+        message = line_addr.to_bytes(8, "big") + ciphertext
+        return hmac_sha256(self._key, message)[: self.tag_bytes]
+
+    def record_line(self, line_addr: int, ciphertext: bytes) -> None:
+        self.stats.updates += 1
+        self.tag_table[line_addr] = self._tag(line_addr, ciphertext)
+
+    def verify_line(self, line_addr: int, ciphertext: bytes) -> None:
+        self.stats.verifications += 1
+        stored = self.tag_table.get(line_addr)
+        if stored is None:
+            return  # line never written under this provider (vendor image)
+        if not constant_time_equal(stored, self._tag(line_addr, ciphertext)):
+            self.stats.failures += 1
+            raise TamperDetected(
+                f"MAC mismatch on line {line_addr:#x}: spoofed or spliced"
+            )
+
+
+class HashTreeIntegrity:
+    """A Merkle tree over a line-granular protected region.
+
+    The root digest lives "on chip" (a private attribute attack code cannot
+    plausibly deny knowing about, but the threat model only grants the
+    adversary the *node store*, exposed via :attr:`node_store`).
+    """
+
+    def __init__(self, base_addr: int, n_lines: int, line_bytes: int = 128,
+                 node_cache_entries: int = 0):
+        if not is_power_of_two(n_lines):
+            raise ConfigurationError("hash tree needs a power-of-two leaves")
+        if base_addr % line_bytes:
+            raise ConfigurationError("protected base must be line-aligned")
+        self.base_addr = base_addr
+        self.n_lines = n_lines
+        self.line_bytes = line_bytes
+        self.depth = log2_exact(n_lines)
+        #: (level, index) -> digest; level 0 = leaves.  Untrusted.
+        self.node_store: dict[tuple[int, int], bytes] = {}
+        self._root = self._empty_digest(self.depth)
+        self.stats = IntegrityStats()
+        self._node_cache_entries = node_cache_entries
+        self._node_cache: dict[tuple[int, int], bytes] = {}
+
+    # -- construction helpers -------------------------------------------------
+
+    def _empty_digest(self, level: int) -> bytes:
+        """Digest of an all-absent subtree at ``level`` (memoized ladder)."""
+        digest = sha256(b"repro-hashtree-empty-leaf")
+        for _ in range(level):
+            digest = sha256(digest + digest)
+        return digest
+
+    def _leaf_digest(self, line_addr: int, ciphertext: bytes) -> bytes:
+        self.stats.hashes_computed += 1
+        return sha256(line_addr.to_bytes(8, "big") + ciphertext)
+
+    def _node(self, level: int, index: int) -> bytes:
+        return self.node_store.get((level, index), self._empty_digest(level))
+
+    def covers(self, line_addr: int) -> bool:
+        """Whether the line falls inside the protected region.
+
+        Every covered line must be recorded when the program image is
+        installed; a covered-but-unrecorded line fails verification by
+        design (its leaf digest cannot match the empty-subtree ladder)."""
+        end = self.base_addr + self.n_lines * self.line_bytes
+        return self.base_addr <= line_addr < end
+
+    def _leaf_index(self, line_addr: int) -> int:
+        index = (line_addr - self.base_addr) // self.line_bytes
+        if not 0 <= index < self.n_lines:
+            raise ConfigurationError(
+                f"line {line_addr:#x} outside the protected region"
+            )
+        return index
+
+    # -- trusted node cache (the Gassend optimisation) ------------------------
+
+    def _cache_lookup(self, level: int, index: int) -> bytes | None:
+        digest = self._node_cache.get((level, index))
+        if digest is not None:
+            self.stats.node_cache_hits += 1
+        return digest
+
+    def _cache_store(self, level: int, index: int, digest: bytes) -> None:
+        if self._node_cache_entries <= 0:
+            return
+        if len(self._node_cache) >= self._node_cache_entries:
+            self._node_cache.pop(next(iter(self._node_cache)))
+        self._node_cache[(level, index)] = digest
+
+    # -- the provider interface -----------------------------------------------
+
+    def record_line(self, line_addr: int, ciphertext: bytes) -> None:
+        """Update the leaf and every ancestor up to the on-chip root."""
+        self.stats.updates += 1
+        index = self._leaf_index(line_addr)
+        digest = self._leaf_digest(line_addr, ciphertext)
+        self.node_store[(0, index)] = digest
+        self._cache_store(0, index, digest)
+        for level in range(self.depth):
+            sibling = self._node(level, index ^ 1)
+            left, right = (
+                (digest, sibling) if index % 2 == 0 else (sibling, digest)
+            )
+            digest = sha256(left + right)
+            self.stats.hashes_computed += 1
+            index //= 2
+            self.node_store[(level + 1, index)] = digest
+            self._cache_store(level + 1, index, digest)
+        self._root = digest
+
+    def verify_line(self, line_addr: int, ciphertext: bytes) -> None:
+        """Recompute the path to the root (or to a trusted cached node)."""
+        self.stats.verifications += 1
+        index = self._leaf_index(line_addr)
+        digest = self._leaf_digest(line_addr, ciphertext)
+        for level in range(self.depth):
+            trusted = self._cache_lookup(level, index)
+            if trusted is not None:
+                if constant_time_equal(trusted, digest):
+                    return  # verified against a trusted on-chip ancestor
+                self._fail(line_addr)
+            sibling = self._node(level, index ^ 1)
+            left, right = (
+                (digest, sibling) if index % 2 == 0 else (sibling, digest)
+            )
+            digest = sha256(left + right)
+            self.stats.hashes_computed += 1
+            index //= 2
+        if not constant_time_equal(digest, self._root):
+            self._fail(line_addr, replay=True)
+
+    def _fail(self, line_addr: int, replay: bool = False) -> None:
+        self.stats.failures += 1
+        if replay:
+            raise ReplayDetected(
+                f"hash-tree root mismatch verifying line {line_addr:#x} — "
+                "stale or tampered memory"
+            )
+        raise TamperDetected(
+            f"hash-tree node mismatch verifying line {line_addr:#x}"
+        )

@@ -1,0 +1,284 @@
+"""The one-time-pad memory encryption engine — the paper's contribution.
+
+Read path (L2 read miss, §4.2):
+
+* **SNC query hit** — the seed is on chip, pad generation overlaps the DRAM
+  access: ``MAX(memory, crypto) + 1`` cycles.
+* **SNC query miss, LRU** — the spilled sequence number is fetched from the
+  encrypted in-memory table and decrypted (memory + crypto) before pad
+  generation can start: the most expensive operation (Algorithm 1, lines
+  1-12).
+* **SNC query miss, no-replacement** — the line was encrypted directly when
+  it went out, so it takes the XOM serial path coming back.
+* **Instruction lines** — seed is the virtual address (§3.4.1), always
+  overlapped, never in the SNC.
+* **Plaintext regions** (§4.3) — shared libraries and program inputs cross
+  the bus in the clear at plain memory latency.
+
+Write path (L2 dirty eviction): bump the line's sequence number, build the
+pad with the *new* seed, XOR, send — all in the write buffer, off the
+critical path.  An update miss costs an extra seqnum-table round trip
+(traffic, not stall).
+
+The sequence-number table in untrusted memory stores, per line, the block
+``E_K(line_index || seq)`` — encrypted *directly*, not with a pad ("it is
+not preferred that the sequence numbers are encrypted using one-time pad
+again since they themselves would need sequence numbers", §4.1).  Binding
+the line index into the plaintext makes a spliced table entry detectable on
+decrypt, which the attack tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.modes import ecb_decrypt, ecb_encrypt, otp_transform
+from repro.errors import ConfigurationError, TamperDetected
+from repro.memory.bus import MemoryBus, TransactionKind
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.engine import EngineStats, LatencyParams
+from repro.secure.regions import RegionMap
+from repro.secure.seeds import SeedScheme
+from repro.secure.snc import SequenceNumberCache, SNCPolicy
+
+#: Default base of the sequence-number spill table: far above any program
+#: segment, still inside the sparse DRAM model's address space.
+SEQNUM_TABLE_BASE = 1 << 44
+
+
+class OTPEngine:
+    """One-time-pad line encryption with a Sequence Number Cache."""
+
+    def __init__(self, dram: DRAM, cipher: BlockCipher,
+                 snc: SequenceNumberCache | None = None,
+                 seed_scheme: SeedScheme | None = None,
+                 bus: MemoryBus | None = None,
+                 latencies: LatencyParams | None = None,
+                 regions: RegionMap | None = None,
+                 integrity=None,
+                 table_base: int = SEQNUM_TABLE_BASE,
+                 xom_id: int = 0):
+        self.dram = dram
+        self.cipher = cipher
+        # Explicit None checks: these objects define __len__, so an empty
+        # (but caller-owned) instance is falsy and `or` would discard it.
+        self.snc = snc if snc is not None else SequenceNumberCache()
+        self.seed_scheme = seed_scheme or SeedScheme(
+            line_bytes=dram.line_bytes, block_bytes=cipher.block_size
+        )
+        if self.seed_scheme.line_bytes != dram.line_bytes:
+            raise ConfigurationError(
+                "seed scheme line size disagrees with DRAM line size"
+            )
+        self.bus = bus or MemoryBus()
+        self.latencies = latencies or LatencyParams(memory=dram.latency)
+        self.regions = regions if regions is not None else RegionMap()
+        self.integrity = integrity
+        self.table_base = table_base
+        self.xom_id = xom_id
+        self.stats = EngineStats()
+        # Lines that fell back to direct encryption (no-replacement policy).
+        # Conceptually a metadata bit travelling with the line; kept here as
+        # engine state because untrusted memory cannot be trusted to keep it.
+        self._direct_lines: set[int] = set()
+        # Highest sequence number ever issued per line under no-replacement,
+        # so a line re-admitted after a flush can never reuse a pad.  (LRU
+        # recovers this from the spill table; no-replacement has no table.)
+        self._fallback_seq: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ reads
+
+    def read_line(self, line_addr: int, kind: LineKind) -> tuple[bytes, int]:
+        raw = self.dram.read_line(line_addr)
+        transaction = (
+            TransactionKind.INSTRUCTION_READ
+            if kind is LineKind.INSTRUCTION
+            else TransactionKind.DATA_READ
+        )
+        self.bus.record(transaction, line_addr, raw)
+        if kind is LineKind.INSTRUCTION:
+            self.stats.instruction_reads += 1
+        else:
+            self.stats.data_reads += 1
+
+        if self.regions.is_plaintext(line_addr):
+            self.stats.plaintext_reads += 1
+            return raw, self.stats.charge(self.latencies.baseline_read)
+        if self.integrity is not None and self.integrity.covers(line_addr):
+            self.integrity.verify_line(line_addr, raw)
+
+        if kind is LineKind.INSTRUCTION:
+            seed = self.seed_scheme.instruction_seed(line_addr)
+            self.stats.overlapped_reads += 1
+            return (
+                otp_transform(self.cipher, seed, raw),
+                self.stats.charge(self.latencies.overlapped_read),
+            )
+
+        line_index = self.seed_scheme.line_index(line_addr)
+        seq = self.snc.query(line_index, self.xom_id)
+        if seq is not None:
+            seed = self.seed_scheme.data_seed(line_addr, seq)
+            self.stats.overlapped_reads += 1
+            return (
+                otp_transform(self.cipher, seed, raw),
+                self.stats.charge(self.latencies.overlapped_read),
+            )
+        if self.snc.config.policy is SNCPolicy.NO_REPLACEMENT:
+            return self._read_no_replacement_miss(line_addr, line_index, raw)
+        return self._read_lru_query_miss(line_addr, line_index, raw)
+
+    def _read_no_replacement_miss(self, line_addr: int, line_index: int,
+                                  raw: bytes) -> tuple[bytes, int]:
+        """§4.2: under no-replacement, a query miss means the line was
+        encrypted directly — or is untouched vendor image (version 0)."""
+        if line_index in self._direct_lines:
+            self.stats.serial_reads += 1
+            return (
+                ecb_decrypt(self.cipher, raw),
+                self.stats.charge(self.latencies.serial_read),
+            )
+        seed = self.seed_scheme.data_seed(line_addr, 0)
+        self.stats.overlapped_reads += 1
+        return (
+            otp_transform(self.cipher, seed, raw),
+            self.stats.charge(self.latencies.overlapped_read),
+        )
+
+    def _read_lru_query_miss(self, line_addr: int, line_index: int,
+                             raw: bytes) -> tuple[bytes, int]:
+        """Algorithm 1, query-miss arm: fetch + decrypt the spilled number,
+        install it (spilling a victim), then decrypt the line."""
+        seq = self._fetch_table_entry(line_index)
+        victim = self.snc.insert(line_index, seq, self.xom_id)
+        if victim is not None:
+            self._spill_table_entry(victim.line_index, victim.seq)
+        seed = self.seed_scheme.data_seed(line_addr, seq)
+        self.stats.seqnum_miss_reads += 1
+        return (
+            otp_transform(self.cipher, seed, raw),
+            self.stats.charge(self.latencies.seqnum_miss_read),
+        )
+
+    # ----------------------------------------------------------------- writes
+
+    def write_line(self, line_addr: int, plaintext: bytes) -> int:
+        self.stats.writes += 1
+        if self.regions.is_plaintext(line_addr):
+            self.bus.record(TransactionKind.DATA_WRITE, line_addr, plaintext)
+            self.dram.write_line(line_addr, plaintext)
+            return 0
+
+        line_index = self.seed_scheme.line_index(line_addr)
+        seq = self.snc.update(line_index, self.xom_id)
+        if seq is None:
+            seq = self._handle_update_miss(line_index)
+        if seq is None:
+            # No-replacement SNC is full: XOM-style direct encryption.
+            self._direct_lines.add(line_index)
+            self.snc.note_rejection()
+            ciphertext = ecb_encrypt(self.cipher, plaintext)
+        else:
+            seq = self._wrap_seq(line_index, seq)
+            self._direct_lines.discard(line_index)
+            seed = self.seed_scheme.data_seed(line_addr, seq)
+            ciphertext = otp_transform(self.cipher, seed, plaintext)
+        if self.integrity is not None and self.integrity.covers(line_addr):
+            self.integrity.record_line(line_addr, ciphertext)
+        self.bus.record(TransactionKind.DATA_WRITE, line_addr, ciphertext)
+        self.dram.write_line(line_addr, ciphertext)
+        return 0  # encryption happens in the write buffer, off critical path
+
+    def _handle_update_miss(self, line_index: int) -> int | None:
+        """Returns the new (bumped) sequence number, or None if the line
+        must fall back to direct encryption."""
+        if self.snc.config.policy is SNCPolicy.LRU:
+            # Algorithm 1, update-miss arm: fetch, increment, install.
+            seq = self._fetch_table_entry(line_index) + 1
+            victim = self.snc.insert(line_index, seq, self.xom_id)
+            if victim is not None:
+                self._spill_table_entry(victim.line_index, victim.seq)
+            return seq
+        if not self.snc.can_insert(line_index):
+            return None
+        seq = self._fallback_seq.get(line_index, 0) + 1
+        self._fallback_seq[line_index] = seq
+        self.snc.insert(line_index, seq, self.xom_id)
+        return seq
+
+    def _wrap_seq(self, line_index: int, seq: int) -> int:
+        """A sequence number overflowing its field would force a re-keying
+        epoch in real hardware; we count the event and wrap (documented
+        simulation concession — none of the shipped experiments overflow)."""
+        if seq > self.seed_scheme.max_seq:
+            self.stats.seq_overflows += 1
+            seq &= self.seed_scheme.max_seq
+            self.snc.set_seq(line_index, seq, self.xom_id)
+        return seq
+
+    # ----------------------------------------- sequence-number table plumbing
+
+    def _table_addr(self, line_index: int) -> int:
+        return self.table_base + line_index * self.cipher.block_size
+
+    def _table_tweak(self) -> int:
+        """Domain separation between table-entry encryption and pad
+        generation: table plaintexts carry a high tweak bit that no pad
+        counter can reach (pad seeds top out at line-index bit 61), so the
+        two uses of the cipher can never process the same block."""
+        return 1 << (8 * self.cipher.block_size - 2)
+
+    def _spill_table_entry(self, line_index: int, seq: int) -> None:
+        """Encrypt-and-store one evicted sequence number (bus traffic)."""
+        plaintext_block = (
+            self._table_tweak()
+            | (line_index << self.seed_scheme.seq_bits)
+            | seq
+        ).to_bytes(self.cipher.block_size, "big")
+        ciphertext = self.cipher.encrypt_block(plaintext_block)
+        addr = self._table_addr(line_index)
+        self.bus.record(TransactionKind.SEQNUM_WRITE, addr, ciphertext)
+        self.dram.poke(addr, ciphertext)
+
+    def _fetch_table_entry(self, line_index: int) -> int:
+        """Fetch-and-decrypt one spilled sequence number (bus traffic).
+
+        Lines never spilled read back as version 0 — the vendor-image
+        encryption — via an all-zero table slot sentinel."""
+        addr = self._table_addr(line_index)
+        raw = self.dram.peek(addr, self.cipher.block_size)
+        self.bus.record(TransactionKind.SEQNUM_READ, addr, raw)
+        if raw == bytes(self.cipher.block_size):
+            return 0
+        block = self.cipher.decrypt_block(raw)
+        value = int.from_bytes(block, "big")
+        if not value & self._table_tweak():
+            raise TamperDetected(
+                f"sequence-number table entry for line {line_index:#x} "
+                "lacks the table domain tag — forged table entry?"
+            )
+        value &= ~self._table_tweak()
+        seq = value & self.seed_scheme.max_seq
+        stored_index = value >> self.seed_scheme.seq_bits
+        if stored_index != line_index:
+            raise TamperDetected(
+                f"sequence-number table entry for line {line_index:#x} "
+                f"decrypts to line {stored_index:#x} — spliced table?"
+            )
+        return seq
+
+    # -------------------------------------------------- context switch (§4.3)
+
+    def flush_snc(self) -> int:
+        """Strategy 1: encrypt-and-spill the whole SNC (context switch out).
+
+        Returns the number of entries spilled (each one is a memory write).
+        Only meaningful under LRU — no-replacement has no spill table."""
+        if self.snc.config.policy is not SNCPolicy.LRU:
+            raise ConfigurationError(
+                "flush_snc requires the LRU (spilling) policy"
+            )
+        spilled = self.snc.flush()
+        for entry in spilled:
+            self._spill_table_entry(entry.line_index, entry.seq)
+        return len(spilled)

@@ -1,0 +1,210 @@
+"""The assembled secure processor: CPU + hierarchy + engine + keys.
+
+:class:`SecureProcessor` is the top-level object a user of this library
+instantiates.  It owns the die-private RSA key and builds, per program, the
+entire protected execution environment:
+
+1. unwrap the vendor's symmetric key (fails on the wrong processor — the
+   anti-piracy property);
+2. stand up DRAM, bus, and the configured engine (baseline / XOM / OTP);
+3. let the untrusted loader place the ciphertext image in memory;
+4. run the program inside a fresh XOM compartment, with every off-chip
+   transfer going through the engine.
+
+The returned :class:`RunReport` carries the program output, approximate
+cycles, and every layer's statistics, which the examples print.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine, MachineResult
+from repro.cpu.registers import ZeroGuard
+from repro.errors import ConfigurationError
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.secure.compartment import CompartmentManager, TaggedRegisterFile
+from repro.secure.engine import BaselineEngine, LatencyParams
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.software import (
+    ProtectionScheme,
+    SecureProgram,
+    install_image,
+    unwrap_program_key,
+)
+from repro.secure.xom_engine import XOMEngine
+from repro.crypto.rsa import RSAKeyPair
+
+
+class EngineKind(enum.Enum):
+    """Which memory-protection scheme the processor applies."""
+
+    BASELINE = "baseline"  # insecure: plaintext on the bus
+    XOM = "xom"  # direct encryption, serial crypto (§2.2)
+    OTP = "otp"  # one-time pad + SNC (the paper)
+
+
+@dataclass
+class RunReport:
+    """Everything a finished protected run exposes."""
+
+    result: MachineResult
+    engine_kind: EngineKind
+    bus: MemoryBus
+    engine: object
+    hierarchy: MemoryHierarchy
+
+    @property
+    def output(self) -> str:
+        return self.result.output
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+class SecureProcessor:
+    """A processor die: private key burned in, engines configurable."""
+
+    def __init__(self, key_seed: str = "default-processor",
+                 engine_kind: EngineKind = EngineKind.OTP,
+                 latencies: LatencyParams | None = None,
+                 snc_config: SNCConfig | None = None,
+                 l1i_config: CacheConfig | None = None,
+                 l1d_config: CacheConfig | None = None,
+                 l2_config: CacheConfig | None = None,
+                 integrity_factory=None,
+                 key_bits: int = 512):
+        self.keypair = RSAKeyPair.generate(bits=key_bits, seed=key_seed)
+        self.engine_kind = engine_kind
+        self.latencies = latencies or LatencyParams()
+        self.snc_config = snc_config or SNCConfig()
+        self.l1i_config = l1i_config
+        self.l1d_config = l1d_config
+        self.l2_config = l2_config
+        self.integrity_factory = integrity_factory
+        self.compartments = CompartmentManager()
+
+    @property
+    def public_key(self):
+        """What the vendor uses to target this processor."""
+        return self.keypair.public
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, program: SecureProgram, max_steps: int = 1_000_000,
+            input_values: list[int] | None = None) -> RunReport:
+        """Install and execute a protected program end to end."""
+        self._check_scheme(program)
+        key = unwrap_program_key(program, self.keypair.private)
+        cipher = key.new_cipher()
+        if program.line_bytes != 128 and self.l2_config is None:
+            raise ConfigurationError(
+                "non-default image line size requires an explicit L2 config"
+            )
+
+        dram = DRAM(line_bytes=program.line_bytes,
+                    latency=self.latencies.memory)
+        bus = MemoryBus()
+        regions = program.plaintext_regions()
+        integrity = (
+            self.integrity_factory() if self.integrity_factory else None
+        )
+        engine = self._build_engine(dram, cipher, bus, regions, integrity)
+        install_image(program, dram, integrity=integrity)
+
+        hierarchy = self._build_hierarchy(engine)
+        compartment = self.compartments.create(cipher)
+        registers = ZeroGuard(TaggedRegisterFile(self.compartments))
+        machine = Machine(
+            hierarchy,
+            entry_point=program.entry_point,
+            registers=registers,
+            on_xom_enter=lambda: self.compartments.enter(compartment.xom_id),
+            on_xom_exit=self.compartments.exit,
+        )
+        if input_values:
+            machine.input_queue.extend(input_values)
+
+        self.compartments.enter(compartment.xom_id)
+        try:
+            result = machine.run(max_steps=max_steps)
+        finally:
+            hierarchy.flush()
+            self.compartments.exit()
+        return RunReport(
+            result=result,
+            engine_kind=self.engine_kind,
+            bus=bus,
+            engine=engine,
+            hierarchy=hierarchy,
+        )
+
+    def run_plain(self, program, max_steps: int = 1_000_000,
+                  input_values: list[int] | None = None) -> RunReport:
+        """Run an *unprotected* :class:`PlainProgram` on the baseline path.
+
+        The reference point for every comparison: same CPU, same caches,
+        no crypto, plaintext on the bus."""
+        dram = DRAM(line_bytes=128, latency=self.latencies.memory)
+        bus = MemoryBus()
+        engine = BaselineEngine(dram, bus, latencies=self.latencies)
+        for segment in program.segments:
+            dram.poke(segment.base, segment.data)
+        hierarchy = self._build_hierarchy(engine)
+        machine = Machine(hierarchy, entry_point=program.entry_point)
+        if input_values:
+            machine.input_queue.extend(input_values)
+        result = machine.run(max_steps=max_steps)
+        hierarchy.flush()
+        return RunReport(
+            result=result,
+            engine_kind=EngineKind.BASELINE,
+            bus=bus,
+            engine=engine,
+            hierarchy=hierarchy,
+        )
+
+    def _build_hierarchy(self, engine) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            engine,
+            l1i_config=self.l1i_config,
+            l1d_config=self.l1d_config,
+            l2_config=self.l2_config,
+        )
+
+    def _check_scheme(self, program: SecureProgram) -> None:
+        expected = {
+            EngineKind.XOM: ProtectionScheme.DIRECT,
+            EngineKind.OTP: ProtectionScheme.OTP,
+        }.get(self.engine_kind)
+        if expected is None:
+            raise ConfigurationError(
+                "the baseline processor runs unprotected programs only — "
+                "use run_plain()"
+            )
+        if program.scheme is not expected:
+            raise ConfigurationError(
+                f"program packaged for the {program.scheme.value} scheme "
+                f"cannot run on a {self.engine_kind.value} processor"
+            )
+
+    def _build_engine(self, dram, cipher, bus, regions, integrity):
+        if self.engine_kind is EngineKind.BASELINE:
+            return BaselineEngine(dram, bus, latencies=self.latencies)
+        if self.engine_kind is EngineKind.XOM:
+            return XOMEngine(
+                dram, cipher, bus=bus, latencies=self.latencies,
+                regions=regions, integrity=integrity,
+            )
+        return OTPEngine(
+            dram, cipher,
+            snc=SequenceNumberCache(self.snc_config),
+            bus=bus, latencies=self.latencies, regions=regions,
+            integrity=integrity,
+        )

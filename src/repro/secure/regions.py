@@ -1,0 +1,64 @@
+"""Address-space region attributes for the secure engines.
+
+§4.3 of the paper: shared library code and program inputs arrive in
+plaintext and are *not* one-time-pad protected (they are meant for multiple
+users / come from I/O), so their lines bypass the crypto path and need no
+SNC entries.  The engines consult a :class:`RegionMap` to decide.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open address interval ``[start, end)``."""
+
+    start: int
+    end: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"bad region bounds [{self.start:#x}, {self.end:#x})"
+            )
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class RegionMap:
+    """A set of non-overlapping plaintext regions with O(log n) lookup."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._regions: list[Region] = []
+
+    def add(self, region: Region) -> None:
+        position = bisect_right(self._starts, region.start)
+        before = self._regions[position - 1] if position > 0 else None
+        after = self._regions[position] if position < len(self._regions) else None
+        if before is not None and before.end > region.start:
+            raise ConfigurationError(
+                f"region {region} overlaps {before}"
+            )
+        if after is not None and region.end > after.start:
+            raise ConfigurationError(
+                f"region {region} overlaps {after}"
+            )
+        self._starts.insert(position, region.start)
+        self._regions.insert(position, region)
+
+    def is_plaintext(self, addr: int) -> bool:
+        position = bisect_right(self._starts, addr)
+        if position == 0:
+            return False
+        return addr in self._regions[position - 1]
+
+    def __len__(self) -> int:
+        return len(self._regions)

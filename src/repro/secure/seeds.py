@@ -1,0 +1,88 @@
+"""Seed construction for one-time-pad encryption (paper §3.4).
+
+A pad block must never repeat for two different plaintexts, so the seed must
+be unique per **(line, version, chunk)**:
+
+* *line* — the line's **virtual** address (physical addresses can change
+  across context switches, §4); neighbouring lines get unrelated pads
+  because the seed feeds a block cipher.
+* *version* — the per-line **sequence number**, bumped on every writeback,
+  so rewriting the same location never reuses a pad (the §3.4
+  "disadvantage" fix).  Instructions are never written back, so their
+  version is permanently 0 (§3.4.1) — which also makes the vendor's
+  encryption of initialized data (version 0) decrypt correctly on first
+  touch.
+* *chunk* — the index of the cipher block within the line; the pad
+  generator encrypts ``seed + j`` for chunk *j* (Algorithm 1), so chunk
+  bits occupy the seed's low bits and must not carry into the version
+  field.
+
+Layout (for a 64-bit DES seed, the paper's configuration)::
+
+    63                         20        4      0
+    +--------------------------+---------+------+
+    |       line index         | seqnum  | chunk|
+    +--------------------------+---------+------+
+
+With 128-byte lines a 48-bit VA leaves a 41-bit line index; 41 + 16 + 4
+= 61 bits fits the 64-bit block.  AES's 128-bit blocks are roomier still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.intmath import log2_exact
+
+
+@dataclass(frozen=True)
+class SeedScheme:
+    """Computes pad seeds from (virtual line address, sequence number)."""
+
+    line_bytes: int = 128
+    block_bytes: int = 8
+    seq_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.line_bytes % self.block_bytes:
+            raise ConfigurationError(
+                f"line size {self.line_bytes} must be a multiple of the "
+                f"cipher block size {self.block_bytes}"
+            )
+        log2_exact(self.line_bytes)  # validates power of two
+        log2_exact(self.block_bytes)
+        if self.seq_bits <= 0:
+            raise ConfigurationError("seq_bits must be positive")
+
+    @property
+    def chunks_per_line(self) -> int:
+        return self.line_bytes // self.block_bytes
+
+    @property
+    def chunk_bits(self) -> int:
+        return log2_exact(self.chunks_per_line)
+
+    @property
+    def max_seq(self) -> int:
+        return (1 << self.seq_bits) - 1
+
+    def line_index(self, line_va: int) -> int:
+        if line_va % self.line_bytes:
+            raise ConfigurationError(
+                f"address {line_va:#x} is not line-aligned"
+            )
+        return line_va // self.line_bytes
+
+    def data_seed(self, line_va: int, seq: int) -> int:
+        """Seed for chunk 0 of a data line at version ``seq``."""
+        if not 0 <= seq <= self.max_seq:
+            raise ConfigurationError(
+                f"sequence number {seq} outside {self.seq_bits}-bit range"
+            )
+        index = self.line_index(line_va)
+        return ((index << self.seq_bits) | seq) << self.chunk_bits
+
+    def instruction_seed(self, line_va: int) -> int:
+        """Seed for an instruction line: the vendor's VA-derived constant."""
+        return self.data_seed(line_va, 0)

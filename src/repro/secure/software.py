@@ -1,0 +1,187 @@
+"""Vendor-side software packaging and processor-side installation (§2.1).
+
+The distribution protocol the paper describes:
+
+1. the vendor picks a fast symmetric key ``Ks`` and encrypts the program
+   with it — code with virtual-address seeds (§3.4.1), initialized data
+   with version-0 seeds, declared *plaintext* segments (shared libraries,
+   inputs, §4.3) not at all;
+2. the vendor wraps ``Ks`` under the target processor's public key and
+   ships ``(wrapped key, ciphertext image)``;
+3. the processor unwraps ``Ks`` with its die-private key **once** at
+   program start (slow, asymmetric), then uses ``Ks`` per line (fast).
+
+Software encrypted for processor A will not run on processor B — B's
+private key unwraps garbage and the key-wrap padding check fails.  That is
+the anti-piracy property, and it is a test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import CipherSuite, SymmetricKey
+from repro.crypto.modes import ecb_encrypt, otp_transform
+from repro.crypto.prng import HashDRBG
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, unwrap_key, wrap_key
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAM
+from repro.secure.regions import Region, RegionMap
+from repro.secure.seeds import SeedScheme
+
+
+class SegmentKind(enum.Enum):
+    """How a segment is protected in memory."""
+
+    CODE = "code"  # OTP, virtual-address seeds, read-only
+    DATA = "data"  # OTP, version-0 seeds initially, versioned on writeback
+    PLAINTEXT = "plaintext"  # shared library / input data: no protection
+
+
+class ProtectionScheme(enum.Enum):
+    """Which engine the image is encrypted for.
+
+    The vendor must target the customer's protection scheme: XOM processors
+    decrypt lines directly (ECB over the line), OTP processors XOR with
+    address-derived pads.  The two produce incompatible images."""
+
+    DIRECT = "direct"  # XOM: E_K over each cipher block of the line
+    OTP = "otp"  # the paper: line xor E_K(seed(VA, version 0))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of the program's address space."""
+
+    base: int
+    data: bytes
+    kind: SegmentKind
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ConfigurationError("segment base must be non-negative")
+        if not self.data:
+            raise ConfigurationError(f"segment {self.name!r} is empty")
+
+
+@dataclass(frozen=True)
+class PlainProgram:
+    """What comes out of the assembler/linker, before vendor encryption."""
+
+    segments: tuple[Segment, ...]
+    entry_point: int
+    name: str = "a.out"
+
+
+@dataclass(frozen=True)
+class SecureProgram:
+    """The shippable artifact: ciphertext image + wrapped key."""
+
+    name: str
+    suite: CipherSuite
+    wrapped_key: int
+    segments: tuple[Segment, ...]  # data field holds ciphertext for CODE/DATA
+    entry_point: int
+    line_bytes: int
+    scheme: ProtectionScheme = ProtectionScheme.OTP
+
+    def plaintext_regions(self) -> RegionMap:
+        regions = RegionMap()
+        for segment in self.segments:
+            if segment.kind is SegmentKind.PLAINTEXT:
+                regions.add(
+                    Region(
+                        segment.base,
+                        segment.base + len(segment.data),
+                        segment.name,
+                    )
+                )
+        return regions
+
+
+def _pad_to_lines(segment: Segment, line_bytes: int) -> tuple[int, bytes]:
+    """Align a segment to whole lines (leading/trailing zero fill)."""
+    start = segment.base - segment.base % line_bytes
+    lead = segment.base - start
+    total = lead + len(segment.data)
+    tail = (-total) % line_bytes
+    return start, b"\x00" * lead + segment.data + b"\x00" * tail
+
+
+def package_program(program: PlainProgram, processor_key: RSAPublicKey,
+                    suite: CipherSuite = CipherSuite.DES,
+                    vendor_seed: bytes | str | int = "vendor",
+                    line_bytes: int = 128,
+                    scheme: ProtectionScheme = ProtectionScheme.OTP
+                    ) -> SecureProgram:
+    """Vendor-side: encrypt a program for one specific processor."""
+    key = SymmetricKey.generate(suite, vendor_seed)
+    cipher = key.new_cipher()
+    seeds = SeedScheme(line_bytes=line_bytes, block_bytes=cipher.block_size)
+    wrapped = wrap_key(
+        processor_key, key.material,
+        HashDRBG(f"wrap:{program.name}:{vendor_seed}"),
+    )
+    out_segments = []
+    for segment in program.segments:
+        if segment.kind is SegmentKind.PLAINTEXT:
+            out_segments.append(segment)
+            continue
+        base, padded = _pad_to_lines(segment, line_bytes)
+        encrypted = bytearray()
+        for offset in range(0, len(padded), line_bytes):
+            line_va = base + offset
+            line = padded[offset : offset + line_bytes]
+            if scheme is ProtectionScheme.DIRECT:
+                encrypted.extend(ecb_encrypt(cipher, line))
+                continue
+            if segment.kind is SegmentKind.CODE:
+                seed = seeds.instruction_seed(line_va)
+            else:
+                seed = seeds.data_seed(line_va, 0)
+            encrypted.extend(otp_transform(cipher, seed, line))
+        out_segments.append(
+            Segment(base, bytes(encrypted), segment.kind, segment.name)
+        )
+    return SecureProgram(
+        name=program.name,
+        suite=suite,
+        wrapped_key=wrapped,
+        segments=tuple(out_segments),
+        entry_point=program.entry_point,
+        line_bytes=line_bytes,
+        scheme=scheme,
+    )
+
+
+def unwrap_program_key(program: SecureProgram,
+                       private_key: RSAPrivateKey) -> SymmetricKey:
+    """Processor-side: recover ``Ks`` (the slow once-per-program step).
+
+    Raises :class:`~repro.errors.KeyExchangeError` on the wrong processor —
+    the piracy case."""
+    material = unwrap_key(private_key, program.wrapped_key)
+    return SymmetricKey(program.suite, material)
+
+
+def install_image(program: SecureProgram, dram: DRAM,
+                  integrity=None) -> None:
+    """Copy the (ciphertext) image into untrusted memory.
+
+    This is what the untrusted OS loader does — it only ever handles
+    ciphertext, so it needs no trust.  If an integrity provider is given,
+    every covered line of the image is recorded (the loader initialising
+    the MAC table / hash tree)."""
+    for segment in program.segments:
+        dram.poke(segment.base, segment.data)
+        if integrity is None or segment.kind is SegmentKind.PLAINTEXT:
+            continue
+        base, padded = _pad_to_lines(segment, program.line_bytes)
+        for offset in range(0, len(padded), program.line_bytes):
+            line_addr = base + offset
+            if integrity.covers(line_addr):
+                integrity.record_line(
+                    line_addr, padded[offset : offset + program.line_bytes]
+                )

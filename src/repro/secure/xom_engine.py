@@ -1,0 +1,76 @@
+"""The XOM-style engine: direct encryption on the memory path (§2.2).
+
+This is the baseline the paper improves on.  Every line that leaves the
+chip is encrypted with the program key, block by block (ECB — "every data
+value is encrypted directly and stored in its memory location", §3.4);
+every line read back is decrypted *after* it arrives, so a read costs
+``memory + crypto`` serially — the lengthened path of Figure 2.
+
+The §3.4 "Advantage" discussion points out the consequence this repo's
+:mod:`repro.attacks.pattern` demonstrates: equal plaintext lines produce
+equal ciphertext lines, preserving memory's abundant value repetition.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.crypto.modes import ecb_decrypt, ecb_encrypt
+from repro.memory.bus import MemoryBus, TransactionKind
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.engine import EngineStats, LatencyParams
+from repro.secure.regions import RegionMap
+
+
+class XOMEngine:
+    """Decrypt-after-fetch / encrypt-before-store, per L2 line."""
+
+    def __init__(self, dram: DRAM, cipher: BlockCipher,
+                 bus: MemoryBus | None = None,
+                 latencies: LatencyParams | None = None,
+                 regions: RegionMap | None = None,
+                 integrity=None):
+        self.dram = dram
+        self.cipher = cipher
+        self.bus = bus or MemoryBus()
+        self.latencies = latencies or LatencyParams(memory=dram.latency)
+        # RegionMap defines __len__: an empty caller-owned map is falsy,
+        # so `or` would wrongly discard it.
+        self.regions = regions if regions is not None else RegionMap()
+        self.integrity = integrity
+        self.stats = EngineStats()
+
+    def read_line(self, line_addr: int, kind: LineKind) -> tuple[bytes, int]:
+        raw = self.dram.read_line(line_addr)
+        transaction = (
+            TransactionKind.INSTRUCTION_READ
+            if kind is LineKind.INSTRUCTION
+            else TransactionKind.DATA_READ
+        )
+        self.bus.record(transaction, line_addr, raw)
+        if kind is LineKind.INSTRUCTION:
+            self.stats.instruction_reads += 1
+        else:
+            self.stats.data_reads += 1
+        if self.regions.is_plaintext(line_addr):
+            self.stats.plaintext_reads += 1
+            return raw, self.stats.charge(self.latencies.baseline_read)
+        if self.integrity is not None and self.integrity.covers(line_addr):
+            self.integrity.verify_line(line_addr, raw)
+        plaintext = ecb_decrypt(self.cipher, raw)
+        self.stats.serial_reads += 1
+        return plaintext, self.stats.charge(self.latencies.serial_read)
+
+    def write_line(self, line_addr: int, plaintext: bytes) -> int:
+        self.stats.writes += 1
+        if self.regions.is_plaintext(line_addr):
+            self.bus.record(TransactionKind.DATA_WRITE, line_addr, plaintext)
+            self.dram.write_line(line_addr, plaintext)
+            return 0
+        ciphertext = ecb_encrypt(self.cipher, plaintext)
+        if self.integrity is not None and self.integrity.covers(line_addr):
+            self.integrity.record_line(line_addr, ciphertext)
+        self.bus.record(TransactionKind.DATA_WRITE, line_addr, ciphertext)
+        self.dram.write_line(line_addr, ciphertext)
+        # Encryption happens in the write buffer, off the critical path.
+        return 0

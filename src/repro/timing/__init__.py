@@ -1,0 +1,29 @@
+"""Event-count timing models for the trace-driven evaluation."""
+
+from repro.secure.engine import LatencyParams
+from repro.timing.model import (
+    SNCEventCounts,
+    SNCTimingSim,
+    TraceEvents,
+    baseline_cycles,
+    calibrate_compute_cycles,
+    normalized_time,
+    otp_cycles,
+    slowdown_pct,
+    snc_traffic_pct,
+    xom_cycles,
+)
+
+__all__ = [
+    "LatencyParams",
+    "SNCEventCounts",
+    "SNCTimingSim",
+    "TraceEvents",
+    "baseline_cycles",
+    "calibrate_compute_cycles",
+    "normalized_time",
+    "otp_cycles",
+    "slowdown_pct",
+    "snc_traffic_pct",
+    "xom_cycles",
+]

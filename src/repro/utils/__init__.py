@@ -1,0 +1,29 @@
+"""Low-level helpers shared by the crypto and simulator subsystems."""
+
+from repro.utils.bitops import (
+    bytes_to_int,
+    bytes_to_words,
+    int_to_bytes,
+    permute_bits,
+    rotl32,
+    rotl,
+    rotr32,
+    words_to_bytes,
+    xor_bytes,
+)
+from repro.utils.intmath import ceil_div, is_power_of_two, log2_exact
+
+__all__ = [
+    "bytes_to_int",
+    "bytes_to_words",
+    "int_to_bytes",
+    "permute_bits",
+    "rotl",
+    "rotl32",
+    "rotr32",
+    "words_to_bytes",
+    "xor_bytes",
+    "ceil_div",
+    "is_power_of_two",
+    "log2_exact",
+]

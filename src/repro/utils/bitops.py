@@ -1,0 +1,76 @@
+"""Bit- and byte-level primitives used by the from-scratch ciphers.
+
+These are deliberately plain functions over ``int`` and ``bytes`` — the
+ciphers in :mod:`repro.crypto` are specified in terms of bit permutations
+and word rotations, and keeping the vocabulary identical to the standards
+documents (FIPS 46-3, FIPS 197) makes the implementations auditable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_MASK32 = 0xFFFFFFFF
+
+
+def rotl(value: int, shift: int, width: int) -> int:
+    """Rotate ``value`` left by ``shift`` bits within a ``width``-bit word."""
+    shift %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << shift) | (value >> (width - shift))) & mask
+
+
+def rotl32(value: int, shift: int) -> int:
+    """Rotate a 32-bit word left."""
+    shift %= 32
+    value &= _MASK32
+    return ((value << shift) | (value >> (32 - shift))) & _MASK32
+
+
+def rotr32(value: int, shift: int) -> int:
+    """Rotate a 32-bit word right."""
+    return rotl32(value, 32 - (shift % 32))
+
+
+def permute_bits(value: int, table: Sequence[int], in_width: int) -> int:
+    """Apply a DES-style bit permutation.
+
+    ``table`` lists, for each *output* bit (MSB first), the 1-based position
+    of the *input* bit (counted from the MSB of an ``in_width``-bit word).
+    This is exactly the convention of the tables printed in FIPS 46-3, so the
+    tables in :mod:`repro.crypto.des` can be transcribed verbatim.
+    """
+    out = 0
+    for position in table:
+        out = (out << 1) | ((value >> (in_width - position)) & 1)
+    return out
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret ``data`` as a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Encode ``value`` as a big-endian byte string of exactly ``length``."""
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_words(data: bytes) -> list[int]:
+    """Split ``data`` into big-endian 32-bit words."""
+    if len(data) % 4:
+        raise ValueError("byte string length must be a multiple of 4")
+    return [int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)]
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Join 32-bit words into a big-endian byte string."""
+    return b"".join(w.to_bytes(4, "big") for w in words)

@@ -1,0 +1,20 @@
+"""Small integer-math helpers for cache geometry and address arithmetic."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer division rounding toward positive infinity."""
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ... — the only legal cache geometries."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return ``log2(n)`` for an exact power of two, else raise ValueError."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1

@@ -1,0 +1,50 @@
+"""Workload generation: pattern combinators and the 11 SPEC2000-shaped
+benchmark models driving the evaluation."""
+
+from repro.workloads.patterns import (
+    Ref,
+    Region,
+    mixture,
+    phases,
+    pointer_chase,
+    random_uniform,
+    sequential,
+    strided,
+    take,
+    zipf_lines,
+)
+from repro.workloads.spec import (
+    BENCHMARKS,
+    BY_NAME,
+    BenchmarkModel,
+    aligned_random,
+)
+from repro.workloads.tracegen import (
+    TraceProfile,
+    load_trace,
+    parse_trace,
+    profile,
+    save_trace,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BY_NAME",
+    "BenchmarkModel",
+    "Ref",
+    "Region",
+    "TraceProfile",
+    "aligned_random",
+    "load_trace",
+    "mixture",
+    "parse_trace",
+    "phases",
+    "pointer_chase",
+    "profile",
+    "random_uniform",
+    "save_trace",
+    "sequential",
+    "strided",
+    "take",
+    "zipf_lines",
+]

@@ -1,0 +1,101 @@
+"""Trace materialization: capture, save, load and characterise reference
+streams.
+
+The evaluation pipeline streams references straight from the generators,
+but materialized traces are useful for debugging workload models, sharing
+regression inputs, and driving the simulator from externally produced
+traces (the file format is a trivial text form any tool can emit).
+
+Format: one reference per line, ``R <line_index>`` or ``W <line_index>``,
+with ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import Ref
+
+
+def save_trace(refs: Iterable[Ref], path: str | Path,
+               header: str = "") -> int:
+    """Write references to a trace file; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for line_index, is_write in refs:
+            handle.write(f"{'W' if is_write else 'R'} {line_index}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> Iterator[Ref]:
+    """Stream references back from a trace file."""
+    with open(path, "r", encoding="ascii") as handle:
+        yield from parse_trace(handle)
+
+
+def parse_trace(handle: io.TextIOBase) -> Iterator[Ref]:
+    """Parse the trace format from any text stream."""
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in ("R", "W"):
+            raise ConfigurationError(
+                f"trace line {line_number}: expected 'R|W <line>', "
+                f"got {raw.strip()!r}"
+            )
+        try:
+            index = int(parts[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"trace line {line_number}: bad line index {parts[1]!r}"
+            ) from None
+        if index < 0:
+            raise ConfigurationError(
+                f"trace line {line_number}: negative line index"
+            )
+        yield index, parts[0] == "W"
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of a reference stream."""
+
+    references: int
+    writes: int
+    distinct_lines: int
+    footprint_bytes: int  # distinct lines x 128
+    top_line_share: float  # fraction of refs to the single hottest line
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.references if self.references else 0.0
+
+
+def profile(refs: Iterable[Ref], line_bytes: int = 128) -> TraceProfile:
+    """Characterise a stream: footprint, write mix, skew."""
+    counts: Counter[int] = Counter()
+    writes = 0
+    total = 0
+    for line_index, is_write in refs:
+        counts[line_index] += 1
+        writes += is_write
+        total += 1
+    hottest = max(counts.values()) if counts else 0
+    return TraceProfile(
+        references=total,
+        writes=writes,
+        distinct_lines=len(counts),
+        footprint_bytes=len(counts) * line_bytes,
+        top_line_share=hottest / total if total else 0.0,
+    )

@@ -1,0 +1,69 @@
+"""Tests for the simplified CACTI area model (§5.4)."""
+
+import pytest
+
+from repro.area.cacti import (
+    CacheGeometry,
+    cache_area,
+    figure8_area_check,
+    l2_area,
+    l2_area_overhead_for_vas,
+    snc_area,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_l2_baseline(self):
+        geometry = CacheGeometry(256 * 1024, 4, 128)
+        assert geometry.n_lines == 2048
+        assert geometry.n_sets == 512
+        # 48 - 9 index - 7 offset + 2 status
+        assert geometry.tag_bits_per_line == 34
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(100, 3, 32)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(0, 1, 32)
+
+
+class TestAreaModel:
+    def test_area_grows_with_size(self):
+        # 384KB needs 6 ways to keep a power-of-two set count — which is
+        # exactly why the paper's Figure 8 uses a 6-way 384KB L2.
+        assert l2_area(384 * 1024, 6) > l2_area(256 * 1024, 4)
+        assert l2_area(512 * 1024, 4) > l2_area(256 * 1024, 4)
+
+    def test_area_grows_with_associativity(self):
+        assert l2_area(256 * 1024, 8) > l2_area(256 * 1024, 4)
+
+    def test_paper_section54_datapoint(self):
+        """The §5.4 claim: 256KB 4-way L2 + 64KB 32-way SNC lands between a
+        320KB 5-way and a 384KB 6-way L2."""
+        check = figure8_area_check()
+        assert check.l2_320k_5way < check.l2_plus_snc < check.l2_384k_6way
+        assert check.holds
+
+    def test_snc_tags_shared_across_entry_groups(self):
+        """Per-entry tags would dwarf the data; grouped tags must keep the
+        tag overhead below the data array."""
+        grouped = snc_area(entries_per_tag=32)
+        data_only = 64 * 1024 * 8  # bits
+        assert grouped < 2.2 * data_only
+
+    def test_fully_associative_snc_is_expensive(self):
+        """The §4 motivation for evaluating 32-way: full associativity at
+        32K entries costs far more area."""
+        fully = cache_area(CacheGeometry(64 * 1024, 1024, 64))
+        practical = snc_area(assoc=32)
+        assert fully > 1.5 * practical
+
+
+class TestVAOverhead:
+    def test_paper_four_percent_claim(self):
+        """§4: storing 40 VA bits per 128B L2 line grows the L2 by ~4%."""
+        overhead = l2_area_overhead_for_vas()
+        assert overhead == pytest.approx(3.9, abs=0.2)

@@ -1,0 +1,76 @@
+"""The §3.4 constant-seed leak: works without sequence numbers, dies with
+them."""
+
+from repro.attacks.known_plaintext import recover_counter_steps, xor_leak
+from repro.crypto.des import DES
+from repro.crypto.modes import otp_transform
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.snc import SequenceNumberCache, SNCConfig
+
+_KEY = b"leakkey!"
+
+
+def constant_seed_snapshots(values, seed=424242):
+    """What a *broken* engine (no sequence numbers) would put in memory."""
+    cipher = DES(_KEY)
+    snapshots = []
+    for value in values:
+        line = value.to_bytes(4, "big") + bytes(124)
+        snapshots.append(otp_transform(cipher, seed, line))
+    return snapshots
+
+
+def otp_engine_snapshots(values):
+    """What the real engine (mutating sequence numbers) puts in memory."""
+    dram = DRAM(line_bytes=128)
+    engine = OTPEngine(
+        dram, DES(_KEY),
+        snc=SequenceNumberCache(SNCConfig(size_bytes=64, entry_bytes=2)),
+    )
+    snapshots = []
+    for value in values:
+        engine.write_line(0, value.to_bytes(4, "big") + bytes(124))
+        snapshots.append(dram.read_line(0))
+    return snapshots
+
+
+class TestXorLeak:
+    def test_constant_pad_leaks_plaintext_xor(self):
+        snaps = constant_seed_snapshots([7, 12])
+        leaked = xor_leak(snaps[0], snaps[1])
+        assert int.from_bytes(leaked[:4], "big") == 7 ^ 12
+        assert leaked[4:] == bytes(124)  # identical tails cancel to zero
+
+    def test_sequence_numbers_stop_the_leak(self):
+        snaps = otp_engine_snapshots([7, 12])
+        leaked = xor_leak(snaps[0], snaps[1])
+        assert int.from_bytes(leaked[:4], "big") != 7 ^ 12
+        # The pads differ everywhere, so nothing cancels.
+        assert leaked[4:] != bytes(124)
+
+
+class TestCounterRecovery:
+    def test_reads_a_counter_through_constant_pads(self):
+        """The paper's exact example: 0, 1, 2, ... at one address."""
+        snaps = constant_seed_snapshots([100, 101, 102, 103, 104])
+        result = recover_counter_steps(snaps)
+        assert result.consistent
+        assert result.steps == [1, 1, 1, 1]
+
+    def test_reads_stride_two_counter(self):
+        snaps = constant_seed_snapshots([40, 42, 44, 46])
+        result = recover_counter_steps(snaps)
+        assert result.consistent
+        assert result.steps == [2, 2, 2]
+
+    def test_fails_against_the_real_engine(self):
+        snaps = otp_engine_snapshots([100, 101, 102, 103, 104])
+        result = recover_counter_steps(snaps)
+        assert not result.consistent
+
+    def test_requires_two_snapshots(self):
+        import pytest
+        with pytest.raises(ValueError):
+            recover_counter_steps([bytes(128)])

@@ -1,0 +1,202 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import Op, decode
+from repro.errors import AssemblerError
+from repro.secure.software import SegmentKind
+
+
+def text_of(program):
+    return next(s for s in program.segments if s.name == "text")
+
+
+def data_of(program):
+    return next(s for s in program.segments if s.name == "data")
+
+
+def decoded(program):
+    text = text_of(program)
+    return [
+        decode(int.from_bytes(text.data[i : i + 4], "big"))
+        for i in range(0, len(text.data), 4)
+    ]
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert decoded(program)[0].op is Op.HALT
+
+    def test_alu_and_registers(self):
+        program = assemble("add t0, t1, t2\nhalt")
+        ins = decoded(program)[0]
+        assert (ins.op, ins.a, ins.b, ins.c) == (Op.ADD, 8, 9, 10)
+
+    def test_numeric_register_names(self):
+        program = assemble("add r8, r9, r10\nhalt")
+        ins = decoded(program)[0]
+        assert (ins.a, ins.b, ins.c) == (8, 9, 10)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            # leading comment
+            add t0, t1, t2  # trailing comment
+
+            halt
+            """
+        )
+        assert len(decoded(program)) == 2
+
+    def test_entry_point_defaults_to_main(self):
+        program = assemble("nop\nmain: halt")
+        assert program.entry_point == 0x1004
+
+    def test_entry_point_defaults_to_text_base_without_main(self):
+        assert assemble("halt").entry_point == 0x1000
+
+
+class TestMemoryOperands:
+    def test_load_offset_base(self):
+        ins = decoded(assemble("lw t0, 8(sp)\nhalt"))[0]
+        assert (ins.op, ins.a, ins.b, ins.signed_imm) == (Op.LW, 8, 29, 8)
+
+    def test_negative_offset(self):
+        ins = decoded(assemble("sw t0, -4(sp)\nhalt"))[0]
+        assert ins.signed_imm == -4
+
+    def test_bad_operand_shape(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw t0, t1\nhalt")
+
+
+class TestBranchesAndLabels:
+    def test_backward_branch(self):
+        program = assemble(
+            """
+            loop: addi t0, t0, 1
+            bne t0, t1, loop
+            halt
+            """
+        )
+        branch = decoded(program)[1]
+        # Offset is in words from the following instruction: -2.
+        assert branch.signed_imm == -2
+
+    def test_forward_branch(self):
+        program = assemble(
+            """
+            beq t0, t1, done
+            nop
+            done: halt
+            """
+        )
+        assert decoded(program)[0].signed_imm == 1
+
+    def test_jump_absolute(self):
+        program = assemble("j main\nmain: halt")
+        assert decoded(program)[0].imm == 0x1004 // 4
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: halt")
+
+
+class TestPseudoInstructions:
+    def test_li_small_uses_addi(self):
+        ins = decoded(assemble("li t0, 42\nhalt"))[0]
+        assert (ins.op, ins.signed_imm) == (Op.ADDI, 42)
+
+    def test_li_negative(self):
+        ins = decoded(assemble("li t0, -5\nhalt"))[0]
+        assert ins.signed_imm == -5
+
+    def test_li_large_uses_lui_ori(self):
+        instructions = decoded(assemble("li t0, 0x12345678\nhalt"))
+        assert instructions[0].op is Op.LUI
+        assert instructions[0].imm == 0x1234
+        assert instructions[1].op is Op.ORI
+        assert instructions[1].imm == 0x5678
+
+    def test_la_resolves_data_labels(self):
+        program = assemble(
+            """
+            la t0, value
+            halt
+            .data
+            value: .word 7
+            """
+        )
+        instructions = decoded(program)
+        address = (instructions[0].imm << 16) | instructions[1].imm
+        assert address == 0x100000
+
+    def test_push_pop_expansion(self):
+        instructions = decoded(assemble("push t0\npop t1\nhalt"))
+        assert [i.op for i in instructions[:4]] == [
+            Op.ADDI, Op.SW, Op.LW, Op.ADDI,
+        ]
+
+    def test_label_addresses_account_for_pseudo_expansion(self):
+        program = assemble(
+            """
+            li t0, 0x12345678
+            target: halt
+            """
+        )
+        # li expands to two words, so target sits at text_base + 8.
+        assert program.entry_point == 0x1000  # no main label
+        instructions = decoded(program)
+        assert instructions[2].op is Op.HALT
+
+
+class TestDataDirectives:
+    def test_word(self):
+        data = data_of(assemble("halt\n.data\nv: .word 1, 2, 3"))
+        assert data.data == (1).to_bytes(4, "big") + (2).to_bytes(4, "big") \
+            + (3).to_bytes(4, "big")
+
+    def test_byte_and_space(self):
+        data = data_of(assemble("halt\n.data\n.byte 1, 2\n.space 2\n.byte 3"))
+        assert data.data == b"\x01\x02\x00\x00\x03"
+
+    def test_asciiz(self):
+        data = data_of(assemble('halt\n.data\ns: .asciiz "hi"'))
+        assert data.data == b"hi\x00"
+
+    def test_align(self):
+        data = data_of(assemble("halt\n.data\n.byte 1\n.align 2\n.word 2"))
+        assert len(data.data) == 8
+
+    def test_data_segment_kind(self):
+        program = assemble("halt\n.data\n.word 1")
+        assert data_of(program).kind is SegmentKind.DATA
+        assert text_of(program).kind is SegmentKind.CODE
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate t0, t1\nhalt")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add q0, t1, t2\nhalt")
+
+    def test_immediate_overflow(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi t0, t0, 0x12345\nhalt")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".frob 1\nhalt")
+
+    def test_instructions_in_data_section(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd t0, t1, t2")

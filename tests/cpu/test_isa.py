@@ -1,0 +1,86 @@
+"""Tests for SRP-32 instruction encoding and decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import Format, Instruction, Op, decode
+from repro.errors import IllegalInstructionError
+
+
+class TestEncodeDecode:
+    def test_r_format_round_trip(self):
+        ins = Instruction(Op.ADD, a=1, b=2, c=3)
+        assert decode(ins.encode()) == ins
+
+    def test_i_format_round_trip(self):
+        ins = Instruction(Op.ADDI, a=5, b=6, imm=0x1234)
+        assert decode(ins.encode()) == ins
+
+    def test_j_format_round_trip(self):
+        ins = Instruction(Op.JAL, imm=0x3FFFFFF)
+        assert decode(ins.encode()) == ins
+
+    def test_system_format(self):
+        assert decode(Instruction(Op.HALT).encode()).op is Op.HALT
+
+    @given(st.sampled_from(list(Op)), st.integers(0, 31), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 0xFFFF))
+    @settings(max_examples=200, deadline=None)
+    def test_all_ops_round_trip(self, op, a, b, c, imm):
+        fmt = op.format
+        if fmt is Format.R:
+            ins = Instruction(op, a=a, b=b, c=c)
+        elif fmt is Format.I:
+            ins = Instruction(op, a=a, b=b, imm=imm)
+        else:
+            ins = Instruction(op, imm=imm)
+        assert decode(ins.encode()) == ins
+
+    def test_opcode_values_are_unique(self):
+        values = [op.value for op in Op]
+        assert len(values) == len(set(values))
+
+
+class TestSignedImmediate:
+    def test_positive(self):
+        assert Instruction(Op.ADDI, imm=5).signed_imm == 5
+
+    def test_negative(self):
+        assert Instruction(Op.ADDI, imm=0xFFFF).signed_imm == -1
+        assert Instruction(Op.ADDI, imm=0x8000).signed_imm == -0x8000
+
+    def test_boundary(self):
+        assert Instruction(Op.ADDI, imm=0x7FFF).signed_imm == 0x7FFF
+
+
+class TestIllegalDecodes:
+    def test_unknown_opcode(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0xFFFFFFFF)
+
+    def test_zero_word_is_illegal(self):
+        """All-zero words (uninitialized memory) must not decode silently —
+        opcode 0 is deliberately unassigned."""
+        with pytest.raises(IllegalInstructionError):
+            decode(0)
+
+    def test_r_format_reserved_bits_checked(self):
+        """Random ciphertext rarely decodes: R-format demands zero tails.
+        This is the XOM 'tampered code raises exceptions' behaviour."""
+        word = Instruction(Op.ADD, a=1, b=2, c=3).encode() | 0x1
+        with pytest.raises(IllegalInstructionError):
+            decode(word)
+
+    def test_garbage_rejection_rate_is_high(self):
+        """Sanity-check the tamper-detection story: most random words must
+        fail to decode (sparse encoding)."""
+        import random
+        rng = random.Random(42)
+        rejected = 0
+        for _ in range(2000):
+            try:
+                decode(rng.getrandbits(32))
+            except IllegalInstructionError:
+                rejected += 1
+        assert rejected > 1000

@@ -1,0 +1,299 @@
+"""Tests for the SRP-32 functional machine, run over the plain baseline
+memory path (the secure paths are covered in test_processor.py)."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.machine import HaltReason, Machine
+from repro.errors import MachineError
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.secure.engine import BaselineEngine
+
+
+def run(source, max_steps=100_000, input_values=None):
+    program = assemble(source)
+    dram = DRAM(line_bytes=128, latency=100)
+    for segment in program.segments:
+        dram.poke(segment.base, segment.data)
+    machine = Machine(
+        MemoryHierarchy(BaselineEngine(dram)), program.entry_point
+    )
+    if input_values:
+        machine.input_queue.extend(input_values)
+    return machine.run(max_steps=max_steps)
+
+
+class TestArithmetic:
+    def test_addition_chain(self):
+        result = run(
+            """
+            li t0, 20
+            li t1, 22
+            add a0, t0, t1
+            li v0, 1
+            syscall
+            halt
+            """
+        )
+        assert result.output == "42"
+
+    def test_subtraction_negative_result(self):
+        result = run(
+            "li t0, 5\nli t1, 9\nsub a0, t0, t1\nli v0, 1\nsyscall\nhalt"
+        )
+        assert result.output == "-4"
+
+    def test_multiplication(self):
+        result = run(
+            "li t0, -7\nli t1, 6\nmul a0, t0, t1\nli v0, 1\nsyscall\nhalt"
+        )
+        assert result.output == "-42"
+
+    def test_unsigned_division_and_remainder(self):
+        result = run(
+            """
+            li t0, 100
+            li t1, 7
+            divu a0, t0, t1
+            li v0, 1
+            syscall
+            li a0, 32
+            li v0, 2
+            syscall
+            li t0, 100
+            li t1, 7
+            remu a0, t0, t1
+            li v0, 1
+            syscall
+            halt
+            """
+        )
+        assert result.output == "14 2"
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(MachineError):
+            run("li t0, 1\ndivu t2, t0, zero\nhalt")
+
+    def test_shifts(self):
+        result = run(
+            """
+            li t0, 1
+            slli a0, t0, 10
+            li v0, 1
+            syscall
+            halt
+            """
+        )
+        assert result.output == "1024"
+
+    def test_sra_preserves_sign(self):
+        result = run(
+            "li t0, -16\nsrai a0, t0, 2\nli v0, 1\nsyscall\nhalt"
+        )
+        assert result.output == "-4"
+
+    def test_slt_signed_vs_unsigned(self):
+        result = run(
+            """
+            li t0, -1
+            li t1, 1
+            slt a0, t0, t1       # signed: -1 < 1 -> 1
+            li v0, 1
+            syscall
+            sltu a0, t0, t1      # unsigned: 0xffffffff < 1 -> 0
+            li v0, 1
+            syscall
+            halt
+            """
+        )
+        assert result.output == "10"
+
+    def test_zero_register_is_hardwired(self):
+        result = run(
+            "li t0, 99\nadd zero, t0, t0\nadd a0, zero, zero\n"
+            "li v0, 1\nsyscall\nhalt"
+        )
+        assert result.output == "0"
+
+
+class TestControlFlow:
+    def test_loop_sums_1_to_10(self):
+        result = run(
+            """
+            li t0, 10
+            li s0, 0
+            loop:
+            add s0, s0, t0
+            addi t0, t0, -1
+            bne t0, zero, loop
+            mov a0, s0
+            li v0, 1
+            syscall
+            halt
+            """
+        )
+        assert result.output == "55"
+
+    def test_function_call_and_return(self):
+        result = run(
+            """
+            main:
+            li a0, 5
+            jal square
+            mov a0, v1
+            li v0, 1
+            syscall
+            halt
+            square:
+            mul v1, a0, a0
+            ret
+            """
+        )
+        assert result.output == "25"
+
+    def test_recursive_factorial_via_stack(self):
+        result = run(
+            """
+            main:
+            li a0, 6
+            jal fact
+            mov a0, v1
+            li v0, 1
+            syscall
+            halt
+            fact:
+            push ra
+            push a0
+            li t0, 2
+            blt a0, t0, base
+            addi a0, a0, -1
+            jal fact
+            pop a0
+            pop ra
+            mul v1, v1, a0
+            ret
+            base:
+            li v1, 1
+            pop a0
+            pop ra
+            ret
+            """
+        )
+        assert result.output == "720"
+
+    def test_step_limit(self):
+        result = run("spin: j spin\nhalt", max_steps=100)
+        assert result.reason is HaltReason.STEP_LIMIT
+        assert result.steps == 100
+
+
+class TestMemoryAccess:
+    def test_data_segment_round_trip(self):
+        result = run(
+            """
+            la t0, value
+            lw a0, 0(t0)
+            li v0, 1
+            syscall
+            halt
+            .data
+            value: .word 1234
+            """
+        )
+        assert result.output == "1234"
+
+    def test_store_then_load(self):
+        result = run(
+            """
+            la t0, buffer
+            li t1, 77
+            sw t1, 4(t0)
+            lw a0, 4(t0)
+            li v0, 1
+            syscall
+            halt
+            .data
+            buffer: .space 16
+            """
+        )
+        assert result.output == "77"
+
+    def test_byte_access_signed_and_unsigned(self):
+        result = run(
+            """
+            la t0, bytes
+            lb a0, 0(t0)
+            li v0, 1
+            syscall
+            li a0, 32
+            li v0, 2
+            syscall
+            lbu a0, 0(t0)
+            li v0, 1
+            syscall
+            halt
+            .data
+            bytes: .byte 0xff
+            """
+        )
+        assert result.output == "-1 255"
+
+    def test_unaligned_word_access_traps(self):
+        with pytest.raises(MachineError):
+            run("li t0, 2\nlw t1, 0(t0)\nhalt")
+
+    def test_string_output(self):
+        result = run(
+            """
+            la a0, msg
+            li v0, 3
+            syscall
+            halt
+            .data
+            msg: .asciiz "secure!"
+            """
+        )
+        assert result.output == "secure!"
+
+
+class TestSyscalls:
+    def test_exit_code(self):
+        result = run("li a0, 3\nli v0, 10\nsyscall")
+        assert result.reason is HaltReason.EXIT_SYSCALL
+        assert result.exit_code == 3
+
+    def test_read_int(self):
+        result = run(
+            "li v0, 5\nsyscall\nmov a0, v0\nli v0, 1\nsyscall\nhalt",
+            input_values=[88],
+        )
+        assert result.output == "88"
+
+    def test_read_int_empty_queue_traps(self):
+        with pytest.raises(MachineError):
+            run("li v0, 5\nsyscall\nhalt")
+
+    def test_unknown_syscall_traps(self):
+        with pytest.raises(MachineError):
+            run("li v0, 99\nsyscall\nhalt")
+
+
+class TestCycleAccounting:
+    def test_cycles_include_memory_stalls(self):
+        result = run("halt")
+        # One instruction, but the first fetch missed all the way to DRAM.
+        assert result.steps == 1
+        assert result.cycles > 100
+
+    def test_cache_warm_loop_is_cheap_per_iteration(self):
+        hot = run(
+            """
+            li t0, 1000
+            loop: addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+            """
+        )
+        # ~3000 instructions; one cold I-line; far fewer than 1 miss/step.
+        assert hot.cycles < hot.steps * 3

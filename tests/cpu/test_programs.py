@@ -1,0 +1,65 @@
+"""The sample-program library, run on every processor configuration.
+
+Each kernel must produce its documented output on the insecure baseline,
+the XOM processor, and the OTP processor — the strongest whole-system
+statement the repository makes: arbitrary real programs are oblivious to
+the protection scheme except in cycle count.
+"""
+
+import pytest
+
+from repro.cpu.programs import SAMPLES, SampleProgram
+from repro.secure.processor import EngineKind, SecureProcessor
+from repro.secure.software import ProtectionScheme, package_program
+
+
+@pytest.fixture(scope="module")
+def cpus():
+    return {
+        EngineKind.BASELINE: SecureProcessor(
+            key_seed="programs-cpu", engine_kind=EngineKind.BASELINE
+        ),
+        EngineKind.XOM: SecureProcessor(
+            key_seed="programs-cpu", engine_kind=EngineKind.XOM
+        ),
+        EngineKind.OTP: SecureProcessor(
+            key_seed="programs-cpu", engine_kind=EngineKind.OTP
+        ),
+    }
+
+
+@pytest.mark.parametrize("sample", SAMPLES, ids=lambda s: s.name)
+class TestSamplesEverywhere:
+    def test_baseline(self, sample: SampleProgram, cpus):
+        report = cpus[EngineKind.BASELINE].run_plain(
+            sample.assemble(), max_steps=300_000
+        )
+        assert report.output == sample.expected_output
+
+    def test_xom(self, sample: SampleProgram, cpus):
+        cpu = cpus[EngineKind.XOM]
+        image = package_program(
+            sample.assemble(), cpu.public_key,
+            scheme=ProtectionScheme.DIRECT,
+        )
+        report = cpu.run(image, max_steps=300_000)
+        assert report.output == sample.expected_output
+
+    def test_otp(self, sample: SampleProgram, cpus):
+        cpu = cpus[EngineKind.OTP]
+        image = package_program(
+            sample.assemble(), cpu.public_key, scheme=ProtectionScheme.OTP
+        )
+        report = cpu.run(image, max_steps=300_000)
+        assert report.output == sample.expected_output
+
+
+class TestSampleMetadata:
+    def test_four_samples(self):
+        assert len(SAMPLES) == 4
+        assert len({sample.name for sample in SAMPLES}) == 4
+
+    def test_all_assemble(self):
+        for sample in SAMPLES:
+            program = sample.assemble()
+            assert program.segments

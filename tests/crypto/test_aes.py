@@ -1,0 +1,101 @@
+"""FIPS 197 known-answer and property tests for the from-scratch AES."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import _INV_SBOX, _SBOX, AES
+from repro.errors import CryptoError
+
+_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+# FIPS 197 Appendix C vectors.
+_VECTORS = [
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+class TestSBoxConstruction:
+    """The S-box is derived, not transcribed — spot-check the definition."""
+
+    def test_landmark_entries(self):
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_is_a_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+    def test_inverse_is_consistent(self):
+        assert all(_INV_SBOX[_SBOX[x]] == x for x in range(256))
+
+    def test_no_fixed_points(self):
+        # A designed property of the AES affine constant 0x63.
+        assert all(_SBOX[x] != x for x in range(256))
+
+
+class TestAESKnownAnswers:
+    @pytest.mark.parametrize("key_hex,cipher_hex", _VECTORS)
+    def test_fips197_appendix_c_encrypt(self, key_hex, cipher_hex):
+        aes = AES(bytes.fromhex(key_hex))
+        assert aes.encrypt_block(_PLAIN).hex() == cipher_hex
+
+    @pytest.mark.parametrize("key_hex,cipher_hex", _VECTORS)
+    def test_fips197_appendix_c_decrypt(self, key_hex, cipher_hex):
+        aes = AES(bytes.fromhex(key_hex))
+        assert aes.decrypt_block(bytes.fromhex(cipher_hex)) == _PLAIN
+
+    def test_fips197_appendix_b_example(self):
+        # The worked example in Appendix B uses a different key/plaintext.
+        aes = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = aes.encrypt_block(bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestAESProperties:
+    @given(
+        st.sampled_from([16, 24, 32]).flatmap(
+            lambda n: st.binary(min_size=n, max_size=n)
+        ),
+        st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_all_key_sizes(self, key, block):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_avalanche(self):
+        aes = AES(bytes(16))
+        base = aes.encrypt_block(bytes(16))
+        flipped = aes.encrypt_block(b"\x01" + bytes(15))
+        differing = bin(
+            int.from_bytes(base, "big") ^ int.from_bytes(flipped, "big")
+        ).count("1")
+        assert 40 <= differing <= 88
+
+    def test_distinct_keys_give_distinct_ciphertexts(self):
+        ct1 = AES(bytes(16)).encrypt_block(_PLAIN)
+        ct2 = AES(b"\x01" + bytes(15)).encrypt_block(_PLAIN)
+        assert ct1 != ct2
+
+
+class TestAESValidation:
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            AES(bytes(15))
+
+    def test_rejects_bad_block_length(self):
+        with pytest.raises(CryptoError):
+            AES(bytes(16)).encrypt_block(bytes(8))

@@ -1,0 +1,104 @@
+"""Known-answer and property tests for the from-scratch DES / 3DES."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES, TripleDES
+from repro.errors import CryptoError
+
+# The worked example distributed with FIPS 46 teaching material.
+_KAT_KEY = bytes.fromhex("133457799BBCDFF1")
+_KAT_PLAIN = bytes.fromhex("0123456789ABCDEF")
+_KAT_CIPHER = bytes.fromhex("85E813540F0AB405")
+
+
+class TestDESKnownAnswers:
+    def test_encrypt_known_vector(self):
+        assert DES(_KAT_KEY).encrypt_block(_KAT_PLAIN) == _KAT_CIPHER
+
+    def test_decrypt_known_vector(self):
+        assert DES(_KAT_KEY).decrypt_block(_KAT_CIPHER) == _KAT_PLAIN
+
+    def test_all_zero_key_and_block(self):
+        # DES is a permutation even under degenerate (weak) keys.
+        des = DES(bytes(8))
+        ct = des.encrypt_block(bytes(8))
+        assert des.decrypt_block(ct) == bytes(8)
+        assert ct != bytes(8)
+
+    def test_weak_key_is_self_inverse(self):
+        # For the classic weak key, encryption equals decryption.
+        weak = DES(bytes.fromhex("0101010101010101"))
+        block = bytes.fromhex("DEADBEEF01234567")
+        assert weak.decrypt_block(block) == weak.encrypt_block(block)
+
+
+class TestDESProperties:
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, key, block):
+        des = DES(key)
+        assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_encryption_changes_data(self, block):
+        # With a fixed strong key a fixed point would be astronomical luck.
+        des = DES(_KAT_KEY)
+        assert des.encrypt_block(block) != block
+
+    def test_avalanche_single_bit_flip(self):
+        des = DES(_KAT_KEY)
+        base = des.encrypt_block(_KAT_PLAIN)
+        flipped_input = bytes([_KAT_PLAIN[0] ^ 0x80]) + _KAT_PLAIN[1:]
+        flipped = des.encrypt_block(flipped_input)
+        differing = bin(
+            int.from_bytes(base, "big") ^ int.from_bytes(flipped, "big")
+        ).count("1")
+        # A healthy block cipher flips roughly half the 64 output bits.
+        assert 16 <= differing <= 48
+
+    def test_int_convenience_round_trip(self):
+        des = DES(_KAT_KEY)
+        assert des.decrypt_int(des.encrypt_int(0xFEEDFACECAFEF00D)) == (
+            0xFEEDFACECAFEF00D
+        )
+
+
+class TestDESValidation:
+    def test_rejects_short_key(self):
+        with pytest.raises(CryptoError):
+            DES(b"short")
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(CryptoError):
+            DES(_KAT_KEY).encrypt_block(b"tiny")
+
+
+class TestTripleDES:
+    def test_three_key_round_trip(self):
+        tdes = TripleDES(bytes(range(24)))
+        block = b"ABCDEFGH"
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block
+
+    def test_two_key_variant_expands(self):
+        tdes = TripleDES(bytes(range(16)))
+        block = b"ABCDEFGH"
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block
+
+    def test_degenerates_to_single_des_with_equal_keys(self):
+        # EDE with K1 == K2 == K3 must equal single DES (interop property).
+        key = _KAT_KEY
+        tdes = TripleDES(key * 3)
+        assert tdes.encrypt_block(_KAT_PLAIN) == _KAT_CIPHER
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            TripleDES(bytes(10))
+
+    @given(st.binary(min_size=24, max_size=24), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, key, block):
+        tdes = TripleDES(key)
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block

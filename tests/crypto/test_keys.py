@@ -1,0 +1,61 @@
+"""Tests for cipher-suite and key-material plumbing."""
+
+import pytest
+
+from repro.crypto.blockcipher import IdentityCipher
+from repro.crypto.keys import CipherSuite, SymmetricKey
+from repro.errors import CryptoError
+
+
+class TestCipherSuite:
+    @pytest.mark.parametrize(
+        "suite,key_bytes,block_bytes",
+        [
+            (CipherSuite.DES, 8, 8),
+            (CipherSuite.TRIPLE_DES, 24, 8),
+            (CipherSuite.AES128, 16, 16),
+            (CipherSuite.AES256, 32, 16),
+        ],
+    )
+    def test_geometry(self, suite, key_bytes, block_bytes):
+        assert suite.key_bytes == key_bytes
+        assert suite.block_bytes == block_bytes
+
+    @pytest.mark.parametrize("suite", list(CipherSuite))
+    def test_new_cipher_round_trips(self, suite):
+        cipher = suite.new_cipher(bytes(suite.key_bytes))
+        block = bytes(range(suite.block_bytes))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestSymmetricKey:
+    def test_generate_is_deterministic(self):
+        k1 = SymmetricKey.generate(CipherSuite.DES, "vendor-1")
+        k2 = SymmetricKey.generate(CipherSuite.DES, "vendor-1")
+        assert k1.material == k2.material
+
+    def test_generate_respects_suite_size(self):
+        key = SymmetricKey.generate(CipherSuite.AES128, "vendor")
+        assert len(key.material) == 16
+
+    def test_rejects_wrong_length_material(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey(CipherSuite.DES, bytes(16))
+
+    def test_new_cipher_uses_material(self):
+        key = SymmetricKey.generate(CipherSuite.DES, "vendor")
+        c1 = key.new_cipher()
+        c2 = key.new_cipher()
+        block = b"ABCDEFGH"
+        assert c1.encrypt_block(block) == c2.encrypt_block(block)
+
+
+class TestIdentityCipher:
+    def test_is_noop(self):
+        cipher = IdentityCipher(8)
+        assert cipher.encrypt_block(b"12345678") == b"12345678"
+        assert cipher.decrypt_block(b"12345678") == b"12345678"
+
+    def test_respects_block_size(self):
+        with pytest.raises(CryptoError):
+            IdentityCipher(8).encrypt_block(b"123")

@@ -1,0 +1,75 @@
+"""Tests for HMAC-SHA256 and CBC-MAC."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES
+from repro.crypto.mac import cbc_mac, constant_time_equal, hmac_sha256
+
+
+class TestHMAC:
+    def test_rfc4231_case_1(self):
+        key = b"\x0b" * 20
+        tag = hmac_sha256(key, b"Hi There")
+        assert tag.hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_case_2(self):
+        tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_long_key_is_hashed_first(self):
+        # RFC 4231 case 6 exercises keys longer than the block size.
+        key = b"\xaa" * 131
+        msg = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        tag = hmac_sha256(key, msg)
+        assert tag.hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f"
+            "8e0bc6213728c5140546040f0ee37f54"
+        )
+
+    @given(st.binary(max_size=64), st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, key, msg):
+        assert hmac_sha256(key, msg) == hmac_sha256(key, msg)
+
+    def test_key_separation(self):
+        assert hmac_sha256(b"k1", b"msg") != hmac_sha256(b"k2", b"msg")
+
+
+class TestCBCMAC:
+    def test_tag_length_is_one_block(self):
+        cipher = DES(bytes(range(8)))
+        assert len(cbc_mac(cipher, b"X" * 128)) == 8
+
+    def test_detects_single_byte_change(self):
+        cipher = DES(bytes(range(8)))
+        line = bytes(range(64))
+        tampered = bytes([line[0] ^ 1]) + line[1:]
+        assert cbc_mac(cipher, line) != cbc_mac(cipher, tampered)
+
+    def test_pads_unaligned_messages(self):
+        cipher = DES(bytes(range(8)))
+        assert len(cbc_mac(cipher, b"abc")) == 8
+
+    @given(st.binary(min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, msg):
+        cipher = DES(b"\x01" * 8)
+        assert cbc_mac(cipher, msg) == cbc_mac(cipher, msg)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"same", b"same")
+
+    def test_unequal_same_length(self):
+        assert not constant_time_equal(b"same", b"sama")
+
+    def test_unequal_lengths(self):
+        assert not constant_time_equal(b"short", b"longer")

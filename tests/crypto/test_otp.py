@@ -1,0 +1,67 @@
+"""Tests for pad generation — uniqueness and stream discipline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES
+from repro.crypto.otp import PadStream, pad_for_seed
+from repro.errors import CryptoError
+
+_CIPHER = DES(b"repro-k!"[:8])
+
+
+class TestPadForSeed:
+    def test_length(self):
+        assert len(pad_for_seed(_CIPHER, 0, 128)) == 128
+
+    def test_block_structure_matches_seed_increments(self):
+        """Block j of the pad must be E_K(seed + j) (paper Algorithm 1)."""
+        pad = pad_for_seed(_CIPHER, 10, 24)
+        for j in range(3):
+            expected = _CIPHER.encrypt_block((10 + j).to_bytes(8, "big"))
+            assert pad[8 * j : 8 * j + 8] == expected
+
+    def test_adjacent_seeds_share_overlapping_blocks(self):
+        # pad(seed)[8:] == pad(seed+1)[:-8]: exactly the counter structure.
+        a = pad_for_seed(_CIPHER, 5, 32)
+        b = pad_for_seed(_CIPHER, 6, 32)
+        assert a[8:] == b[:-8]
+
+    def test_rejects_unaligned_length(self):
+        with pytest.raises(CryptoError):
+            pad_for_seed(_CIPHER, 0, 13)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(CryptoError):
+            pad_for_seed(_CIPHER, -1, 8)
+
+    def test_seed_wraps_at_block_width(self):
+        full = 1 << 64
+        assert pad_for_seed(_CIPHER, full, 8) == pad_for_seed(_CIPHER, 0, 8)
+
+    @given(st.integers(0, 2**40), st.integers(0, 2**40))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_far_seeds_distinct_pads(self, s1, s2):
+        if abs(s1 - s2) >= 16:  # far enough that no counter overlap exists
+            p1 = pad_for_seed(_CIPHER, s1, 128)
+            p2 = pad_for_seed(_CIPHER, s2, 128)
+            assert p1 != p2
+
+
+class TestPadStream:
+    def test_never_reuses_keystream(self):
+        stream = PadStream(_CIPHER, seed=100)
+        first = stream.take(16)
+        second = stream.take(16)
+        assert first != second
+        assert stream.blocks_consumed == 4
+
+    def test_matches_flat_generation(self):
+        stream = PadStream(_CIPHER, seed=100)
+        combined = stream.take(16) + stream.take(24)
+        assert combined == pad_for_seed(_CIPHER, 100, 40)
+
+    def test_rejects_partial_blocks(self):
+        with pytest.raises(CryptoError):
+            PadStream(_CIPHER, seed=0).take(5)

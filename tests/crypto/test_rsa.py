@@ -1,0 +1,108 @@
+"""Tests for the vendor -> processor key exchange (textbook RSA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prng import HashDRBG
+from repro.crypto.rsa import (
+    RSAKeyPair,
+    _is_probable_prime,
+    _modinv,
+    unwrap_key,
+    wrap_key,
+)
+from repro.errors import CryptoError, KeyExchangeError
+
+# One shared pair: keygen is the slow part, the protocol tests reuse it.
+_PAIR = RSAKeyPair.generate(bits=512, seed="unit-test-processor")
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        rng = HashDRBG("prime-test")
+        for p in (2, 3, 5, 7, 97, 65537):
+            assert _is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = HashDRBG("prime-test")
+        for c in (0, 1, 4, 9, 91, 561, 65536):
+            assert not _is_probable_prime(c, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat liars that Miller-Rabin must still catch.
+        rng = HashDRBG("prime-test")
+        for carmichael in (561, 1105, 1729, 2465, 6601):
+            assert not _is_probable_prime(carmichael, rng)
+
+
+class TestModInv:
+    def test_known(self):
+        assert _modinv(3, 11) == 4
+
+    def test_raises_when_not_coprime(self):
+        with pytest.raises(CryptoError):
+            _modinv(6, 9)
+
+    @given(st.integers(1, 10**6))
+    def test_inverse_property(self, a):
+        m = 1_000_003  # prime
+        inv = _modinv(a % m or 1, m)
+        assert (a % m or 1) * inv % m == 1
+
+
+class TestKeyGeneration:
+    def test_deterministic(self):
+        again = RSAKeyPair.generate(bits=512, seed="unit-test-processor")
+        assert again.public == _PAIR.public
+        assert again.private == _PAIR.private
+
+    def test_different_seeds_different_keys(self):
+        other = RSAKeyPair.generate(bits=512, seed="other-processor")
+        assert other.public.n != _PAIR.public.n
+
+    def test_modulus_has_requested_size(self):
+        assert _PAIR.public.n.bit_length() == 512
+
+    def test_raw_encrypt_decrypt(self):
+        message = 0xDEADBEEF
+        assert _PAIR.private.decrypt_int(
+            _PAIR.public.encrypt_int(message)
+        ) == message
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(CryptoError):
+            RSAKeyPair.generate(bits=32)
+
+
+class TestKeyWrap:
+    def test_wrap_unwrap_round_trip(self):
+        session_key = bytes(range(8))
+        wrapped = wrap_key(_PAIR.public, session_key)
+        assert unwrap_key(_PAIR.private, wrapped) == session_key
+
+    def test_wrap_is_randomized(self):
+        session_key = bytes(8)
+        w1 = wrap_key(_PAIR.public, session_key, HashDRBG("a"))
+        w2 = wrap_key(_PAIR.public, session_key, HashDRBG("b"))
+        assert w1 != w2
+        assert unwrap_key(_PAIR.private, w1) == session_key
+        assert unwrap_key(_PAIR.private, w2) == session_key
+
+    def test_wrong_processor_cannot_unwrap(self):
+        """The core XOM guarantee: software bound to CPU A will not run on
+        CPU B because B's private key unwraps garbage (§2.1)."""
+        other = RSAKeyPair.generate(bits=512, seed="pirate-processor")
+        wrapped = wrap_key(_PAIR.public, bytes(range(8)))
+        with pytest.raises(KeyExchangeError):
+            unwrap_key(other.private, wrapped)
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(KeyExchangeError):
+            wrap_key(_PAIR.public, bytes(512 // 8))
+
+    @given(st.binary(min_size=1, max_size=24))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_various_key_sizes(self, key_material):
+        wrapped = wrap_key(_PAIR.public, key_material, HashDRBG(key_material))
+        assert unwrap_key(_PAIR.private, wrapped) == key_material

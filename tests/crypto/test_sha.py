@@ -1,0 +1,69 @@
+"""Known-answer tests for SHA-1 / SHA-256 (FIPS 180-4 examples)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha import _SHA256_H0, _SHA256_K, sha1, sha256
+
+
+class TestDerivedConstants:
+    """The K/H constants are derived from prime roots — verify landmarks."""
+
+    def test_first_and_last_round_constants(self):
+        assert _SHA256_K[0] == 0x428A2F98
+        assert _SHA256_K[1] == 0x71374491
+        assert _SHA256_K[63] == 0xC67178F2
+
+    def test_initial_hash_values(self):
+        assert _SHA256_H0[0] == 0x6A09E667
+        assert _SHA256_H0[7] == 0x5BE0CD19
+
+
+class TestSHA256:
+    def test_empty_string(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(msg).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039"
+            "a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_exact_block_boundary(self):
+        # 55, 56 and 64 byte messages cross the padding edge cases.
+        for length in (55, 56, 63, 64, 65):
+            digest = sha256(b"a" * length)
+            assert len(digest) == 32
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_and_sized(self, data):
+        assert sha256(data) == sha256(data)
+        assert len(sha256(data)) == 32
+
+    def test_single_bit_sensitivity(self):
+        assert sha256(b"\x00") != sha256(b"\x01")
+
+
+class TestSHA1:
+    def test_abc(self):
+        assert sha1(b"abc").hex() == (
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        )
+
+    def test_empty(self):
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1(msg).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"

@@ -1,0 +1,85 @@
+"""Tests for the CLI runner and the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval.charts import render_averages, render_chart
+from repro.eval.experiments import figure5, run_all_benchmarks
+from repro.eval.pipeline import SimulationScale
+from repro.eval.runner import build_parser, main, parse_scale
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    # Big enough to clear every benchmark's initialization phase.
+    events = run_all_benchmarks(
+        scale=SimulationScale(warmup_refs=50_000, measure_refs=30_000)
+    )
+    return figure5(events)
+
+
+class TestParseScale:
+    def test_full(self):
+        scale = parse_scale("full")
+        assert scale.warmup_refs == 200_000
+
+    def test_quick(self):
+        assert parse_scale("quick").measure_refs == 50_000
+
+    def test_explicit(self):
+        scale = parse_scale("1000:2000")
+        assert (scale.warmup_refs, scale.measure_refs) == (1000, 2000)
+
+    def test_garbage_rejected(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_scale("banana")
+
+
+class TestParser:
+    def test_defaults_select_all_figures(self):
+        args = build_parser().parse_args([])
+        assert args.figures == ["10", "3", "5", "6", "7", "8", "9"]
+
+    def test_figure_subset(self):
+        args = build_parser().parse_args(["--figures", "5", "10"])
+        assert args.figures == ["5", "10"]
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figures", "4"])
+
+
+class TestCharts:
+    def test_chart_contains_all_benchmarks(self, small_figure):
+        chart = render_chart(small_figure)
+        for name in ("ammp", "art", "vpr", "mcf"):
+            assert name in chart
+        assert "#" in chart and "=" in chart
+
+    def test_averages_chart(self, small_figure):
+        chart = render_averages(small_figure)
+        assert "XOM" in chart
+        assert "SNC-LRU" in chart
+        assert "paper" in chart and "ours" in chart
+
+    def test_bars_scale_to_peak(self, small_figure):
+        chart = render_chart(small_figure, width=30)
+        longest = max(
+            line.count("=") for line in chart.splitlines() if "|" in line
+        )
+        assert longest <= 30
+
+
+class TestMain:
+    def test_end_to_end_quick_run(self, capsys):
+        code = main(["--figures", "5", "--scale", "50000:30000", "--charts"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+        assert "Headline comparison" in out
+        assert "averages" in out
+
+    def test_too_small_scale_fails_cleanly(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="initialization"):
+            main(["--figures", "3", "--scale", "2000:2000"])

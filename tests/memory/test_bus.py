@@ -1,0 +1,62 @@
+"""Tests for bus traffic accounting and the adversary tap point."""
+
+from repro.memory.bus import BusTransaction, MemoryBus, TransactionKind
+
+
+class TestAccounting:
+    def test_counts_by_kind(self):
+        bus = MemoryBus()
+        bus.record(TransactionKind.DATA_READ, 0, bytes(128))
+        bus.record(TransactionKind.DATA_READ, 128, bytes(128))
+        bus.record(TransactionKind.DATA_WRITE, 0, bytes(128))
+        assert bus.counts[TransactionKind.DATA_READ] == 2
+        assert bus.counts[TransactionKind.DATA_WRITE] == 1
+        assert bus.bytes_moved[TransactionKind.DATA_READ] == 256
+
+    def test_figure9_ratio_components(self):
+        bus = MemoryBus()
+        for _ in range(100):
+            bus.record(TransactionKind.DATA_READ, 0, bytes(128))
+        bus.record(TransactionKind.SEQNUM_WRITE, 0, bytes(128))
+        bus.record(TransactionKind.SEQNUM_READ, 0, bytes(128))
+        assert bus.program_transactions == 100
+        assert bus.seqnum_transactions == 2
+        assert bus.total_transactions == 102
+
+    def test_instruction_reads_count_as_program_traffic(self):
+        bus = MemoryBus()
+        bus.record(TransactionKind.INSTRUCTION_READ, 0, bytes(128))
+        assert bus.program_transactions == 1
+
+
+class TestObservers:
+    def test_observer_sees_transactions(self):
+        bus = MemoryBus()
+        seen: list[BusTransaction] = []
+        bus.attach(seen.append)
+        bus.record(TransactionKind.DATA_WRITE, 0x1000, b"\xde\xad")
+        assert len(seen) == 1
+        assert seen[0].addr == 0x1000
+        assert seen[0].payload == b"\xde\xad"
+        assert seen[0].is_write
+
+    def test_detach_stops_delivery(self):
+        bus = MemoryBus()
+        seen: list[BusTransaction] = []
+        bus.attach(seen.append)
+        bus.detach(seen.append)
+        bus.record(TransactionKind.DATA_READ, 0, b"")
+        assert not seen
+
+    def test_multiple_observers(self):
+        bus = MemoryBus()
+        a: list[BusTransaction] = []
+        b: list[BusTransaction] = []
+        bus.attach(a.append)
+        bus.attach(b.append)
+        bus.record(TransactionKind.SEQNUM_READ, 4, b"x")
+        assert len(a) == len(b) == 1
+
+    def test_read_kinds_are_not_writes(self):
+        transaction = BusTransaction(TransactionKind.MAC_READ, 0, b"")
+        assert not transaction.is_write

@@ -1,0 +1,191 @@
+"""Tests for the set-associative cache — LRU behaviour and the fast
+tag-only variant used by the evaluation harness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import (
+    CacheConfig,
+    SetAssociativeCache,
+    TagOnlyCache,
+)
+
+
+def small_cache(assoc=2, sets=4, line=32):
+    config = CacheConfig(
+        size_bytes=assoc * sets * line, assoc=assoc, line_bytes=line
+    )
+    return SetAssociativeCache(config)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=256 * 1024, assoc=4, line_bytes=128)
+        assert config.n_lines == 2048
+        assert config.n_sets == 512
+        assert config.offset_bits == 7
+
+    def test_paper_baseline_geometries_are_valid(self):
+        CacheConfig(size_bytes=32 * 1024, assoc=4, line_bytes=32, name="L1")
+        CacheConfig(size_bytes=256 * 1024, assoc=4, line_bytes=128, name="L2")
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=100, assoc=2, line_bytes=32)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=64, assoc=128, line_bytes=32)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x100) is None
+        cache.fill(0x100, bytearray(32))
+        assert cache.lookup(0x100) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_offset_masked(self):
+        cache = small_cache()
+        cache.fill(0x100, bytearray(32))
+        assert cache.lookup(0x11F) is not None  # same 32B line
+        assert cache.lookup(0x120) is None  # next line
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0x000, bytearray(32))
+        cache.fill(0x020, bytearray(32))
+        cache.lookup(0x000)  # promote: now 0x020 is LRU
+        victim = cache.fill(0x040, bytearray(32))
+        assert victim.line_addr == 0x020
+
+    def test_fill_returns_none_when_room(self):
+        cache = small_cache()
+        assert cache.fill(0, bytearray(32)) is None
+
+    def test_dirty_eviction_counted(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0x000, bytearray(32), dirty=True)
+        victim = cache.fill(0x020, bytearray(32))
+        assert victim.dirty
+        assert cache.stats.dirty_evictions == 1
+
+    def test_meta_preserved(self):
+        cache = small_cache()
+        cache.fill(0x100, bytearray(32), meta={"va": 0xABC000})
+        assert cache.probe(0x100).meta["va"] == 0xABC000
+
+
+class TestInvalidateAndDrain:
+    def test_invalidate_removes(self):
+        cache = small_cache()
+        cache.fill(0x100, bytearray(32))
+        assert cache.invalidate(0x100) is not None
+        assert cache.probe(0x100) is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert small_cache().invalidate(0x100) is None
+
+    def test_drain_dirty_removes_only_dirty(self):
+        cache = small_cache()
+        cache.fill(0x000, bytearray(32), dirty=True)
+        cache.fill(0x020, bytearray(32), dirty=False)
+        drained = cache.drain_dirty()
+        assert [line.line_addr for line in drained] == [0x000]
+        assert len(cache) == 1
+
+
+class TestLRUProperty:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_resident_set_matches_reference_lru(self, accesses):
+        """Model-based test against a reference LRU implementation."""
+        assoc, sets, line = 4, 2, 32
+        cache = small_cache(assoc=assoc, sets=sets, line=line)
+        reference: list[list[int]] = [[] for _ in range(sets)]
+        for line_number in accesses:
+            addr = line_number * line
+            set_index = line_number % sets
+            ref_set = reference[set_index]
+            if cache.lookup(addr) is None:
+                cache.fill(addr, bytearray(line))
+            if line_number in ref_set:
+                ref_set.remove(line_number)
+            elif len(ref_set) >= assoc:
+                ref_set.pop(0)
+            ref_set.append(line_number)
+        for set_index, ref_set in enumerate(reference):
+            resident = {
+                line.line_addr // line_size
+                for line_size in [line]
+                for line in cache._sets[set_index]
+            }
+            assert resident == set(ref_set)
+
+
+class TestTagOnlyCache:
+    def test_basic_hit_miss(self):
+        cache = TagOnlyCache(n_lines=8, assoc=2)
+        hit, victim = cache.access(5, False)
+        assert (hit, victim) == (False, None)
+        assert cache.misses == 1
+        hit, _ = cache.access(5, False)
+        assert hit
+        assert cache.hits == 1
+
+    def test_dirty_writeback_on_eviction(self):
+        cache = TagOnlyCache(n_lines=2, assoc=2)  # single set of 2
+        cache.access(0, True)
+        cache.access(2, False)
+        _, victim = cache.access(4, False)  # evicts line 0, which is dirty
+        assert victim == 0
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_returns_none(self):
+        cache = TagOnlyCache(n_lines=2, assoc=2)
+        cache.access(0, False)
+        cache.access(2, False)
+        assert cache.access(4, False) == (False, None)
+        assert cache.evictions == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = TagOnlyCache(n_lines=2, assoc=2)
+        cache.access(0, False)
+        cache.access(0, True)  # hit, marks dirty
+        cache.access(2, False)
+        _, victim = cache.access(4, False)
+        assert victim == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TagOnlyCache(n_lines=3, assoc=1)
+        with pytest.raises(ConfigurationError):
+            TagOnlyCache(n_lines=8, assoc=3)
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_full_cache(self, accesses):
+        """The fast tag-only cache must be behaviourally identical to the
+        reference set-associative cache."""
+        line = 32
+        full = small_cache(assoc=4, sets=4, line=line)
+        fast = TagOnlyCache(n_lines=16, assoc=4)
+        for line_number, is_write in accesses:
+            fast_hit, fast_victim = fast.access(line_number, is_write)
+            resident = full.lookup(line_number * line)
+            full_victim = None
+            if resident is None:
+                victim = full.fill(line_number * line, dirty=is_write)
+                if victim is not None and victim.dirty:
+                    full_victim = victim.line_addr // line
+            elif is_write:
+                resident.dirty = True
+            assert fast_hit == (resident is not None)
+            assert fast_victim == full_victim
+        assert fast.hits == full.stats.hits
+        assert fast.misses == full.stats.misses

@@ -1,0 +1,90 @@
+"""Tests for the untrusted main-memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAM
+
+
+class TestLineAccess:
+    def test_read_uninitialized_returns_fill(self):
+        dram = DRAM(line_bytes=64, fill_byte=0xAB)
+        assert dram.read_line(0) == b"\xab" * 64
+
+    def test_write_then_read(self):
+        dram = DRAM(line_bytes=64)
+        data = bytes(range(64))
+        dram.write_line(128, data)
+        assert dram.read_line(128) == data
+
+    def test_lines_are_independent(self):
+        dram = DRAM(line_bytes=64)
+        dram.write_line(0, b"\x11" * 64)
+        dram.write_line(64, b"\x22" * 64)
+        assert dram.read_line(0) == b"\x11" * 64
+        assert dram.read_line(64) == b"\x22" * 64
+
+    def test_unaligned_read_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAM(line_bytes=64).read_line(3)
+
+    def test_wrong_size_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAM(line_bytes=64).write_line(0, bytes(32))
+
+    def test_stats_count_transactions(self):
+        dram = DRAM(line_bytes=64)
+        dram.write_line(0, bytes(64))
+        dram.read_line(0)
+        dram.read_line(64)
+        assert dram.stats.writes == 1
+        assert dram.stats.reads == 2
+        assert dram.stats.total == 3
+
+
+class TestRawAccess:
+    def test_poke_then_peek_across_lines(self):
+        dram = DRAM(line_bytes=64)
+        blob = bytes(range(200))
+        dram.poke(30, blob)
+        assert dram.peek(30, 200) == blob
+
+    def test_peek_does_not_touch_stats(self):
+        dram = DRAM(line_bytes=64)
+        dram.poke(0, b"hello")
+        dram.peek(0, 5)
+        assert dram.stats.total == 0
+
+    def test_poke_preserves_neighbors(self):
+        dram = DRAM(line_bytes=64)
+        dram.write_line(0, b"\xff" * 64)
+        dram.poke(10, b"\x00\x00")
+        line = dram.read_line(0)
+        assert line[9] == 0xFF
+        assert line[10:12] == b"\x00\x00"
+        assert line[12] == 0xFF
+
+    @given(st.integers(0, 10_000), st.binary(min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_poke_peek_round_trip(self, addr, blob):
+        dram = DRAM(line_bytes=128)
+        dram.poke(addr, blob)
+        assert dram.peek(addr, len(blob)) == blob
+
+    def test_resident_lines_is_sparse(self):
+        dram = DRAM(line_bytes=128)
+        dram.write_line(0, bytes(128))
+        dram.write_line(1 << 30, bytes(128))  # 1 GB away
+        assert dram.resident_lines == 2
+
+
+class TestConfig:
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ConfigurationError):
+            DRAM(line_bytes=100)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            DRAM(latency=-1)

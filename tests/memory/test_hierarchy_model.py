@@ -1,0 +1,120 @@
+"""Model-based testing: the full cache hierarchy over every engine must be
+observationally equivalent to a flat byte-addressable memory.
+
+Hypothesis drives random load/store/fetch/flush sequences; a plain dict is
+the reference model.  If any layer — L1, L2, write buffer, inclusion
+handling, engine encryption, SNC versioning — loses or corrupts a byte,
+this test finds it.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.secure.engine import BaselineEngine
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.secure.xom_engine import XOMEngine
+
+# A tiny hierarchy so random traffic constantly evicts at both levels.
+_L1 = dict(size_bytes=128, assoc=2, line_bytes=32)
+_L2 = dict(size_bytes=512, assoc=2, line_bytes=128)
+_ADDRESS_SPACE = 4096  # lines 0..31: forces heavy reuse
+
+
+def build_hierarchy(engine_name: str) -> MemoryHierarchy:
+    dram = DRAM(line_bytes=128, latency=100)
+    if engine_name == "baseline":
+        engine = BaselineEngine(dram)
+    elif engine_name == "xom":
+        engine = XOMEngine(dram, DES(b"modelkey"))
+    elif engine_name == "otp-lru":
+        engine = OTPEngine(
+            dram, DES(b"modelkey"),
+            snc=SequenceNumberCache(SNCConfig(size_bytes=16, entry_bytes=2)),
+        )
+    else:  # otp-norepl
+        engine = OTPEngine(
+            dram, DES(b"modelkey"),
+            snc=SequenceNumberCache(
+                SNCConfig(size_bytes=16, entry_bytes=2,
+                          policy=SNCPolicy.NO_REPLACEMENT)
+            ),
+        )
+    return MemoryHierarchy(
+        engine,
+        l1i_config=CacheConfig(**_L1, name="L1I"),
+        l1d_config=CacheConfig(**_L1, name="L1D"),
+        l2_config=CacheConfig(**_L2, name="L2"),
+        write_buffer_capacity=2,
+    )
+
+
+# Operations: (op, address, value)
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "flush"]),
+        st.integers(0, _ADDRESS_SPACE // 4 - 1).map(lambda w: w * 4),
+        st.integers(0, 0xFFFFFFFF),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@pytest.mark.parametrize(
+    "engine_name", ["baseline", "xom", "otp-lru", "otp-norepl"]
+)
+class TestHierarchyAgainstFlatModel:
+    @given(operations=_operations)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_equivalent_to_flat_memory(self, engine_name, operations):
+        hierarchy = build_hierarchy(engine_name)
+        reference: dict[int, bytes] = {}
+        for op, addr, value in operations:
+            if op == "store":
+                blob = value.to_bytes(4, "big")
+                hierarchy.store(addr, blob)
+                reference[addr] = blob
+            elif op == "flush":
+                hierarchy.flush()
+            else:
+                got = hierarchy.load(addr, 4)
+                if addr in reference:
+                    assert got == reference[addr], (
+                        f"{engine_name}: {addr:#x} returned {got.hex()}"
+                    )
+        # Final flush plus cold re-read of everything ever written.
+        hierarchy.flush()
+        for addr, expected in reference.items():
+            assert hierarchy.load(addr, 4) == expected
+
+    @given(operations=_operations)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_protected_engines_never_store_plaintext(self, engine_name,
+                                                     operations):
+        if engine_name == "baseline":
+            return
+        hierarchy = build_hierarchy(engine_name)
+        marker = 0xDEADBEEF
+        wrote_marker = False
+        for op, addr, value in operations:
+            if op == "store":
+                hierarchy.store(addr, marker.to_bytes(4, "big"))
+                wrote_marker = True
+        hierarchy.flush()
+        if wrote_marker:
+            image = hierarchy.engine.dram.peek(0, _ADDRESS_SPACE)
+            assert marker.to_bytes(4, "big") not in image

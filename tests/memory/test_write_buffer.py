@@ -1,0 +1,75 @@
+"""Tests for the write buffer between L2 and memory."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.write_buffer import WriteBuffer
+
+
+def make_buffer(capacity=4):
+    drained: list[tuple[int, bytes]] = []
+    buffer = WriteBuffer(capacity, lambda addr, data: drained.append((addr, data)))
+    return buffer, drained
+
+
+class TestBasicOperation:
+    def test_push_and_drain_fifo_order(self):
+        buffer, drained = make_buffer()
+        buffer.push(0x000, b"a")
+        buffer.push(0x080, b"b")
+        buffer.drain_all()
+        assert drained == [(0x000, b"a"), (0x080, b"b")]
+
+    def test_drain_one_returns_false_when_empty(self):
+        buffer, _ = make_buffer()
+        assert buffer.drain_one() is False
+
+    def test_capacity_forces_drain(self):
+        buffer, drained = make_buffer(capacity=2)
+        buffer.push(0, b"a")
+        buffer.push(128, b"b")
+        buffer.push(256, b"c")  # exceeds capacity: oldest drains
+        assert drained == [(0, b"a")]
+        assert buffer.stats.forced_drains == 1
+        assert len(buffer) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(0, lambda a, d: None)
+
+
+class TestCoalescingAndForwarding:
+    def test_same_line_coalesces(self):
+        buffer, drained = make_buffer()
+        buffer.push(0x100, b"old")
+        buffer.push(0x100, b"new")
+        buffer.drain_all()
+        assert drained == [(0x100, b"new")]
+
+    def test_forward_returns_pending_data(self):
+        buffer, _ = make_buffer()
+        buffer.push(0x100, b"pending")
+        assert buffer.forward(0x100) == b"pending"
+        assert buffer.stats.forwarded_reads == 1
+
+    def test_forward_misses_return_none(self):
+        buffer, _ = make_buffer()
+        assert buffer.forward(0x500) is None
+        assert buffer.stats.forwarded_reads == 0
+
+    def test_coalesced_push_refreshes_fifo_position(self):
+        buffer, drained = make_buffer(capacity=2)
+        buffer.push(0x000, b"a1")
+        buffer.push(0x080, b"b")
+        buffer.push(0x000, b"a2")  # coalesce: moves to back, no overflow
+        assert len(buffer) == 2
+        buffer.push(0x100, b"c")  # forces drain of oldest = 0x080
+        assert drained == [(0x080, b"b")]
+
+    def test_stats_track_enqueues_and_drains(self):
+        buffer, _ = make_buffer()
+        buffer.push(0, b"a")
+        buffer.push(128, b"b")
+        buffer.drain_all()
+        assert buffer.stats.enqueued == 2
+        assert buffer.stats.drained == 2

@@ -1,0 +1,144 @@
+"""Tests for XOM compartments: register tagging and the malicious-OS
+interrupt boundary."""
+
+import pytest
+
+from repro.crypto.des import DES
+from repro.errors import CompartmentViolation, ConfigurationError
+from repro.secure.compartment import (
+    SHARED_ID,
+    CompartmentManager,
+    TaggedRegisterFile,
+)
+
+
+def make_world():
+    manager = CompartmentManager()
+    task_a = manager.create(DES(b"task-A-k"))
+    task_b = manager.create(DES(b"task-B-k"))
+    registers = TaggedRegisterFile(manager, n_registers=8)
+    return manager, task_a, task_b, registers
+
+
+class TestTagging:
+    def test_same_compartment_round_trip(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 0xBEEF)
+        assert registers.read(1) == 0xBEEF
+
+    def test_foreign_read_traps(self):
+        manager, task_a, task_b, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 0x5EC)
+        manager.enter(task_b.xom_id)
+        with pytest.raises(CompartmentViolation):
+            registers.read(1)
+
+    def test_shared_data_readable_by_all(self):
+        manager, task_a, _, registers = make_world()
+        registers.write(2, 42)  # written from the shared world
+        manager.enter(task_a.xom_id)
+        assert registers.read(2) == 42
+
+    def test_write_retags(self):
+        manager, task_a, task_b, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 1)
+        manager.enter(task_b.xom_id)
+        registers.write(1, 2)  # overwrite is allowed; reading was not
+        assert registers.read(1) == 2
+        assert registers.owner_of(1) == task_b.xom_id
+
+    def test_os_cannot_read_task_register(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(3, 0xCAFE)
+        manager.exit()  # interrupt: OS takes over, shared compartment
+        with pytest.raises(CompartmentViolation):
+            registers.read(3)
+
+    def test_bad_register_index(self):
+        _, _, _, registers = make_world()
+        with pytest.raises(ConfigurationError):
+            registers.read(99)
+
+
+class TestManager:
+    def test_ids_are_unique_and_nonzero(self):
+        manager = CompartmentManager()
+        a = manager.create(DES(bytes(8)))
+        b = manager.create(DES(bytes(8)))
+        assert a.xom_id != b.xom_id
+        assert SHARED_ID not in (a.xom_id, b.xom_id)
+
+    def test_enter_unknown_compartment(self):
+        with pytest.raises(ConfigurationError):
+            CompartmentManager().enter(7)
+
+    def test_exit_returns_to_shared(self):
+        manager, task_a, _, _ = make_world()
+        manager.enter(task_a.xom_id)
+        manager.exit()
+        assert manager.active_id == SHARED_ID
+
+
+class TestInterruptProtection:
+    def test_save_scrubs_registers(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 0xDEAD)
+        registers.interrupt_save()
+        manager.exit()
+        # The OS sees zeroed shared registers, not task state.
+        assert registers.read(1) == 0
+
+    def test_save_restore_round_trip(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        for index in range(8):
+            registers.write(index, index * 1111)
+        frame = registers.interrupt_save()
+        manager.exit()  # OS runs...
+        manager.enter(task_a.xom_id)
+        registers.interrupt_restore(frame)
+        for index in range(8):
+            assert registers.read(index) == index * 1111
+
+    def test_frames_mutate_across_interrupts(self):
+        """Identical register state must never produce identical ciphertext
+        (the mutating value of §3.4 / XOM's interrupt handling)."""
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 0x77)
+        frame1 = registers.interrupt_save()
+        registers.interrupt_restore(frame1)
+        frame2 = registers.interrupt_save()
+        assert frame1.ciphertext != frame2.ciphertext
+
+    def test_replayed_frame_rejected(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        registers.write(1, 1)
+        stale = registers.interrupt_save()
+        registers.interrupt_restore(stale)
+        registers.write(1, 2)
+        registers.interrupt_save()  # fresh frame, bumps the counter
+        with pytest.raises(CompartmentViolation):
+            registers.interrupt_restore(stale)
+
+    def test_forged_frame_rejected(self):
+        manager, task_a, _, registers = make_world()
+        manager.enter(task_a.xom_id)
+        frame = registers.interrupt_save()
+        forged = type(frame)(
+            frame.xom_id, frame.counter,
+            bytes(len(frame.ciphertext)), frame.tag,
+        )
+        with pytest.raises(CompartmentViolation):
+            registers.interrupt_restore(forged)
+
+    def test_save_outside_compartment_rejected(self):
+        _, _, _, registers = make_world()
+        with pytest.raises(ConfigurationError):
+            registers.interrupt_save()

@@ -1,0 +1,96 @@
+"""Tests for the multi-task SNC context-switch model (§4.3)."""
+
+import pytest
+
+from repro.secure.context import (
+    MultiTaskSNCModel,
+    SwitchStrategy,
+    TaskStream,
+)
+from repro.secure.snc import SNCConfig, SNCPolicy
+
+
+def stream(xom_id, lines, writes_first=True):
+    """A task that writes each line once then reads it repeatedly."""
+    refs = []
+    if writes_first:
+        refs.extend((line, True) for line in lines)
+    refs.extend((line, False) for line in lines)
+    refs.extend((line, False) for line in lines)
+    return TaskStream(xom_id, refs)
+
+
+def small_config():
+    return SNCConfig(size_bytes=32, entry_bytes=2)  # 16 entries
+
+
+class TestFlushStrategy:
+    def test_flush_spills_at_every_switch(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.FLUSH)
+        tasks = [stream(1, range(4)), stream(2, range(100, 104))]
+        report = model.run(tasks, quantum=4)
+        assert report.switches > 0
+        assert report.flush_spills > 0
+
+    def test_flushed_task_takes_query_misses_on_return(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.FLUSH)
+        tasks = [stream(1, range(4)), stream(2, range(100, 104))]
+        report = model.run(tasks, quantum=4)
+        # Task 1's reads after the switch all miss (cold SNC).
+        assert report.query_misses > 0
+
+    def test_correct_seq_recovered_after_flush(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.FLUSH)
+        model._reference(1, 5, True)  # seq 1
+        model._switch_out(1)
+        assert model.snc.peek(5) is None
+        model._reference(1, 5, True)  # update miss; must resume at seq 2
+        assert model._table[(1, 5)] == 2
+
+
+class TestTagStrategy:
+    def test_no_flush_cost(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.TAG)
+        tasks = [stream(1, range(4)), stream(2, range(100, 104))]
+        report = model.run(tasks, quantum=4)
+        assert report.flush_spills == 0
+
+    def test_entries_survive_switches(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.TAG)
+        tasks = [stream(1, range(4)), stream(2, range(100, 104))]
+        report = model.run(tasks, quantum=4)
+        flush_report = MultiTaskSNCModel(
+            small_config(), SwitchStrategy.FLUSH
+        ).run(tasks, quantum=4)
+        assert report.query_hit_rate > flush_report.query_hit_rate
+
+    def test_tasks_with_same_lines_do_not_alias(self):
+        """Two tasks touching the same virtual line indices must keep
+        separate sequence numbers (the synonym discipline)."""
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.TAG)
+        model._reference(1, 5, True)
+        model._reference(2, 5, True)
+        model._reference(2, 5, True)
+        assert model._table[(1, 5)] == 1
+        assert model._table[(2, 5)] == 2
+
+    def test_capacity_contention_evicts_across_tasks(self):
+        config = SNCConfig(size_bytes=8, entry_bytes=2)  # 4 entries
+        model = MultiTaskSNCModel(config, SwitchStrategy.TAG)
+        tasks = [stream(1, range(4)), stream(2, range(100, 104))]
+        report = model.run(tasks, quantum=4)
+        assert report.evictions > 0
+
+
+class TestValidation:
+    def test_requires_lru_policy(self):
+        config = SNCConfig(
+            size_bytes=32, entry_bytes=2, policy=SNCPolicy.NO_REPLACEMENT
+        )
+        with pytest.raises(ValueError):
+            MultiTaskSNCModel(config, SwitchStrategy.TAG)
+
+    def test_quantum_larger_than_stream_terminates(self):
+        model = MultiTaskSNCModel(small_config(), SwitchStrategy.TAG)
+        report = model.run([stream(1, range(2))], quantum=1000)
+        assert report.query_hits + report.query_misses > 0

@@ -1,0 +1,299 @@
+"""Functional tests for the three memory-encryption engines.
+
+These check the *functional* contract (what bytes appear where) and the
+*timing* contract (what each operation charges to the critical path),
+which together are the paper's whole story.
+"""
+
+import pytest
+
+from repro.crypto.des import DES
+from repro.errors import TamperDetected
+from repro.memory.bus import MemoryBus, TransactionKind
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.engine import BaselineEngine, LatencyParams
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.regions import Region, RegionMap
+from repro.secure.seeds import SeedScheme
+from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.secure.xom_engine import XOMEngine
+
+_KEY = bytes.fromhex("133457799BBCDFF1")
+_LINE = bytes(range(128))
+
+
+def make_dram():
+    return DRAM(line_bytes=128, latency=100)
+
+
+def make_otp(policy=SNCPolicy.LRU, entries=8, dram=None, bus=None,
+             latencies=None, regions=None):
+    dram = dram or make_dram()
+    snc = SequenceNumberCache(
+        SNCConfig(size_bytes=entries * 2, entry_bytes=2, policy=policy)
+    )
+    engine = OTPEngine(
+        dram, DES(_KEY), snc=snc, bus=bus or MemoryBus(),
+        latencies=latencies, regions=regions,
+    )
+    return engine, dram
+
+
+class TestLatencyParams:
+    def test_paper_values(self):
+        lat = LatencyParams(memory=100, crypto=50, xor=1)
+        assert lat.baseline_read == 100
+        assert lat.serial_read == 150
+        assert lat.overlapped_read == 101  # MAX(100, 50) + 1 (§3.2)
+        assert lat.seqnum_miss_read == 201
+
+    def test_figure10_values(self):
+        lat = LatencyParams(memory=100, crypto=102, xor=1)
+        assert lat.serial_read == 202
+        assert lat.overlapped_read == 103  # MAX(100, 102) + 1
+        assert lat.seqnum_miss_read == 305
+
+
+class TestBaselineEngine:
+    def test_round_trip_plaintext_on_bus(self):
+        dram = make_dram()
+        bus = MemoryBus()
+        engine = BaselineEngine(dram, bus)
+        engine.write_line(0, _LINE)
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 100
+        # The attack surface: plaintext visible in DRAM.
+        assert dram.peek(0, 128) == _LINE
+
+    def test_write_off_critical_path(self):
+        engine = BaselineEngine(make_dram())
+        assert engine.write_line(0, _LINE) == 0
+
+
+class TestXOMEngine:
+    def test_round_trip(self):
+        dram = make_dram()
+        engine = XOMEngine(dram, DES(_KEY))
+        engine.write_line(0, _LINE)
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 150  # memory + crypto, serial (§2.2)
+
+    def test_memory_holds_ciphertext(self):
+        dram = make_dram()
+        engine = XOMEngine(dram, DES(_KEY))
+        engine.write_line(0, _LINE)
+        assert dram.peek(0, 128) != _LINE
+
+    def test_equal_lines_produce_equal_ciphertext(self):
+        """The §3.4 pattern-leak the OTP scheme fixes."""
+        dram = make_dram()
+        engine = XOMEngine(dram, DES(_KEY))
+        engine.write_line(0, _LINE)
+        engine.write_line(128, _LINE)
+        assert dram.peek(0, 128) == dram.peek(128, 128)
+
+    def test_plaintext_region_bypasses_crypto(self):
+        regions = RegionMap()
+        regions.add(Region(0, 256, "shared-lib"))
+        dram = make_dram()
+        engine = XOMEngine(dram, DES(_KEY), regions=regions)
+        engine.write_line(0, _LINE)
+        assert dram.peek(0, 128) == _LINE
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 100  # no crypto charged
+
+
+class TestOTPEngineReadPaths:
+    def test_snc_hit_is_overlapped(self):
+        engine, _ = make_otp()
+        engine.write_line(0, _LINE)  # installs seq 1 in the SNC
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 101  # MAX(100,50)+1
+        assert engine.stats.overlapped_reads == 1
+
+    def test_lru_query_miss_costs_seqnum_fetch(self):
+        engine, _ = make_otp(entries=2)
+        # Write lines 0..2: line 0's seqnum gets evicted from the tiny SNC.
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        assert engine.snc.peek(0) is None
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 201  # fetch+decrypt seqnum, then pad, then XOR
+        assert engine.stats.seqnum_miss_reads == 1
+
+    def test_instruction_read_is_always_overlapped(self):
+        engine, dram = make_otp()
+        # Simulate a vendor-encrypted code line: version-0 pad.
+        from repro.crypto.modes import otp_transform
+        seed = engine.seed_scheme.instruction_seed(0x1000)
+        dram.poke(0x1000, otp_transform(engine.cipher, seed, _LINE))
+        data, cycles = engine.read_line(0x1000, LineKind.INSTRUCTION)
+        assert data == _LINE
+        assert cycles == 101
+        assert engine.snc.stats.queries == 0  # instructions skip the SNC
+
+    def test_untouched_vendor_data_reads_at_version_zero(self):
+        engine, dram = make_otp()
+        from repro.crypto.modes import otp_transform
+        seed = engine.seed_scheme.data_seed(0x2000, 0)
+        dram.poke(0x2000, otp_transform(engine.cipher, seed, _LINE))
+        data, cycles = engine.read_line(0x2000, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 201  # query miss -> table read returns version 0
+
+    def test_plaintext_region(self):
+        regions = RegionMap()
+        regions.add(Region(0x4000, 0x4100, "inputs"))
+        engine, dram = make_otp(regions=regions)
+        dram.poke(0x4000, _LINE)
+        data, cycles = engine.read_line(0x4000, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 100
+
+
+class TestOTPEngineWritePaths:
+    def test_memory_holds_ciphertext(self):
+        engine, dram = make_otp()
+        engine.write_line(0, _LINE)
+        assert dram.peek(0, 128) != _LINE
+
+    def test_writes_off_critical_path(self):
+        engine, _ = make_otp()
+        assert engine.write_line(0, _LINE) == 0
+
+    def test_rewrite_same_line_changes_ciphertext(self):
+        """The sequence number mutates the pad on every writeback — the fix
+        for the §3.4 constant-seed leak."""
+        engine, dram = make_otp()
+        engine.write_line(0, _LINE)
+        first = dram.peek(0, 128)
+        engine.write_line(0, _LINE)
+        second = dram.peek(0, 128)
+        assert first != second
+        data, _ = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+
+    def test_equal_lines_produce_different_ciphertext(self):
+        engine, dram = make_otp()
+        engine.write_line(0, _LINE)
+        engine.write_line(128, _LINE)
+        assert dram.peek(0, 128) != dram.peek(128, 128)
+
+    def test_many_rewrites_round_trip(self):
+        engine, _ = make_otp()
+        for value in range(20):
+            line = bytes([value]) * 128
+            engine.write_line(0, line)
+        data, _ = engine.read_line(0, LineKind.DATA)
+        assert data == bytes([19]) * 128
+
+
+class TestNoReplacementPolicy:
+    def test_overflow_lines_fall_back_to_direct_encryption(self):
+        engine, dram = make_otp(policy=SNCPolicy.NO_REPLACEMENT, entries=2)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        assert engine.snc.stats.rejected == 1
+        # Line 2 took the XOM path: serial read latency.
+        data, cycles = engine.read_line(2 * 128, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 150
+        assert engine.stats.serial_reads == 1
+
+    def test_covered_lines_stay_overlapped(self):
+        engine, _ = make_otp(policy=SNCPolicy.NO_REPLACEMENT, entries=2)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        data, cycles = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+        assert cycles == 101
+
+    def test_direct_line_can_regain_otp_after_room_frees(self):
+        engine, _ = make_otp(policy=SNCPolicy.NO_REPLACEMENT, entries=2)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        # SNC stays full forever under no-replacement, but the same line
+        # rewritten still takes the direct path and round-trips.
+        engine.write_line(2 * 128, bytes([7]) * 128)
+        data, _ = engine.read_line(2 * 128, LineKind.DATA)
+        assert data == bytes([7]) * 128
+
+
+class TestSeqnumTable:
+    def test_spilled_numbers_are_encrypted_in_memory(self):
+        engine, dram = make_otp(entries=2)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        # The victim's table entry must not store the seq in the clear.
+        table_raw = dram.peek(engine._table_addr(0), 8)
+        assert table_raw != (1).to_bytes(8, "big")
+        assert table_raw != bytes(8)
+
+    def test_spliced_table_entry_detected(self):
+        engine, dram = make_otp(entries=2)
+        for line in range(4):
+            engine.write_line(line * 128, _LINE)
+        # Splice: copy line 1's table entry over line 0's.
+        entry_1 = dram.peek(engine._table_addr(1), 8)
+        dram.poke(engine._table_addr(0), entry_1)
+        with pytest.raises(TamperDetected):
+            engine.read_line(0, LineKind.DATA)
+
+    def test_bus_records_seqnum_traffic(self):
+        bus = MemoryBus()
+        engine, _ = make_otp(entries=2, bus=bus)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        assert bus.counts[TransactionKind.SEQNUM_WRITE] >= 1
+        engine.read_line(0, LineKind.DATA)
+        assert bus.counts[TransactionKind.SEQNUM_READ] >= 1
+
+    def test_flush_snc_spills_everything(self):
+        engine, _ = make_otp(entries=4)
+        for line in range(3):
+            engine.write_line(line * 128, _LINE)
+        spilled = engine.flush_snc()
+        assert spilled == 3
+        assert len(engine.snc) == 0
+        # All lines still decrypt after the flush (query misses).
+        for line in range(3):
+            data, cycles = engine.read_line(line * 128, LineKind.DATA)
+            assert data == _LINE
+            assert cycles == 201
+
+
+class TestSequenceOverflow:
+    def test_overflow_wraps_and_counts(self):
+        engine, _ = make_otp()
+        scheme = engine.seed_scheme
+        engine.snc.insert(0, scheme.max_seq)  # one writeback from overflow
+        engine.write_line(0, _LINE)
+        assert engine.stats.seq_overflows == 1
+        data, _ = engine.read_line(0, LineKind.DATA)
+        assert data == _LINE
+
+
+class TestFigure10Insensitivity:
+    """§5.6: OTP latency barely moves when crypto slows from 50 to 102."""
+
+    def test_otp_hit_cost_tracks_max(self):
+        slow = LatencyParams(memory=100, crypto=102)
+        engine, _ = make_otp(latencies=slow)
+        engine.write_line(0, _LINE)
+        _, cycles = engine.read_line(0, LineKind.DATA)
+        assert cycles == 103  # vs 202 for XOM
+
+    def test_xom_cost_degrades_linearly(self):
+        dram = make_dram()
+        engine = XOMEngine(
+            dram, DES(_KEY), latencies=LatencyParams(memory=100, crypto=102)
+        )
+        engine.write_line(0, _LINE)
+        _, cycles = engine.read_line(0, LineKind.DATA)
+        assert cycles == 202

@@ -1,0 +1,74 @@
+"""Tests for seed construction — uniqueness is the whole security story."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.secure.seeds import SeedScheme
+
+_SCHEME = SeedScheme(line_bytes=128, block_bytes=8, seq_bits=16)
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        assert _SCHEME.chunks_per_line == 16
+        assert _SCHEME.chunk_bits == 4
+        assert _SCHEME.max_seq == 0xFFFF
+
+    def test_aes_configuration(self):
+        scheme = SeedScheme(line_bytes=128, block_bytes=16)
+        assert scheme.chunks_per_line == 8
+        assert scheme.chunk_bits == 3
+
+    def test_rejects_indivisible_line(self):
+        with pytest.raises(ConfigurationError):
+            SeedScheme(line_bytes=100, block_bytes=8)
+
+    def test_rejects_unaligned_address(self):
+        with pytest.raises(ConfigurationError):
+            _SCHEME.data_seed(130, 0)
+
+    def test_rejects_out_of_range_seq(self):
+        with pytest.raises(ConfigurationError):
+            _SCHEME.data_seed(0, 1 << 16)
+
+
+class TestUniqueness:
+    def test_instruction_seed_equals_version_zero(self):
+        """The vendor encrypts with 'the virtual addresses' — i.e. version 0
+        (§3.4.1), which is also what an untouched data line decrypts with."""
+        assert _SCHEME.instruction_seed(0x1000) == _SCHEME.data_seed(0x1000, 0)
+
+    def test_adjacent_lines_leave_chunk_room(self):
+        """Seeds of adjacent lines must differ by more than a line's worth
+        of chunk counters, or pads would overlap."""
+        gap = _SCHEME.data_seed(128, 0) - _SCHEME.data_seed(0, 0)
+        assert gap >= _SCHEME.chunks_per_line
+
+    def test_versions_leave_chunk_room(self):
+        gap = _SCHEME.data_seed(0, 1) - _SCHEME.data_seed(0, 0)
+        assert gap >= _SCHEME.chunks_per_line
+
+    @given(
+        st.tuples(st.integers(0, 2**20), st.integers(0, 0xFFFF)),
+        st.tuples(st.integers(0, 2**20), st.integers(0, 0xFFFF)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_pad_block_collisions(self, a, b):
+        """The critical invariant: for distinct (line, version) pairs, the
+        per-chunk counter ranges [seed, seed+chunks) never intersect."""
+        if a == b:
+            return
+        seed_a = _SCHEME.data_seed(a[0] * 128, a[1])
+        seed_b = _SCHEME.data_seed(b[0] * 128, b[1])
+        chunks = _SCHEME.chunks_per_line
+        overlap = (
+            seed_a < seed_b + chunks and seed_b < seed_a + chunks
+        )
+        assert not overlap
+
+    def test_line_index(self):
+        assert _SCHEME.line_index(0) == 0
+        assert _SCHEME.line_index(128) == 1
+        assert _SCHEME.line_index(0x10000) == 512

@@ -1,0 +1,116 @@
+"""Cross-check: the byte-free SNC timing simulator must make exactly the
+same decisions as the functional OTP engine on the same reference stream.
+
+This is the glue test that keeps the evaluation honest: the figures are
+produced by the timing layer, the security properties by the functional
+layer, and this test pins them together.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.des import DES
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.timing.model import SNCTimingSim
+
+
+def run_both(config: SNCConfig, operations):
+    """Drive engine and sim with one op stream; return their categories."""
+    dram = DRAM(line_bytes=128, latency=100)
+    engine = OTPEngine(
+        dram, DES(b"crosschk"),
+        snc=SequenceNumberCache(config),
+    )
+    sim = SNCTimingSim(config)
+    for line_index, is_write in operations:
+        if is_write:
+            engine.write_line(line_index * 128, bytes(128))
+            sim.writeback(line_index)
+        else:
+            engine.read_line(line_index * 128, LineKind.DATA)
+            sim.read_miss(line_index)
+    engine_counts = {
+        "overlapped": engine.stats.overlapped_reads,
+        "seqnum_miss": engine.stats.seqnum_miss_reads,
+        "direct": engine.stats.serial_reads,
+        "snc_query_hits": engine.snc.stats.query_hits,
+        "snc_update_hits": engine.snc.stats.update_hits,
+        "snc_evictions": engine.snc.stats.evictions,
+    }
+    sim_counts = {
+        "overlapped": sim.counts.overlapped_reads,
+        "seqnum_miss": sim.counts.seqnum_miss_reads,
+        "direct": sim.counts.direct_reads,
+        "snc_query_hits": sim.snc.stats.query_hits,
+        "snc_update_hits": sim.snc.stats.update_hits,
+        "snc_evictions": sim.snc.stats.evictions,
+    }
+    return engine_counts, sim_counts
+
+
+def random_operations(seed, n_ops=600, n_lines=24):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_lines), rng.random() < 0.4) for _ in range(n_ops)
+    ]
+
+
+class TestLRUConsistency:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_streams_agree(self, seed):
+        config = SNCConfig(size_bytes=16, entry_bytes=2)  # 8 entries
+        engine_counts, sim_counts = run_both(
+            config, random_operations(seed)
+        )
+        assert engine_counts == sim_counts
+
+    def test_pathological_cyclic_stream(self):
+        config = SNCConfig(size_bytes=8, entry_bytes=2)  # 4 entries
+        operations = [(line % 6, False) for line in range(200)]
+        operations += [(line % 6, True) for line in range(200)]
+        engine_counts, sim_counts = run_both(config, operations)
+        assert engine_counts == sim_counts
+
+    def test_set_associative_agreement(self):
+        config = SNCConfig(size_bytes=16, entry_bytes=2, assoc=2)
+        engine_counts, sim_counts = run_both(
+            config, random_operations(99, n_ops=800, n_lines=32)
+        )
+        assert engine_counts == sim_counts
+
+
+class TestNoReplacementConsistency:
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_random_streams_agree(self, seed):
+        config = SNCConfig(
+            size_bytes=8, entry_bytes=2, policy=SNCPolicy.NO_REPLACEMENT
+        )
+        engine_counts, sim_counts = run_both(
+            config, random_operations(seed, n_ops=500, n_lines=16)
+        )
+        assert engine_counts == sim_counts
+
+    def test_rejection_counts_agree(self):
+        config = SNCConfig(
+            size_bytes=8, entry_bytes=2, policy=SNCPolicy.NO_REPLACEMENT
+        )
+        operations = [(line, True) for line in range(12)]
+        operations += [(line, False) for line in range(12)]
+        dram = DRAM(line_bytes=128)
+        engine = OTPEngine(
+            dram, DES(b"rejcheck"), snc=SequenceNumberCache(config)
+        )
+        sim = SNCTimingSim(config)
+        for line, is_write in operations:
+            if is_write:
+                engine.write_line(line * 128, bytes(128))
+                sim.writeback(line)
+            else:
+                engine.read_line(line * 128, LineKind.DATA)
+                sim.read_miss(line)
+        assert engine.snc.stats.rejected == sim.snc.stats.rejected
+        assert engine.stats.serial_reads == sim.counts.direct_reads

@@ -1,0 +1,172 @@
+"""Tests for the event-count timing model."""
+
+import pytest
+
+from repro.secure.engine import LatencyParams
+from repro.secure.snc import SNCConfig, SNCPolicy
+from repro.timing.model import (
+    SNCEventCounts,
+    SNCTimingSim,
+    TraceEvents,
+    baseline_cycles,
+    calibrate_compute_cycles,
+    normalized_time,
+    otp_cycles,
+    slowdown_pct,
+    snc_traffic_pct,
+    xom_cycles,
+)
+
+_LAT = LatencyParams(memory=100, crypto=50, xor=1)
+
+
+def make_events(read_misses=1000, allocate=100, writebacks=200,
+                compute=100_000, snc=None, alt=None):
+    return TraceEvents(
+        name="test", read_misses=read_misses, allocate_misses=allocate,
+        writebacks=writebacks, compute_cycles=compute, snc=snc,
+        read_misses_alt_l2=alt,
+    )
+
+
+class TestPricing:
+    def test_baseline(self):
+        events = make_events()
+        assert baseline_cycles(events, _LAT) == 100_000 + 1000 * 100
+
+    def test_xom_adds_serial_crypto(self):
+        events = make_events()
+        assert xom_cycles(events, _LAT) == 100_000 + 1000 * 150
+
+    def test_xom_alt_l2(self):
+        events = make_events(alt=400)
+        assert xom_cycles(events, _LAT, use_alt_l2=True) == (
+            100_000 + 400 * 150
+        )
+
+    def test_xom_alt_l2_requires_counts(self):
+        with pytest.raises(ValueError):
+            xom_cycles(make_events(), _LAT, use_alt_l2=True)
+
+    def test_otp_prices_the_mix(self):
+        snc = SNCEventCounts(
+            overlapped_reads=800, seqnum_miss_reads=150, direct_reads=50
+        )
+        events = make_events(snc=snc)
+        expected = 100_000 + 800 * 101 + 150 * 201 + 50 * 150
+        assert otp_cycles(events, _LAT) == expected
+
+    def test_otp_requires_snc_counts(self):
+        with pytest.raises(ValueError):
+            otp_cycles(make_events(), _LAT)
+
+    def test_slowdown_and_normalized(self):
+        assert slowdown_pct(110.0, 100.0) == pytest.approx(10.0)
+        assert normalized_time(110.0, 100.0) == pytest.approx(1.10)
+
+    def test_traffic_is_byte_relative(self):
+        snc = SNCEventCounts(table_fetches=64, table_spills=64)
+        events = make_events(read_misses=1000, allocate=0, writebacks=0,
+                             snc=snc)
+        # 128 transfers * 2B vs 1000 lines * 128B = 0.2%
+        assert snc_traffic_pct(events) == pytest.approx(0.2)
+
+
+class TestCalibration:
+    def test_round_trips_through_xom_slowdown(self):
+        """calibrate(R, s) must make the priced XOM slowdown equal s."""
+        for target in (1.08, 14.27, 34.91):
+            read_misses = 10_000
+            compute = calibrate_compute_cycles(read_misses, target)
+            events = make_events(read_misses=read_misses, compute=compute)
+            measured = slowdown_pct(
+                xom_cycles(events, _LAT), baseline_cycles(events, _LAT)
+            )
+            assert measured == pytest.approx(target, abs=0.02)
+
+    def test_figure10_scales_linearly(self):
+        """The paper's own consistency: XOM at crypto=102 is (102/50) times
+        the crypto=50 slowdown."""
+        compute = calibrate_compute_cycles(10_000, 16.76)
+        events = make_events(read_misses=10_000, compute=compute)
+        slow = LatencyParams(memory=100, crypto=102, xor=1)
+        s50 = slowdown_pct(
+            xom_cycles(events, _LAT), baseline_cycles(events, _LAT)
+        )
+        s102 = slowdown_pct(
+            xom_cycles(events, slow), baseline_cycles(events, slow)
+        )
+        assert s102 / s50 == pytest.approx(102 / 50, rel=1e-6)
+
+    def test_rejects_infeasible_slowdown(self):
+        with pytest.raises(ValueError):
+            calibrate_compute_cycles(1000, 51.0)  # above crypto/memory bound
+
+    def test_rejects_zero_slowdown(self):
+        with pytest.raises(ValueError):
+            calibrate_compute_cycles(1000, 0.0)
+
+
+class TestSNCTimingSim:
+    def lru_sim(self, entries=4):
+        return SNCTimingSim(SNCConfig(size_bytes=entries * 2, entry_bytes=2))
+
+    def norepl_sim(self, entries=4):
+        return SNCTimingSim(SNCConfig(
+            size_bytes=entries * 2, entry_bytes=2,
+            policy=SNCPolicy.NO_REPLACEMENT,
+        ))
+
+    def test_first_read_is_a_query_miss_under_lru(self):
+        sim = self.lru_sim()
+        sim.read_miss(5)
+        assert sim.counts.seqnum_miss_reads == 1
+        assert sim.counts.table_fetches == 1
+
+    def test_second_read_hits(self):
+        sim = self.lru_sim()
+        sim.read_miss(5)
+        sim.read_miss(5)
+        assert sim.counts.overlapped_reads == 1
+
+    def test_writeback_then_read_hits(self):
+        sim = self.lru_sim()
+        sim.writeback(5)
+        sim.read_miss(5)
+        assert sim.counts.overlapped_reads == 1
+
+    def test_capacity_eviction_spills(self):
+        sim = self.lru_sim(entries=2)
+        for line in range(3):
+            sim.writeback(line)
+        assert sim.counts.table_spills == 1
+
+    def test_allocate_miss_not_critical(self):
+        sim = self.lru_sim()
+        sim.read_miss(5, critical=False)
+        assert sim.counts.seqnum_miss_reads == 0
+        assert sim.counts.allocate_queries == 1
+        assert sim.counts.table_fetches == 1  # traffic still happens
+
+    def test_norepl_first_read_is_overlapped(self):
+        """Version-0 vendor-image reads don't pay a penalty."""
+        sim = self.norepl_sim()
+        sim.read_miss(5)
+        assert sim.counts.overlapped_reads == 1
+        assert sim.counts.table_fetches == 0
+
+    def test_norepl_full_rejects_and_reads_go_serial(self):
+        sim = self.norepl_sim(entries=2)
+        for line in range(3):
+            sim.writeback(line)
+        assert sim.counts.rejected_updates == 1
+        sim.read_miss(2)
+        assert sim.counts.direct_reads == 1
+
+    def test_reset_counts_keeps_state(self):
+        sim = self.lru_sim()
+        sim.writeback(5)
+        sim.reset_counts()
+        sim.read_miss(5)
+        assert sim.counts.overlapped_reads == 1  # still warm
+        assert sim.counts.update_hits == 0  # counters cleared

@@ -1,0 +1,82 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bytes_to_int,
+    bytes_to_words,
+    int_to_bytes,
+    permute_bits,
+    rotl,
+    rotl32,
+    rotr32,
+    words_to_bytes,
+    xor_bytes,
+)
+
+
+class TestRotations:
+    def test_rotl32_basic(self):
+        assert rotl32(1, 1) == 2
+        assert rotl32(0x80000000, 1) == 1
+        assert rotl32(0xDEADBEEF, 0) == 0xDEADBEEF
+
+    def test_rotl32_full_cycle_is_identity(self):
+        assert rotl32(0x12345678, 32) == 0x12345678
+
+    def test_rotr_inverts_rotl(self):
+        assert rotr32(rotl32(0xCAFEBABE, 7), 7) == 0xCAFEBABE
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 100))
+    def test_rotl_rotr_inverse_property(self, value, shift):
+        assert rotr32(rotl32(value, shift), shift) == value
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 64))
+    def test_generic_rotl_matches_width(self, value, shift):
+        rotated = rotl(value, shift, 16)
+        assert 0 <= rotated < 2**16
+        assert rotl(rotated, 16 - (shift % 16), 16) == value
+
+
+class TestPermuteBits:
+    def test_identity_permutation(self):
+        table = tuple(range(1, 9))
+        assert permute_bits(0b10110010, table, 8) == 0b10110010
+
+    def test_bit_reversal(self):
+        table = tuple(range(8, 0, -1))
+        assert permute_bits(0b10000000, table, 8) == 0b00000001
+
+    def test_expansion_duplicates_bits(self):
+        # Output wider than input: select MSB twice then LSB twice.
+        assert permute_bits(0b10, (1, 1, 2, 2), 2) == 0b1100
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_self_inverse(self, data):
+        key = bytes(reversed(data))
+        assert xor_bytes(xor_bytes(data, key), key) == data
+
+
+class TestConversions:
+    @given(st.binary(min_size=1, max_size=32))
+    def test_bytes_int_round_trip(self, data):
+        assert int_to_bytes(bytes_to_int(data), len(data)) == data
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=16))
+    def test_words_round_trip(self, words):
+        assert bytes_to_words(words_to_bytes(words)) == words
+
+    def test_bytes_to_words_requires_alignment(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00" * 5)

@@ -1,0 +1,42 @@
+"""Tests for the integer-math helpers used in cache geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intmath import ceil_div, is_power_of_two, log2_exact
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 128) == 1
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestPowersOfTwo:
+    def test_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for n in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(n)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(256) == 8
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+
+    @given(st.integers(0, 40))
+    def test_log2_round_trip(self, exp):
+        assert log2_exact(1 << exp) == exp

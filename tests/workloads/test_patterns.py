@@ -1,0 +1,138 @@
+"""Tests for the reference-pattern combinators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import (
+    Region,
+    mixture,
+    phases,
+    pointer_chase,
+    random_uniform,
+    sequential,
+    strided,
+    take,
+    zipf_lines,
+)
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = Region(100, 50)
+        assert region.end == 150
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Region(0, 0)
+
+
+class TestSequential:
+    def test_walks_in_order_and_wraps(self):
+        refs = take(sequential(Region(10, 3)), 7)
+        assert [line for line, _ in refs] == [10, 11, 12, 10, 11, 12, 10]
+
+    def test_write_fraction(self):
+        refs = take(
+            sequential(Region(0, 100), write_fraction=0.5,
+                       rng=random.Random(1)),
+            1000,
+        )
+        writes = sum(is_write for _, is_write in refs)
+        assert 400 < writes < 600
+
+    def test_zero_write_fraction(self):
+        refs = take(sequential(Region(0, 10)), 50)
+        assert not any(is_write for _, is_write in refs)
+
+
+class TestStrided:
+    def test_steps_by_stride(self):
+        refs = take(strided(Region(0, 100), stride_lines=10), 5)
+        assert [line for line, _ in refs] == [0, 10, 20, 30, 40]
+
+    def test_wrap_skews_to_cover_all_lines(self):
+        refs = take(strided(Region(0, 10), stride_lines=3), 40)
+        assert {line for line, _ in refs} == set(range(10))
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigurationError):
+            take(strided(Region(0, 10), stride_lines=0), 1)
+
+
+class TestRandomUniform:
+    def test_stays_in_region(self):
+        refs = take(random_uniform(Region(50, 20), 0.3, random.Random(2)), 500)
+        assert all(50 <= line < 70 for line, _ in refs)
+
+    def test_covers_region(self):
+        refs = take(random_uniform(Region(0, 10), 0.0, random.Random(3)), 500)
+        assert {line for line, _ in refs} == set(range(10))
+
+    def test_deterministic_for_seed(self):
+        a = take(random_uniform(Region(0, 100), 0.5, random.Random(7)), 50)
+        b = take(random_uniform(Region(0, 100), 0.5, random.Random(7)), 50)
+        assert a == b
+
+
+class TestPointerChase:
+    def test_visits_every_line_once_per_cycle(self):
+        refs = take(pointer_chase(Region(0, 16), 0.0, random.Random(4)), 16)
+        assert sorted(line for line, _ in refs) == list(range(16))
+
+    def test_cycles_repeat(self):
+        chase = pointer_chase(Region(0, 8), 0.0, random.Random(5))
+        first = [line for line, _ in take(chase, 8)]
+        second = [line for line, _ in take(chase, 8)]
+        assert first == second
+
+
+class TestZipf:
+    def test_skewed_head(self):
+        refs = take(
+            zipf_lines(Region(0, 4096), 0.0, random.Random(6)), 4000
+        )
+        head_hits = sum(1 for line, _ in refs if line < 64)
+        # The head must be vastly over-represented vs uniform (64/4096).
+        assert head_hits > 400
+
+    def test_stays_in_region(self):
+        refs = take(
+            zipf_lines(Region(100, 1000), 0.0, random.Random(8)), 1000
+        )
+        assert all(100 <= line < 1100 for line, _ in refs)
+
+
+class TestMixture:
+    def test_respects_weights_roughly(self):
+        rng = random.Random(9)
+        a = sequential(Region(0, 10))
+        b = sequential(Region(1000, 10))
+        refs = take(mixture([(a, 0.9), (b, 0.1)], rng), 2000)
+        from_b = sum(1 for line, _ in refs if line >= 1000)
+        assert 100 < from_b < 320
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ConfigurationError):
+            take(mixture([(sequential(Region(0, 1)), 0.0)],
+                         random.Random(0)), 1)
+
+
+class TestPhases:
+    def test_stages_run_in_order(self):
+        first = sequential(Region(0, 5))
+        second = sequential(Region(100, 5))
+        refs = take(phases([(first, 5), (second, 1000)]), 10)
+        assert all(line < 5 for line, _ in refs[:5])
+        assert all(line >= 100 for line, _ in refs[5:])
+
+    def test_final_stage_loops_forever(self):
+        first = sequential(Region(0, 2))
+        second = sequential(Region(100, 2))
+        refs = take(phases([(first, 2), (second, 3)]), 20)
+        assert all(line >= 100 for line, _ in refs[2:])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            take(phases([]), 1)

@@ -1,0 +1,76 @@
+"""Tests for trace save/load/profile."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import take
+from repro.workloads.spec import BY_NAME
+from repro.workloads.tracegen import (
+    load_trace,
+    parse_trace,
+    profile,
+    save_trace,
+)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        refs = [(10, True), (11, False), (10, False)]
+        path = tmp_path / "trace.txt"
+        assert save_trace(refs, path) == 3
+        assert list(load_trace(path)) == refs
+
+    def test_header_comments_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace([(1, False)], path, header="bench: art\nseed: 1")
+        assert list(load_trace(path)) == [(1, False)]
+
+    def test_benchmark_trace_round_trip(self, tmp_path):
+        refs = take(BY_NAME["art"].generator(), 500)
+        path = tmp_path / "art.trace"
+        save_trace(refs, path)
+        assert list(load_trace(path)) == refs
+
+
+class TestParsing:
+    def test_inline_comments_and_blanks(self):
+        text = "R 5  # hot line\n\nW 6\n"
+        assert list(parse_trace(io.StringIO(text))) == [(5, False), (6, True)]
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ConfigurationError):
+            list(parse_trace(io.StringIO("X 5\n")))
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ConfigurationError):
+            list(parse_trace(io.StringIO("R five\n")))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            list(parse_trace(io.StringIO("R -1\n")))
+
+
+class TestProfile:
+    def test_basic_statistics(self):
+        refs = [(0, True), (0, False), (1, False), (2, False)]
+        result = profile(refs)
+        assert result.references == 4
+        assert result.writes == 1
+        assert result.distinct_lines == 3
+        assert result.footprint_bytes == 3 * 128
+        assert result.top_line_share == 0.5
+        assert result.write_fraction == 0.25
+
+    def test_empty_stream(self):
+        result = profile([])
+        assert result.references == 0
+        assert result.write_fraction == 0.0
+
+    def test_benchmark_profiles_match_design(self):
+        """The workload models' documented footprints hold (spot check)."""
+        vpr = profile(take(BY_NAME["vpr"].generator(), 40_000))
+        assert vpr.distinct_lines < 6000  # ~600KB netlist
+        art = profile(take(BY_NAME["art"].generator(), 40_000))
+        assert 13_000 < art.distinct_lines <= 14_001
