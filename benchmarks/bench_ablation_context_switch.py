@@ -7,7 +7,6 @@ every switch and cold-start query misses after; TAG pays nothing at switch
 time but shares capacity.
 """
 
-import pytest
 
 from repro.secure.context import (
     MultiTaskSNCModel,

@@ -8,7 +8,10 @@ also written to ``benchmarks/results/`` so a plain file records the run.
 
 Scale control: set ``REPRO_BENCH_REFS=warmup:measure`` (e.g. ``30000:50000``)
 to shrink the trace for a quick pass; the default is the full scale used
-for EXPERIMENTS.md.
+for EXPERIMENTS.md.  Set ``REPRO_BENCH_JOBS=N`` to fan the per-benchmark
+simulations over N worker processes (the same scheduler ``python -m
+repro.eval --jobs N`` uses), and ``REPRO_BENCH_CACHE=1`` to reuse the
+on-disk result cache across benchmark sessions.
 """
 
 from __future__ import annotations
@@ -18,8 +21,10 @@ import pathlib
 
 import pytest
 
-from repro.eval.experiments import run_all_benchmarks
+from repro.eval.cache import ResultCache
+from repro.eval.experiments import plan_jobs
 from repro.eval.pipeline import SimulationScale
+from repro.eval.scheduler import run_jobs
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: dict[str, str] = {}
@@ -35,8 +40,25 @@ def _scale_from_env() -> SimulationScale:
 
 @pytest.fixture(scope="session")
 def bench_events():
-    """All 11 benchmarks simulated once; every figure prices these."""
-    return run_all_benchmarks(scale=_scale_from_env())
+    """All 11 benchmarks simulated once; every figure prices these.
+
+    Declares every figure's jobs and runs them through the experiment
+    scheduler, honoring the REPRO_BENCH_* environment knobs above.
+    """
+    jobs = plan_jobs(scale=_scale_from_env())
+    raw_jobs = os.environ.get("REPRO_BENCH_JOBS", "1")
+    try:
+        n_jobs = int(raw_jobs)
+        if n_jobs < 1:
+            raise ValueError
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_JOBS must be a positive integer, got {raw_jobs!r}"
+        ) from None
+    cache = None
+    if os.environ.get("REPRO_BENCH_CACHE") == "1":
+        cache = ResultCache()
+    return run_jobs(jobs, n_jobs=n_jobs, cache=cache)
 
 
 @pytest.fixture(scope="session")

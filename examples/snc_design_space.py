@@ -1,35 +1,57 @@
 """The paper's evaluation in miniature: sweep the SNC design space.
 
-Runs the trace-driven pipeline on three representative workloads at a
-reduced scale and prints Figure 5/6/7-style tables, plus the Figure 8
-area-equivalence check — a taste of what ``pytest benchmarks/`` does at
-full scale.
+Declares one :class:`~repro.eval.jobs.ExperimentJob` per representative
+workload — the same job API ``python -m repro.eval`` schedules — runs them
+through the experiment scheduler at a reduced scale, and prints Figure
+5/6/7-style tables, plus the Figure 8 area-equivalence check — a taste of
+what ``pytest benchmarks/`` does at full scale.
 
-Run:  python examples/snc_design_space.py
+Run:  python examples/snc_design_space.py [--jobs N]
 """
 
-from repro.area import figure8_area_check, l2_area, snc_area
+import argparse
+
+from repro.area import figure8_area_check
 from repro.eval.experiments import PAPER_LATENCIES
-from repro.eval.pipeline import SimulationScale, simulate_benchmark
+from repro.eval.jobs import ExperimentJob, standard_snc_specs
+from repro.eval.pipeline import SimulationScale
+from repro.eval.scheduler import run_jobs
 from repro.timing.model import (
     baseline_cycles,
     otp_cycles,
     slowdown_pct,
     xom_cycles,
 )
-from repro.workloads.spec import BY_NAME
 
 SCALE = SimulationScale(warmup_refs=100_000, measure_refs=120_000)
 WORKLOADS = ("equake", "mcf", "gcc")  # fits / too big / poisons-NoRepl
 
 
+def design_space_jobs() -> list[ExperimentJob]:
+    """One job per workload, sweeping all five standard SNC geometries."""
+    all_specs = tuple(standard_snc_specs().values())
+    return [
+        ExperimentJob(
+            figure="design-space", engine="xom+otp", workload=name,
+            snc_configs=all_specs, scale=SCALE, seed=1,
+        )
+        for name in WORKLOADS
+    ]
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (default 1)")
+    args = parser.parse_args()
+
     lat = PAPER_LATENCIES
+    all_events = run_jobs(design_space_jobs(), n_jobs=args.jobs)
     print(f"{'workload':<10} {'XOM':>8} {'NoRepl':>8} {'LRU-32K':>8} "
           f"{'LRU-64K':>8} {'LRU-128K':>9} {'32-way':>8}   [slowdown %]")
     print("-" * 72)
     for name in WORKLOADS:
-        events = simulate_benchmark(BY_NAME[name], scale=SCALE)
+        events = all_events[name]
         base = baseline_cycles(events.trace_events(), lat)
         row = [slowdown_pct(xom_cycles(events.trace_events(), lat), base)]
         for key in ("norepl64", "lru32", "lru64", "lru128", "lru64_32way"):

@@ -11,7 +11,7 @@ on-chip state.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memory.bus import BusTransaction, MemoryBus, TransactionKind
 from repro.memory.dram import DRAM

@@ -26,7 +26,7 @@ packaging flow, with code and data in separate segments.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.isa import (
     Format,

@@ -17,7 +17,7 @@ Immediate conventions: ``ADDI``/``SLTI``/loads/stores/branches sign-extend;
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.cpu.isa import Instruction, Op, WORD_BYTES, decode

@@ -1,0 +1,122 @@
+"""On-disk result store for simulation tasks.
+
+A full-scale sweep simulates 11 benchmarks x ~450K references each; an
+interrupted or partially-selected run should not pay for the part that
+already happened.  The cache maps a :class:`~repro.eval.jobs.SimulationTask`
+to its :class:`~repro.eval.pipeline.BenchmarkEvents`, keyed by
+
+* the task's :meth:`~repro.eval.jobs.SimulationTask.config_hash` (workload,
+  SNC geometries, scale, seed), and
+* a fingerprint of the simulation-relevant source modules,
+
+so any config tweak *or* code change invalidates exactly the affected
+entries.  Entries are plain JSON (one file per task) — safe to inspect,
+diff, and delete; a corrupt or unreadable file degrades to a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+
+from repro.eval.jobs import SimulationTask
+from repro.eval.pipeline import BenchmarkEvents
+from repro.timing.model import SNCEventCounts
+
+#: Bump when the serialization layout changes.
+CACHE_FORMAT = 1
+
+#: Modules whose source determines simulation results.  Pricing-only code
+#: (latency parameters, report formatting) deliberately stays out: a tweak
+#: there reuses cached events, which is the whole point of splitting
+#: simulation from pricing.
+_FINGERPRINT_MODULES = (
+    "repro.eval.pipeline",
+    "repro.memory.cache",
+    "repro.secure.snc",
+    "repro.timing.model",
+    "repro.workloads.patterns",
+    "repro.workloads.spec",
+)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the source of every simulation-relevant module."""
+    digest = hashlib.sha256()
+    for name in _FINGERPRINT_MODULES:
+        module = importlib.import_module(name)
+        digest.update(name.encode())
+        digest.update(Path(module.__file__).read_bytes())
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_EVAL_CACHE_DIR``, or ``~/.cache/repro-eval``."""
+    override = os.environ.get("REPRO_EVAL_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-eval"
+
+
+def events_to_dict(events: BenchmarkEvents) -> dict:
+    return asdict(events)  # recurses into the nested SNCEventCounts
+
+
+def events_from_dict(payload: dict) -> BenchmarkEvents:
+    snc = {key: SNCEventCounts(**counts)
+           for key, counts in payload.pop("snc", {}).items()}
+    return BenchmarkEvents(snc=snc, **payload)
+
+
+class ResultCache:
+    """One JSON file per task under ``root``; misses on any anomaly."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.put_errors = 0
+
+    def key_for(self, task: SimulationTask) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"format:{CACHE_FORMAT}\n".encode())
+        digest.update(f"code:{code_fingerprint()}\n".encode())
+        digest.update(f"task:{task.config_hash()}\n".encode())
+        return digest.hexdigest()
+
+    def path_for(self, task: SimulationTask) -> Path:
+        return self.root / f"{self.key_for(task)}.json"
+
+    def get(self, task: SimulationTask) -> BenchmarkEvents | None:
+        path = self.path_for(task)
+        try:
+            payload = json.loads(path.read_text())
+            events = events_from_dict(payload["events"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return events
+
+    def put(self, task: SimulationTask, events: BenchmarkEvents) -> None:
+        """Best-effort write: an unwritable cache must never abort a run
+        whose (expensive) simulation already succeeded."""
+        payload = {
+            "format": CACHE_FORMAT,
+            "task": task.canonical(),
+            "events": events_to_dict(events),
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(task)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            self.put_errors += 1

@@ -1,21 +1,27 @@
 """One driver per figure of the paper's evaluation (§5).
 
-Each ``figureN`` function takes the per-benchmark event sets produced by
-:func:`run_all_benchmarks` and returns a :class:`FigureResult` pairing the
-paper's published series with the reproduced ones.  The benchmark files in
-``benchmarks/`` print these tables; EXPERIMENTS.md archives them.
+Each figure contributes two things:
+
+* a **job declaration** — :func:`figure_jobs` emits one
+  :class:`~repro.eval.jobs.ExperimentJob` per benchmark naming exactly the
+  SNC configurations that figure prices (:data:`FIGURE_SNC_KEYS`), so the
+  scheduler can merge, cache and fan out the simulations;
+* a ``figureN`` **pricing function** that takes the per-benchmark event
+  sets and returns a :class:`FigureResult` pairing the paper's published
+  series with the reproduced ones.  The benchmark files in ``benchmarks/``
+  print these tables; EXPERIMENTS.md archives them.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.eval import paper_data
-from repro.eval.pipeline import (
-    BenchmarkEvents,
-    SimulationScale,
-    simulate_benchmark,
-)
+from repro.eval.cache import ResultCache
+from repro.eval.jobs import ExperimentJob, standard_snc_specs
+from repro.eval.pipeline import BenchmarkEvents, SimulationScale
+from repro.eval.scheduler import Progress, run_jobs
 from repro.secure.engine import LatencyParams
 from repro.timing.model import (
     baseline_cycles,
@@ -31,14 +37,77 @@ from repro.workloads.spec import BENCHMARKS
 PAPER_LATENCIES = LatencyParams(memory=100, crypto=50, xor=1)
 SLOW_CRYPTO_LATENCIES = LatencyParams(memory=100, crypto=102, xor=1)
 
+#: Which SNC configurations each figure prices (keys into
+#: :func:`repro.eval.jobs.standard_snc_specs`), and through which engine.
+#: This is the declarative form of what the ``figureN`` bodies consume.
+FIGURE_SNC_KEYS: dict[str, tuple[str, ...]] = {
+    "figure3": (),
+    "figure5": ("norepl64", "lru64"),
+    "figure6": ("lru32", "lru64", "lru128"),
+    "figure7": ("lru64", "lru64_32way"),
+    "figure8": ("lru64_32way",),
+    "figure9": ("lru64",),
+    "figure10": ("norepl64", "lru64"),
+}
+
+FIGURE_ENGINES: dict[str, str] = {
+    "figure3": "xom",
+    "figure5": "xom+otp",
+    "figure6": "otp",
+    "figure7": "otp",
+    "figure8": "xom+otp",
+    "figure9": "otp",
+    "figure10": "xom+otp",
+}
+
+
+def figure_jobs(figure_id: str, scale: SimulationScale | None = None,
+                seed: int = 1) -> list[ExperimentJob]:
+    """One job per benchmark: what ``figure_id`` needs simulated."""
+    if figure_id not in FIGURE_SNC_KEYS:
+        raise KeyError(f"unknown figure {figure_id!r}")
+    specs = standard_snc_specs()
+    snc = tuple(specs[key] for key in FIGURE_SNC_KEYS[figure_id])
+    scale = scale or SimulationScale()
+    return [
+        ExperimentJob(
+            figure=figure_id,
+            engine=FIGURE_ENGINES[figure_id],
+            workload=bench.name,
+            snc_configs=snc,
+            scale=scale,
+            seed=seed,
+        )
+        for bench in BENCHMARKS
+    ]
+
+
+def plan_jobs(figure_ids: Iterable[str] | None = None,
+              scale: SimulationScale | None = None,
+              seed: int = 1) -> list[ExperimentJob]:
+    """Every selected figure's jobs (default: all seven figures)."""
+    if figure_ids is None:
+        figure_ids = FIGURE_SNC_KEYS
+    jobs: list[ExperimentJob] = []
+    for figure_id in figure_ids:
+        jobs.extend(figure_jobs(figure_id, scale=scale, seed=seed))
+    return jobs
+
 
 def run_all_benchmarks(scale: SimulationScale | None = None,
-                       seed: int = 1) -> dict[str, BenchmarkEvents]:
-    """Simulate all 11 benchmarks once; every figure prices these events."""
-    return {
-        bench.name: simulate_benchmark(bench, scale=scale, seed=seed)
-        for bench in BENCHMARKS
-    }
+                       seed: int = 1, n_jobs: int = 1,
+                       cache: ResultCache | None = None,
+                       progress: Progress | None = None,
+                       ) -> dict[str, BenchmarkEvents]:
+    """Simulate all 11 benchmarks once; every figure prices these events.
+
+    Declares the union of every figure's jobs and hands them to the
+    scheduler, so callers get parallelism (``n_jobs``) and result caching
+    for free while ``n_jobs=1`` stays bit-identical to the historical
+    serial loop.
+    """
+    return run_jobs(plan_jobs(scale=scale, seed=seed), n_jobs=n_jobs,
+                    cache=cache, progress=progress)
 
 
 @dataclass
@@ -252,9 +321,13 @@ def figure10(events: dict[str, BenchmarkEvents]) -> FigureResult:
 ALL_FIGURES = (figure3, figure5, figure6, figure7, figure8, figure9,
                figure10)
 
+FIGURES_BY_ID = {figure.__name__: figure for figure in ALL_FIGURES}
+
 
 def run_everything(scale: SimulationScale | None = None,
-                   seed: int = 1) -> list[FigureResult]:
+                   seed: int = 1, n_jobs: int = 1,
+                   cache: ResultCache | None = None) -> list[FigureResult]:
     """Simulate once, regenerate every figure."""
-    events = run_all_benchmarks(scale=scale, seed=seed)
+    events = run_all_benchmarks(scale=scale, seed=seed, n_jobs=n_jobs,
+                                cache=cache)
     return [figure(events) for figure in ALL_FIGURES]

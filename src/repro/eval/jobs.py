@@ -1,0 +1,201 @@
+"""Schedulable units of the evaluation: the experiment job graph.
+
+The paper's evaluation is a sweep of independent trace simulations — every
+figure prices the same kind of per-benchmark event sets under different
+SNC geometries and latencies.  This module turns that sweep into explicit
+data:
+
+* :class:`ExperimentJob` — what one *figure* needs from one *workload*:
+  the engine being priced, the SNC configurations that must be simulated,
+  the trace scale and the workload seed.  Figures declare jobs
+  (:func:`repro.eval.experiments.figure_jobs`); they never loop inline.
+* :class:`SimulationTask` — what actually runs: one trace pass over one
+  workload, feeding the union of every SNC configuration any selected
+  figure asked for.  :func:`merge_jobs` folds a job list into the minimal
+  task list, so requesting all seven figures still simulates each
+  benchmark exactly once.
+
+Both are frozen, hashable and picklable, so tasks can fan out across
+processes (:mod:`repro.eval.scheduler`) and key an on-disk result store
+(:mod:`repro.eval.cache`).  Identity is *content-based*:
+:meth:`SimulationTask.config_hash` is a SHA-256 over the canonical JSON of
+the full configuration, stable across processes and interpreter runs
+(unlike ``hash()``, which is salted per process for strings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.eval.pipeline import (
+    BenchmarkEvents,
+    SimulationScale,
+    simulate_benchmark,
+    standard_snc_configs,
+)
+from repro.secure.snc import SNCConfig, SNCPolicy
+from repro.workloads.spec import BY_NAME
+
+
+@dataclass(frozen=True)
+class SNCSpec:
+    """A hashable, JSON-friendly description of one SNC configuration."""
+
+    key: str  # the pricing key figures use, e.g. "lru64"
+    size_bytes: int = 64 * 1024
+    entry_bytes: int = 2
+    assoc: int | None = None  # None = fully associative
+    policy: str = SNCPolicy.LRU.value
+
+    @classmethod
+    def from_config(cls, key: str, config: SNCConfig) -> SNCSpec:
+        return cls(
+            key=key,
+            size_bytes=config.size_bytes,
+            entry_bytes=config.entry_bytes,
+            assoc=config.assoc,
+            policy=config.policy.value,
+        )
+
+    def to_config(self) -> SNCConfig:
+        return SNCConfig(
+            size_bytes=self.size_bytes,
+            entry_bytes=self.entry_bytes,
+            assoc=self.assoc,
+            policy=SNCPolicy(self.policy),
+        )
+
+    def canonical(self) -> list:
+        return [self.key, self.size_bytes, self.entry_bytes, self.assoc,
+                self.policy]
+
+
+def standard_snc_specs() -> dict[str, SNCSpec]:
+    """The five standard configurations, as specs keyed like the pipeline."""
+    return {
+        key: SNCSpec.from_config(key, config)
+        for key, config in standard_snc_configs().items()
+    }
+
+
+def _canonical_hash(payload: object) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _scale_canonical(scale: SimulationScale) -> list[int]:
+    return [scale.warmup_refs, scale.measure_refs]
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One figure's requirement on one workload — the unit figures declare.
+
+    ``figure`` and ``engine`` say who wants the result and which pricing
+    path (xom / otp / both) will consume it; ``workload``, ``snc_configs``,
+    ``scale`` and ``seed`` pin down the simulation itself.  Jobs on the
+    same (workload, scale, seed) share one :class:`SimulationTask` whose
+    SNC set is the union of theirs (:func:`merge_jobs`).
+    """
+
+    figure: str
+    engine: str  # "xom", "otp" or "xom+otp" — the pricing path
+    workload: str
+    snc_configs: tuple[SNCSpec, ...]
+    scale: SimulationScale
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workload not in BY_NAME:
+            raise KeyError(f"unknown workload {self.workload!r}")
+
+    def canonical(self) -> dict:
+        return {
+            "figure": self.figure,
+            "engine": self.engine,
+            "workload": self.workload,
+            "snc": [spec.canonical() for spec in
+                    sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "scale": _scale_canonical(self.scale),
+            "seed": self.seed,
+        }
+
+    def config_hash(self) -> str:
+        """Stable across processes and runs — safe as a cache-key input."""
+        return _canonical_hash(self.canonical())
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One trace pass over one workload — the unit the scheduler runs."""
+
+    workload: str
+    snc_configs: tuple[SNCSpec, ...]
+    scale: SimulationScale
+    seed: int = 1
+
+    def canonical(self) -> dict:
+        return {
+            "workload": self.workload,
+            "snc": [spec.canonical() for spec in
+                    sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "scale": _scale_canonical(self.scale),
+            "seed": self.seed,
+        }
+
+    def config_hash(self) -> str:
+        return _canonical_hash(self.canonical())
+
+    def describe(self) -> str:
+        scale = self.scale
+        return (
+            f"{self.workload} "
+            f"[{len(self.snc_configs)} SNC cfgs, "
+            f"{scale.warmup_refs}+{scale.measure_refs} refs, "
+            f"seed {self.seed}]"
+        )
+
+
+def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
+    """Fold figure-level jobs into the minimal simulation task list.
+
+    Jobs on the same (workload, scale, seed) merge into one task whose SNC
+    set is the union of their requirements, so overlapping figures never
+    re-simulate a trace.  Task order follows first appearance, keeping the
+    scheduler's result order deterministic.
+    """
+    grouped: dict[tuple, dict[str, SNCSpec]] = {}
+    for job in jobs:
+        group = (job.workload, job.scale, job.seed)
+        specs = grouped.setdefault(group, {})
+        for spec in job.snc_configs:
+            existing = specs.get(spec.key)
+            if existing is not None and existing != spec:
+                raise ValueError(
+                    f"SNC key {spec.key!r} bound to two different "
+                    f"geometries in one job set"
+                )
+            specs[spec.key] = spec
+    return [
+        SimulationTask(
+            workload=workload,
+            snc_configs=tuple(sorted(specs.values(),
+                                     key=lambda spec: spec.key)),
+            scale=scale,
+            seed=seed,
+        )
+        for (workload, scale, seed), specs in grouped.items()
+    ]
+
+
+def execute_task(task: SimulationTask) -> BenchmarkEvents:
+    """Run one task's trace simulation (picklable: pool workers call it)."""
+    return simulate_benchmark(
+        BY_NAME[task.workload],
+        scale=task.scale,
+        snc_configs={spec.key: spec.to_config()
+                     for spec in task.snc_configs},
+        seed=task.seed,
+    )

@@ -96,9 +96,15 @@ def simulate_benchmark(bench: BenchmarkModel,
                        scale: SimulationScale | None = None,
                        snc_configs: dict[str, SNCConfig] | None = None,
                        seed: int = 1) -> BenchmarkEvents:
-    """Run one benchmark through the L2s and all SNC configurations."""
+    """Run one benchmark through the L2s and the given SNC configurations.
+
+    ``snc_configs=None`` means the five standard configurations; an empty
+    mapping means *no* SNC simulation (a caller pricing only the XOM path
+    should not pay for five SNC timing simulators).
+    """
     scale = scale or SimulationScale()
-    snc_configs = snc_configs or standard_snc_configs()
+    if snc_configs is None:
+        snc_configs = standard_snc_configs()
     generator = bench.generator(seed=seed)
     l2 = TagOnlyCache(L2_BASE_LINES, L2_BASE_ASSOC)
     l2_big = TagOnlyCache(L2_BIG_LINES, L2_BIG_ASSOC)

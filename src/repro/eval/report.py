@@ -1,14 +1,17 @@
 """Plain-text reporting: the same rows the paper's figures print.
 
 ``format_figure`` renders one reproduced figure as a paper-vs-measured
-table; ``format_summary`` prints the headline averages.  These are what
-``pytest benchmarks/ --benchmark-only`` and the examples show.
+table; ``format_summary`` prints the headline averages; and
+``format_run_stats`` summarizes one scheduler pass (simulated vs cached,
+where the time went).  These are what ``pytest benchmarks/
+--benchmark-only``, ``python -m repro.eval`` and the examples show.
 """
 
 from __future__ import annotations
 
 from repro.eval.experiments import FigureResult
 from repro.eval.paper_data import BENCHMARK_ORDER
+from repro.eval.scheduler import TaskResult
 
 
 def _fmt(value: float, width: int = 7) -> str:
@@ -64,3 +67,21 @@ def format_summary(results: list[FigureResult]) -> str:
                 f"{series.paper_avg:6.2f}% -> {series.measured_avg:6.2f}%"
             )
     return "\n".join(lines)
+
+
+def format_run_stats(results: list[TaskResult]) -> str:
+    """One line about a scheduler pass: cache hits and simulation time."""
+    simulated = [result for result in results if not result.cached]
+    cached = len(results) - len(simulated)
+    parts = [
+        f"{len(simulated)} task{'s' if len(simulated) != 1 else ''} "
+        f"simulated, {cached} cached"
+    ]
+    if simulated:
+        total = sum(result.seconds for result in simulated)
+        slowest = max(simulated, key=lambda result: result.seconds)
+        parts.append(
+            f"{total:.1f}s sim time, slowest {slowest.task.workload} "
+            f"{slowest.seconds:.1f}s"
+        )
+    return "; ".join(parts)

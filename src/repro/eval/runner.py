@@ -5,6 +5,8 @@ Examples::
     python -m repro.eval                      # all figures, full scale
     python -m repro.eval --figures 5 10       # just Figures 5 and 10
     python -m repro.eval --scale quick        # fast smoke (short traces)
+    python -m repro.eval --scale quick --jobs 4   # fan out 4 processes
+    python -m repro.eval --no-cache           # force re-simulation
     python -m repro.eval --scale 100000:150000 --charts
 """
 
@@ -13,17 +15,22 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
-from repro.eval.charts import render_averages, render_chart
+from repro.eval.cache import ResultCache, default_cache_dir
+from repro.eval.charts import render_averages
 from repro.eval.experiments import (
-    ALL_FIGURES,
-    run_all_benchmarks,
+    FIGURES_BY_ID,
+    plan_jobs,
 )
+from repro.eval.jobs import merge_jobs
 from repro.eval.pipeline import QUICK_SCALE, SimulationScale
-from repro.eval.report import format_figure, format_summary
+from repro.eval.report import format_figure, format_run_stats, format_summary
+from repro.eval.scheduler import run_tasks
 
 _FIGURES_BY_NUMBER = {
-    figure.__name__.removeprefix("figure"): figure for figure in ALL_FIGURES
+    figure_id.removeprefix("figure"): figure
+    for figure_id, figure in FIGURES_BY_ID.items()
 }
 
 
@@ -61,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
              "counts",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation fan-out (default 1: "
+             "serial, bit-identical to the historical path)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the on-disk result cache and re-simulate everything",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help=f"result cache location (default {default_cache_dir()})",
+    )
+    parser.add_argument(
         "--charts", action="store_true",
         help="render ASCII bar charts in addition to the tables",
     )
@@ -72,15 +92,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    figure_ids = [f"figure{number}" for number in args.figures]
+    jobs = plan_jobs(figure_ids, scale=args.scale, seed=args.seed)
+    tasks = merge_jobs(jobs)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+
     started = time.time()
     print(
-        f"simulating 11 benchmarks "
+        f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
         f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
-        f"measured refs each)...",
+        f"measured refs each, {args.jobs} worker"
+        f"{'s' if args.jobs != 1 else ''})...",
         file=sys.stderr,
     )
-    events = run_all_benchmarks(scale=args.scale, seed=args.seed)
-    print(f"done in {time.time() - started:.1f}s\n", file=sys.stderr)
+    task_results = run_tasks(
+        tasks, n_jobs=args.jobs, cache=cache,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    events = {result.task.workload: result.events
+              for result in task_results}
+    print(
+        f"{format_run_stats(task_results)} "
+        f"(wall {time.time() - started:.1f}s)\n",
+        file=sys.stderr,
+    )
+
     results = []
     for number in args.figures:
         result = _FIGURES_BY_NUMBER[number](events)

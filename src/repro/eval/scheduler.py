@@ -1,0 +1,131 @@
+"""Multiprocessing executor for simulation tasks.
+
+The tasks produced by :func:`repro.eval.jobs.merge_jobs` are embarrassingly
+parallel — independent seeded trace simulations with no shared state — so
+the executor is a straight fan-out:
+
+* ``n_jobs == 1`` (the default) runs everything inline in this process:
+  zero scheduling overhead, and results bit-identical to the historical
+  serial path.
+* ``n_jobs > 1`` fans the non-cached tasks over a ``spawn``-context
+  process pool.  Workers re-import :mod:`repro` fresh, so results cannot
+  depend on parent-process state; each returns its events plus its own
+  wall time.
+
+Either way the result list comes back **in task order** (completion order
+only affects progress lines), and every simulated result is written back
+to the :class:`~repro.eval.cache.ResultCache` when one is given.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.eval.cache import ResultCache
+from repro.eval.jobs import (
+    ExperimentJob,
+    SimulationTask,
+    execute_task,
+    merge_jobs,
+)
+from repro.eval.pipeline import BenchmarkEvents
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One executed (or cache-served) task."""
+
+    task: SimulationTask
+    events: BenchmarkEvents
+    seconds: float
+    cached: bool
+
+
+def _run_indexed(item: tuple[int, SimulationTask]):
+    index, task = item
+    started = time.perf_counter()
+    events = execute_task(task)
+    return index, events, time.perf_counter() - started
+
+
+def run_tasks(tasks: list[SimulationTask], n_jobs: int = 1,
+              cache: ResultCache | None = None,
+              progress: Progress | None = None) -> list[TaskResult]:
+    """Execute tasks, returning results in task order.
+
+    Cache hits are resolved first (and never occupy a worker); the
+    remainder runs inline (``n_jobs == 1``) or across a process pool.
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    total = len(tasks)
+    results: list[TaskResult | None] = [None] * total
+    pending: list[tuple[int, SimulationTask]] = []
+
+    def emit(index: int, result: TaskResult) -> None:
+        results[index] = result
+        if progress is not None:
+            how = "cached" if result.cached else (
+                f"simulated in {result.seconds:.1f}s"
+            )
+            progress(f"[{index + 1}/{total}] {result.task.describe()}: "
+                     f"{how}")
+
+    for index, task in enumerate(tasks):
+        events = cache.get(task) if cache is not None else None
+        if events is not None:
+            emit(index, TaskResult(task, events, 0.0, cached=True))
+        else:
+            pending.append((index, task))
+
+    if len(pending) <= 1 or n_jobs == 1:
+        for index, task in pending:
+            started = time.perf_counter()
+            events = execute_task(task)
+            seconds = time.perf_counter() - started
+            if cache is not None:
+                cache.put(task, events)
+            emit(index, TaskResult(task, events, seconds, cached=False))
+    else:
+        context = multiprocessing.get_context("spawn")
+        workers = min(n_jobs, len(pending))
+        with context.Pool(processes=workers) as pool:
+            for index, events, seconds in pool.imap_unordered(
+                _run_indexed, pending, chunksize=1
+            ):
+                task = tasks[index]
+                if cache is not None:
+                    cache.put(task, events)
+                emit(index, TaskResult(task, events, seconds, cached=False))
+
+    return [result for result in results if result is not None]
+
+
+def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,
+             cache: ResultCache | None = None,
+             progress: Progress | None = None) -> dict[str, BenchmarkEvents]:
+    """Merge figure-level jobs, execute, and index events by workload.
+
+    This is the one-call path for callers that declare jobs and want the
+    classic ``{benchmark: events}`` mapping the figure drivers price.
+    The mapping is only well-defined when each workload resolves to one
+    task, so a job list mixing scales or seeds for the same workload is
+    rejected rather than silently dropping results — use
+    :func:`merge_jobs` + :func:`run_tasks` directly for multi-scale
+    sweeps.
+    """
+    tasks = merge_jobs(jobs)
+    workloads = [task.workload for task in tasks]
+    if len(set(workloads)) != len(workloads):
+        raise ValueError(
+            "run_jobs needs one task per workload; mixed scales/seeds "
+            "for one workload make the {workload: events} mapping "
+            "ambiguous (use merge_jobs + run_tasks instead)"
+        )
+    results = run_tasks(tasks, n_jobs=n_jobs, cache=cache, progress=progress)
+    return {result.task.workload: result.events for result in results}

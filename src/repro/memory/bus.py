@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Callable
 
 
 class TransactionKind(enum.Enum):

@@ -11,7 +11,7 @@ The store is sparse — a dict of line-index to ``bytes`` — so simulating a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.utils.intmath import is_power_of_two

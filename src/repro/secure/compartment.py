@@ -18,7 +18,7 @@ on-chip state:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.blockcipher import BlockCipher
 from repro.crypto.mac import constant_time_equal, hmac_sha256

@@ -19,8 +19,8 @@ the ablation benchmark (``bench_ablation_context_switch``) prices.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
 

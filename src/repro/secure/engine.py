@@ -14,7 +14,7 @@ cycles each read exposed on the critical path.  Three implementations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.memory.bus import MemoryBus, TransactionKind

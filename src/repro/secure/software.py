@@ -19,7 +19,7 @@ the anti-piracy property, and it is a test.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.keys import CipherSuite, SymmetricKey
 from repro.crypto.modes import ecb_encrypt, otp_transform

@@ -17,7 +17,7 @@ counts, so the functional and timing layers cannot drift apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.secure.engine import LatencyParams
 from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy

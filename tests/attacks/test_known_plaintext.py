@@ -5,7 +5,6 @@ from repro.attacks.known_plaintext import recover_counter_steps, xor_leak
 from repro.crypto.des import DES
 from repro.crypto.modes import otp_transform
 from repro.memory.dram import DRAM
-from repro.memory.hierarchy import LineKind
 from repro.secure.otp_engine import OTPEngine
 from repro.secure.snc import SequenceNumberCache, SNCConfig
 

@@ -1,6 +1,5 @@
 """Tests for the SRP-32 disassembler."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +10,7 @@ from repro.cpu.disassembler import (
     disassemble_word,
     format_instruction,
 )
-from repro.cpu.isa import Format, Instruction, Op, decode
+from repro.cpu.isa import Instruction, Op, decode
 
 
 class TestFormatInstruction:

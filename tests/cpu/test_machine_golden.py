@@ -5,7 +5,6 @@ Python evaluator predicts the register file, and the machine (running the
 assembled bytes through the full cache hierarchy) must agree.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -68,6 +68,7 @@ class TestLatencyConfigs:
         assert SLOW_CRYPTO_LATENCIES.crypto == 102
 
 
+@pytest.mark.slow
 class TestFigureDrivers:
     def test_figure3_is_the_calibration_anchor(self, events):
         result = figure3(events)
@@ -116,6 +117,7 @@ class TestFigureDrivers:
                 )
 
 
+@pytest.mark.slow
 class TestReport:
     def test_format_figure_contains_all_rows(self, events):
         text = format_figure(figure5(events))

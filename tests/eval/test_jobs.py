@@ -1,0 +1,183 @@
+"""Tests for the experiment job graph: specs, jobs, merging, hashing."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.eval.experiments import (
+    FIGURE_SNC_KEYS,
+    figure_jobs,
+    plan_jobs,
+)
+from repro.eval.jobs import (
+    ExperimentJob,
+    SNCSpec,
+    SimulationTask,
+    execute_task,
+    merge_jobs,
+    standard_snc_specs,
+)
+from repro.eval.pipeline import SimulationScale, standard_snc_configs
+from repro.secure.snc import SNCPolicy
+
+_SCALE = SimulationScale(warmup_refs=5_000, measure_refs=10_000)
+
+
+def _job(workload="art", snc_keys=("lru64",), scale=_SCALE, seed=1,
+         figure="figure5", engine="otp"):
+    specs = standard_snc_specs()
+    return ExperimentJob(
+        figure=figure, engine=engine, workload=workload,
+        snc_configs=tuple(specs[key] for key in snc_keys),
+        scale=scale, seed=seed,
+    )
+
+
+class TestSNCSpec:
+    def test_round_trips_every_standard_config(self):
+        for key, config in standard_snc_configs().items():
+            spec = SNCSpec.from_config(key, config)
+            assert spec.to_config() == config
+
+    def test_policy_survives(self):
+        spec = standard_snc_specs()["norepl64"]
+        assert spec.to_config().policy is SNCPolicy.NO_REPLACEMENT
+
+
+class TestExperimentJob:
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(KeyError, match="nosuchbench"):
+            _job(workload="nosuchbench")
+
+    def test_hash_is_deterministic(self):
+        assert _job().config_hash() == _job().config_hash()
+
+    def test_hash_ignores_spec_ordering(self):
+        specs = standard_snc_specs()
+        forward = _job(snc_keys=("lru32", "lru64"))
+        backward = ExperimentJob(
+            figure="figure5", engine="otp", workload="art",
+            snc_configs=(specs["lru64"], specs["lru32"]),
+            scale=_SCALE, seed=1,
+        )
+        assert forward.config_hash() == backward.config_hash()
+
+    @pytest.mark.parametrize("change", [
+        dict(workload="vpr"),
+        dict(snc_keys=("lru32",)),
+        dict(scale=SimulationScale(warmup_refs=5_000, measure_refs=10_001)),
+        dict(seed=2),
+    ])
+    def test_hash_tracks_every_simulation_input(self, change):
+        assert _job(**change).config_hash() != _job().config_hash()
+
+    def test_merging_ignores_figure_and_engine(self):
+        a = _job(figure="figure5", engine="otp")
+        b = _job(figure="figure10", engine="xom+otp")
+        assert merge_jobs([a, b]) == merge_jobs([a])
+
+    def test_hash_stable_across_processes(self):
+        """SHA-256 over canonical JSON, not salted ``hash()``: a fresh
+        interpreter must compute the identical key."""
+        code = (
+            "from repro.eval.pipeline import SimulationScale\n"
+            "from repro.eval.jobs import ExperimentJob, standard_snc_specs\n"
+            "job = ExperimentJob(figure='figure5', engine='otp',"
+            " workload='art',"
+            " snc_configs=(standard_snc_specs()['lru64'],),"
+            " scale=SimulationScale(warmup_refs=5000, measure_refs=10000),"
+            " seed=1)\n"
+            "print(job.config_hash())"
+        )
+        src = pathlib.Path(__file__).parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (str(src), env.get("PYTHONPATH")) if part
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == _job().config_hash()
+
+
+class TestMergeJobs:
+    def test_overlapping_figures_share_one_task(self):
+        jobs = _job(snc_keys=("lru64",)), _job(snc_keys=("norepl64",
+                                                         "lru64"))
+        tasks = merge_jobs(list(jobs))
+        assert len(tasks) == 1
+        assert [spec.key for spec in tasks[0].snc_configs] == [
+            "lru64", "norepl64"
+        ]
+
+    def test_distinct_scales_stay_separate(self):
+        other = SimulationScale(warmup_refs=6_000, measure_refs=10_000)
+        tasks = merge_jobs([_job(), _job(scale=other)])
+        assert len(tasks) == 2
+
+    def test_order_follows_first_appearance(self):
+        tasks = merge_jobs([_job(workload="vpr"), _job(workload="art"),
+                            _job(workload="vpr")])
+        assert [task.workload for task in tasks] == ["vpr", "art"]
+
+    def test_conflicting_geometry_for_one_key_rejected(self):
+        rogue = SNCSpec(key="lru64", size_bytes=32 * 1024)
+        jobs = [_job(), ExperimentJob(
+            figure="figure6", engine="otp", workload="art",
+            snc_configs=(rogue,), scale=_SCALE, seed=1,
+        )]
+        with pytest.raises(ValueError, match="lru64"):
+            merge_jobs(jobs)
+
+
+class TestFigureDeclarations:
+    def test_one_job_per_benchmark(self):
+        jobs = figure_jobs("figure5", scale=_SCALE)
+        assert len(jobs) == 11
+        assert all(job.figure == "figure5" for job in jobs)
+        assert all(
+            [spec.key for spec in job.snc_configs] == ["norepl64", "lru64"]
+            for job in jobs
+        )
+
+    def test_figure3_needs_no_snc(self):
+        assert all(job.snc_configs == ()
+                   for job in figure_jobs("figure3", scale=_SCALE))
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            figure_jobs("figure4")
+
+    def test_plan_for_all_figures_merges_to_one_task_per_benchmark(self):
+        jobs = plan_jobs(scale=_SCALE)
+        assert len(jobs) == len(FIGURE_SNC_KEYS) * 11
+        tasks = merge_jobs(jobs)
+        assert len(tasks) == 11
+        for task in tasks:
+            assert {spec.key for spec in task.snc_configs} == set(
+                standard_snc_configs()
+            )
+
+
+class TestExecuteTask:
+    def test_simulates_exactly_the_declared_configs(self):
+        task = SimulationTask(
+            workload="art",
+            snc_configs=(standard_snc_specs()["lru64"],),
+            scale=_SCALE, seed=1,
+        )
+        events = execute_task(task)
+        assert set(events.snc) == {"lru64"}
+        assert events.read_misses > 0
+
+    def test_no_declared_configs_simulates_no_snc(self):
+        """A figure3-style job must not pay for the five standard SNC
+        simulators (empty mapping != None in simulate_benchmark)."""
+        task = SimulationTask(workload="art", snc_configs=(),
+                              scale=_SCALE, seed=1)
+        assert execute_task(task).snc == {}

@@ -61,6 +61,7 @@ class TestSimulateBenchmark:
             b.snc["lru64"].overlapped_reads
         )
 
+    @pytest.mark.slow
     def test_seed_changes_counts(self):
         # Long enough to get past mcf's deterministic initialization pass.
         scale = SimulationScale(warmup_refs=50_000, measure_refs=30_000)

@@ -49,6 +49,7 @@ class TestParser:
             build_parser().parse_args(["--figures", "4"])
 
 
+@pytest.mark.slow
 class TestCharts:
     def test_chart_contains_all_benchmarks(self, small_figure):
         chart = render_chart(small_figure)
@@ -71,8 +72,10 @@ class TestCharts:
 
 
 class TestMain:
-    def test_end_to_end_quick_run(self, capsys):
-        code = main(["--figures", "5", "--scale", "50000:30000", "--charts"])
+    @pytest.mark.slow
+    def test_end_to_end_quick_run(self, capsys, tmp_path):
+        code = main(["--figures", "5", "--scale", "50000:30000", "--charts",
+                     "--cache-dir", str(tmp_path)])
         assert code == 0
         out = capsys.readouterr().out
         assert "figure5" in out
@@ -82,4 +85,8 @@ class TestMain:
     def test_too_small_scale_fails_cleanly(self):
         from repro.errors import ConfigurationError
         with pytest.raises(ConfigurationError, match="initialization"):
-            main(["--figures", "3", "--scale", "2000:2000"])
+            main(["--figures", "3", "--scale", "2000:2000", "--no-cache"])
+
+    def test_rejects_bad_jobs(self, capsys):
+        assert main(["--jobs", "0", "--no-cache"]) == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -1,0 +1,105 @@
+"""Tests for the multiprocessing scheduler: ordering, parity, caching."""
+
+import pytest
+
+from repro.eval.cache import ResultCache
+from repro.eval.jobs import ExperimentJob, standard_snc_specs
+from repro.eval.pipeline import SimulationScale
+from repro.eval.scheduler import run_jobs, run_tasks
+from repro.eval.jobs import merge_jobs
+
+_SCALE = SimulationScale(warmup_refs=20_000, measure_refs=20_000)
+_WORKLOADS = ("art", "vpr", "equake")
+
+
+def _jobs(scale=_SCALE, seed=1):
+    specs = (standard_snc_specs()["lru64"],)
+    return [
+        ExperimentJob(figure="figure5", engine="otp", workload=name,
+                      snc_configs=specs, scale=scale, seed=seed)
+        for name in _WORKLOADS
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_tasks(merge_jobs(_jobs()), n_jobs=1)
+
+
+class TestOrdering:
+    def test_serial_results_follow_task_order(self, serial_results):
+        assert [result.task.workload for result in serial_results] == list(
+            _WORKLOADS
+        )
+
+    def test_parallel_results_follow_task_order(self, serial_results):
+        """Fan-out completes out of order; collection must not."""
+        parallel = run_tasks(merge_jobs(_jobs()), n_jobs=2)
+        assert [result.task.workload for result in parallel] == list(
+            _WORKLOADS
+        )
+
+
+class TestParity:
+    def test_parallel_matches_serial_exactly(self, serial_results):
+        """--jobs N must be bit-identical to --jobs 1: the simulations are
+        seeded and share nothing, so events must compare equal field by
+        field."""
+        parallel = run_tasks(merge_jobs(_jobs()), n_jobs=2)
+        for serial, fanned in zip(serial_results, parallel):
+            assert serial.task == fanned.task
+            assert serial.events == fanned.events
+
+    def test_run_jobs_indexes_by_workload(self):
+        events = run_jobs(_jobs(), n_jobs=1)
+        assert set(events) == set(_WORKLOADS)
+        assert all(events[name].name == name for name in _WORKLOADS)
+
+    def test_run_jobs_rejects_ambiguous_workload_mapping(self):
+        """Two scales for one workload would silently collapse in the
+        {workload: events} dict — must be rejected instead."""
+        other = SimulationScale(warmup_refs=21_000, measure_refs=20_000)
+        with pytest.raises(ValueError, match="one task per workload"):
+            run_jobs(_jobs() + _jobs(scale=other))
+
+
+class TestCaching:
+    def test_warm_cache_simulates_nothing(self, tmp_path, serial_results):
+        cache = ResultCache(tmp_path)
+        first = run_tasks(merge_jobs(_jobs()), n_jobs=1, cache=cache)
+        assert all(not result.cached for result in first)
+        second = run_tasks(merge_jobs(_jobs()), n_jobs=1, cache=cache)
+        assert all(result.cached for result in second)
+        for cold, warm in zip(first, second):
+            assert cold.events == warm.events
+
+    def test_partial_cache_runs_only_the_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = _jobs()
+        run_tasks(merge_jobs(jobs[:2]), n_jobs=1, cache=cache)
+        results = run_tasks(merge_jobs(jobs), n_jobs=1, cache=cache)
+        assert [result.cached for result in results] == [True, True, False]
+
+    def test_parallel_run_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_tasks(merge_jobs(_jobs()), n_jobs=2, cache=cache)
+        again = run_tasks(merge_jobs(_jobs()), n_jobs=1, cache=cache)
+        assert all(result.cached for result in again)
+
+
+class TestProgress:
+    def test_one_line_per_task_with_timing_or_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        lines: list[str] = []
+        run_tasks(merge_jobs(_jobs()), n_jobs=1, cache=cache,
+                  progress=lines.append)
+        assert len(lines) == len(_WORKLOADS)
+        assert all("simulated in" in line for line in lines)
+        lines.clear()
+        run_tasks(merge_jobs(_jobs()), n_jobs=1, cache=cache,
+                  progress=lines.append)
+        assert all(line.endswith("cached") for line in lines)
+
+    def test_rejects_nonpositive_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_tasks([], n_jobs=0)

@@ -15,7 +15,6 @@ from repro.memory.hierarchy import LineKind
 from repro.secure.engine import BaselineEngine, LatencyParams
 from repro.secure.otp_engine import OTPEngine
 from repro.secure.regions import Region, RegionMap
-from repro.secure.seeds import SeedScheme
 from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
 from repro.secure.xom_engine import XOMEngine
 

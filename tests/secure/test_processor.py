@@ -175,6 +175,7 @@ def _tap(report):
     return transactions
 
 
+@pytest.mark.slow
 class TestPerformanceOrdering:
     """The paper's headline inequality, reproduced functionally.
 

@@ -5,21 +5,28 @@ them); the slower demos are covered by their underlying integration tests
 in tests/secure and tests/attacks.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
-import pytest
-
 _EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+_SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, timeout: int = 120) -> str:
+    # The examples import repro; make sure the subprocess can, whether
+    # repro is pip-installed or only on pytest's configured pythonpath.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(_SRC), env.get("PYTHONPATH")) if part
+    )
     result = subprocess.run(
         [sys.executable, str(_EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
