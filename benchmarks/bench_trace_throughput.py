@@ -1,0 +1,119 @@
+"""Trace-simulation throughput microbench: refs/second through the
+pipeline hot loop.
+
+The trace loop in :func:`repro.eval.pipeline.simulate_benchmark` is where
+the full figure sweep spends its wall-clock (11 benchmarks x 450K refs x
+5 SNC state machines), so its throughput *is* the evaluation's speed.
+This script times the exact configuration the figure sweep runs — the
+five standard SNC configs plus the Figure 8 alternate L2 — and emits
+``BENCH_trace.json`` so the perf trajectory has data: CI uploads the file
+as an artifact, and any hot-loop change shows up as a refs/sec delta.
+
+Run:  python benchmarks/bench_trace_throughput.py [--scale quick]
+      python benchmarks/bench_trace_throughput.py --scale 20000:30000 \\
+          --workloads equake art --output BENCH_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.eval.pipeline import (
+    QUICK_SCALE,
+    SimulationScale,
+    simulate_benchmark,
+    standard_snc_configs,
+)
+from repro.workloads.spec import BY_NAME
+
+DEFAULT_WORKLOADS = ("equake", "mcf", "gcc")
+
+
+def parse_scale(text: str) -> SimulationScale:
+    if text == "full":
+        return SimulationScale()
+    if text == "quick":
+        return QUICK_SCALE
+    try:
+        warmup, measure = (int(part) for part in text.split(":"))
+        return SimulationScale(warmup_refs=warmup, measure_refs=measure)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale must be 'full', 'quick' or 'warmup:measure', got "
+            f"{text!r}"
+        ) from None
+
+
+def time_workload(name: str, scale: SimulationScale,
+                  repeats: int) -> dict:
+    """Best-of-N timing of one benchmark's full simulation pass."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulate_benchmark(
+            BY_NAME[name], scale=scale,
+            snc_configs=standard_snc_configs(),
+            simulate_alt_l2=True,
+        )
+        best = min(best, time.perf_counter() - started)
+    return {
+        "seconds": round(best, 4),
+        "refs_per_sec": round(scale.total_refs / best, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=parse_scale, default=QUICK_SCALE,
+                        help="'full', 'quick' (default) or "
+                             "'warmup:measure' reference counts")
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(DEFAULT_WORKLOADS),
+                        choices=sorted(BY_NAME),
+                        help=f"workloads to time (default "
+                             f"{' '.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per workload, best kept "
+                             "(default 1)")
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_trace.json"),
+                        help="result file (default ./BENCH_trace.json)")
+    args = parser.parse_args()
+
+    scale = args.scale
+    per_workload = {}
+    total_refs = 0
+    total_seconds = 0.0
+    print(f"trace throughput: {scale.warmup_refs}+{scale.measure_refs} "
+          f"refs, 5 SNC configs + alternate L2, "
+          f"best of {args.repeats}")
+    for name in args.workloads:
+        result = time_workload(name, scale, args.repeats)
+        per_workload[name] = result
+        total_refs += scale.total_refs
+        total_seconds += result["seconds"]
+        print(f"  {name:<10} {result['seconds']:8.2f}s "
+              f"{result['refs_per_sec']:12,.0f} refs/s")
+
+    overall = round(total_refs / total_seconds, 1)
+    payload = {
+        "benchmark": "trace_throughput",
+        "refs_per_sec": overall,
+        "per_workload": per_workload,
+        "scale": {"warmup_refs": scale.warmup_refs,
+                  "measure_refs": scale.measure_refs},
+        "snc_configs": sorted(standard_snc_configs()),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"overall: {overall:,.0f} refs/s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,14 @@
 
 Declares one :class:`~repro.eval.jobs.ExperimentJob` per representative
 workload — the same job API ``python -m repro.eval`` schedules — runs them
-through the experiment scheduler at a reduced scale, and prints Figure
-5/6/7-style tables, plus the Figure 8 area-equivalence check — a taste of
-what ``pytest benchmarks/`` does at full scale.
+through the experiment scheduler at a reduced scale, and prints:
+
+* the Figure 5/6/7-style SNC geometry sweep;
+* a **scheme design-space table** enumerating every protection scheme in
+  the registry (:mod:`repro.secure.schemes`) at the paper's default 64KB
+  SNC — including the §4.2 ``otp_split`` variant, whose spec registered
+  itself from one file;
+* the Figure 8 area-equivalence check.
 
 Run:  python examples/snc_design_space.py [--jobs N]
 """
@@ -13,30 +18,91 @@ import argparse
 
 from repro.area import figure8_area_check
 from repro.eval.experiments import PAPER_LATENCIES
-from repro.eval.jobs import ExperimentJob, standard_snc_specs
+from repro.eval.jobs import ExperimentJob, SNCSpec, standard_snc_specs
 from repro.eval.pipeline import SimulationScale
 from repro.eval.scheduler import run_jobs
-from repro.timing.model import (
-    baseline_cycles,
-    otp_cycles,
-    slowdown_pct,
-    xom_cycles,
-)
+from repro.secure.schemes import all_schemes, get_scheme
+from repro.timing.model import slowdown_pct
 
 SCALE = SimulationScale(warmup_refs=100_000, measure_refs=120_000)
 WORKLOADS = ("equake", "mcf", "gcc")  # fits / too big / poisons-NoRepl
 
+#: Every registered scheme that runs an SNC state machine gets a 64KB
+#: design-space column; the paper's own scheme keeps the standard
+#: "lru64" pricing key, variants get "<scheme>64".
+SNC_SCHEMES = tuple(spec.key for spec in all_schemes() if spec.uses_snc)
+
+
+def scheme_snc_key(scheme_key: str) -> str:
+    """The pricing key a scheme's 64KB design-space column uses."""
+    return "lru64" if scheme_key == "otp" else f"{scheme_key}64"
+
+
+def design_space_specs() -> tuple[SNCSpec, ...]:
+    """The five standard geometries plus one 64KB spec per SNC scheme."""
+    specs = dict(standard_snc_specs())
+    for scheme_key in SNC_SCHEMES:
+        key = scheme_snc_key(scheme_key)
+        if key not in specs:
+            specs[key] = SNCSpec(key=key, scheme=scheme_key)
+    return tuple(specs.values())
+
 
 def design_space_jobs() -> list[ExperimentJob]:
-    """One job per workload, sweeping all five standard SNC geometries."""
-    all_specs = tuple(standard_snc_specs().values())
+    """One job per workload, sweeping every geometry and scheme."""
+    schemes = tuple(
+        spec.key for spec in all_schemes() if spec.protection is not None
+    )
     return [
         ExperimentJob(
-            figure="design-space", engine="xom+otp", workload=name,
-            snc_configs=all_specs, scale=SCALE, seed=1,
+            figure="design-space", schemes=schemes, workload=name,
+            snc_configs=design_space_specs(), scale=SCALE, seed=1,
         )
         for name in WORKLOADS
     ]
+
+
+def print_geometry_table(all_events) -> None:
+    """Figure 5/6/7 in one table: the OTP scheme across SNC geometries."""
+    lat = PAPER_LATENCIES
+    base_price = get_scheme("baseline").price
+    xom_price = get_scheme("xom").price
+    otp_price = get_scheme("otp").price
+    print(f"{'workload':<10} {'XOM':>8} {'NoRepl':>8} {'LRU-32K':>8} "
+          f"{'LRU-64K':>8} {'LRU-128K':>9} {'32-way':>8}   [slowdown %]")
+    print("-" * 72)
+    for name in WORKLOADS:
+        events = all_events[name]
+        base = base_price(events.trace_events(), lat)
+        row = [slowdown_pct(xom_price(events.trace_events(), lat), base)]
+        for key in ("norepl64", "lru32", "lru64", "lru128", "lru64_32way"):
+            row.append(
+                slowdown_pct(otp_price(events.trace_events(key), lat), base)
+            )
+        print(f"{name:<10} " + " ".join(f"{value:8.2f}" for value in row))
+
+
+def print_scheme_table(all_events) -> None:
+    """Every registered scheme at the default 64KB SNC, one column each."""
+    lat = PAPER_LATENCIES
+    base_price = get_scheme("baseline").price
+    columns = [
+        spec for spec in all_schemes() if spec.protection is not None
+    ]
+    header = f"{'workload':<10}" + "".join(
+        f" {spec.key:>10}" for spec in columns
+    )
+    print(header + "   [slowdown %, 64KB SNC]")
+    print("-" * (len(header) + 4))
+    for name in WORKLOADS:
+        events = all_events[name]
+        base = base_price(events.trace_events(), lat)
+        row = []
+        for spec in columns:
+            snc_key = scheme_snc_key(spec.key) if spec.uses_snc else None
+            cycles = spec.price(events.trace_events(snc_key), lat)
+            row.append(slowdown_pct(cycles, base))
+        print(f"{name:<10}" + "".join(f" {value:10.2f}" for value in row))
 
 
 def main() -> None:
@@ -45,20 +111,14 @@ def main() -> None:
                         help="worker processes for the sweep (default 1)")
     args = parser.parse_args()
 
-    lat = PAPER_LATENCIES
+    names = ", ".join(spec.key for spec in all_schemes())
+    print(f"registered protection schemes: {names}\n")
+
     all_events = run_jobs(design_space_jobs(), n_jobs=args.jobs)
-    print(f"{'workload':<10} {'XOM':>8} {'NoRepl':>8} {'LRU-32K':>8} "
-          f"{'LRU-64K':>8} {'LRU-128K':>9} {'32-way':>8}   [slowdown %]")
-    print("-" * 72)
-    for name in WORKLOADS:
-        events = all_events[name]
-        base = baseline_cycles(events.trace_events(), lat)
-        row = [slowdown_pct(xom_cycles(events.trace_events(), lat), base)]
-        for key in ("norepl64", "lru32", "lru64", "lru128", "lru64_32way"):
-            row.append(
-                slowdown_pct(otp_cycles(events.trace_events(key), lat), base)
-            )
-        print(f"{name:<10} " + " ".join(f"{value:8.2f}" for value in row))
+    print_geometry_table(all_events)
+    print("\nscheme design space (every registered scheme, priced "
+          "through the registry):")
+    print_scheme_table(all_events)
 
     print("\nFigure 8 fairness check (CACTI-style area units):")
     check = figure8_area_check()

@@ -14,7 +14,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.memory` — DRAM, caches, write buffer, bus (with tap points).
 * :mod:`repro.cpu` — the SRP-32 ISA, assembler and functional machine.
 * :mod:`repro.secure` — the paper's engines (XOM and OTP+SNC), seeds,
-  compartments, vendor packaging, integrity extension, and the assembled
+  compartments, vendor packaging, integrity extension, the
+  protection-scheme registry (:mod:`repro.secure.schemes` — one
+  :class:`~repro.secure.schemes.SchemeSpec` per scheme, spanning the
+  functional, timing and evaluation layers), and the assembled
   :class:`~repro.secure.processor.SecureProcessor`.
 * :mod:`repro.timing` / :mod:`repro.workloads` / :mod:`repro.eval` — the
   trace-driven evaluation that regenerates the paper's Figures 3 and 5-10.
@@ -38,12 +41,15 @@ from repro.secure import (
     OTPEngine,
     PlainProgram,
     ProtectionScheme,
+    SchemeSpec,
     SecureProcessor,
     SecureProgram,
     SequenceNumberCache,
     SNCConfig,
     SNCPolicy,
     XOMEngine,
+    all_schemes,
+    get_scheme,
     package_program,
 )
 
@@ -58,11 +64,14 @@ __all__ = [
     "ProtectionScheme",
     "SNCConfig",
     "SNCPolicy",
+    "SchemeSpec",
     "SecureProcessor",
     "SecureProgram",
     "SequenceNumberCache",
     "XOMEngine",
+    "all_schemes",
     "assemble",
+    "get_scheme",
     "package_program",
     "__version__",
 ]

@@ -39,17 +39,30 @@ _FINGERPRINT_MODULES = (
     "repro.eval.pipeline",
     "repro.memory.cache",
     "repro.secure.snc",
+    "repro.secure.snc_policy",
     "repro.timing.model",
     "repro.workloads.patterns",
     "repro.workloads.spec",
 )
 
 
+def _fingerprint_module_names() -> list[str]:
+    """The static list plus every discovered scheme module (a scheme's
+    timing state machine lives in its spec file, so an edit there must
+    invalidate results simulated through it)."""
+    from repro.secure.schemes import scheme_module_names
+
+    names = list(_FINGERPRINT_MODULES)
+    names.append("repro.secure.schemes")
+    names.extend(scheme_module_names())
+    return sorted(names)
+
+
 @lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """SHA-256 over the source of every simulation-relevant module."""
     digest = hashlib.sha256()
-    for name in _FINGERPRINT_MODULES:
+    for name in _fingerprint_module_names():
         module = importlib.import_module(name)
         digest.update(name.encode())
         digest.update(Path(module.__file__).read_bytes())

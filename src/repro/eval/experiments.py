@@ -4,12 +4,18 @@ Each figure contributes two things:
 
 * a **job declaration** — :func:`figure_jobs` emits one
   :class:`~repro.eval.jobs.ExperimentJob` per benchmark naming exactly the
-  SNC configurations that figure prices (:data:`FIGURE_SNC_KEYS`), so the
-  scheduler can merge, cache and fan out the simulations;
+  SNC configurations that figure prices (:data:`FIGURE_SNC_KEYS`), the
+  registered protection schemes it prices them through
+  (:data:`FIGURE_SCHEMES`), and whether it needs the Figure 8 alternate
+  L2 (:data:`FIGURES_NEEDING_ALT_L2`) — so the scheduler can merge, cache
+  and fan out the simulations and skip what nobody asked for;
 * a ``figureN`` **pricing function** that takes the per-benchmark event
   sets and returns a :class:`FigureResult` pairing the paper's published
-  series with the reproduced ones.  The benchmark files in ``benchmarks/``
-  print these tables; EXPERIMENTS.md archives them.
+  series with the reproduced ones.  All pricing resolves through the
+  scheme registry (:func:`repro.secure.schemes.get_scheme`); the figure
+  bodies only say *which* scheme and SNC key each series uses.  The
+  benchmark files in ``benchmarks/`` print these tables; EXPERIMENTS.md
+  archives them.
 """
 
 from __future__ import annotations
@@ -23,13 +29,11 @@ from repro.eval.jobs import ExperimentJob, standard_snc_specs
 from repro.eval.pipeline import BenchmarkEvents, SimulationScale
 from repro.eval.scheduler import Progress, run_jobs
 from repro.secure.engine import LatencyParams
+from repro.secure.schemes import get_scheme
 from repro.timing.model import (
-    baseline_cycles,
     normalized_time,
-    otp_cycles,
     slowdown_pct,
     snc_traffic_pct,
-    xom_cycles,
 )
 from repro.workloads.spec import BENCHMARKS
 
@@ -38,8 +42,7 @@ PAPER_LATENCIES = LatencyParams(memory=100, crypto=50, xor=1)
 SLOW_CRYPTO_LATENCIES = LatencyParams(memory=100, crypto=102, xor=1)
 
 #: Which SNC configurations each figure prices (keys into
-#: :func:`repro.eval.jobs.standard_snc_specs`), and through which engine.
-#: This is the declarative form of what the ``figureN`` bodies consume.
+#: :func:`repro.eval.jobs.standard_snc_specs`).
 FIGURE_SNC_KEYS: dict[str, tuple[str, ...]] = {
     "figure3": (),
     "figure5": ("norepl64", "lru64"),
@@ -50,15 +53,21 @@ FIGURE_SNC_KEYS: dict[str, tuple[str, ...]] = {
     "figure10": ("norepl64", "lru64"),
 }
 
-FIGURE_ENGINES: dict[str, str] = {
-    "figure3": "xom",
-    "figure5": "xom+otp",
-    "figure6": "otp",
-    "figure7": "otp",
-    "figure8": "xom+otp",
-    "figure9": "otp",
-    "figure10": "xom+otp",
+#: Which registered protection schemes each figure prices.  (The baseline
+#: is always priced too — it is every figure's denominator.)
+FIGURE_SCHEMES: dict[str, tuple[str, ...]] = {
+    "figure3": ("xom",),
+    "figure5": ("xom", "otp"),
+    "figure6": ("otp",),
+    "figure7": ("otp",),
+    "figure8": ("xom", "otp"),
+    "figure9": ("otp",),
+    "figure10": ("xom", "otp"),
 }
+
+#: Figures that price the 384KB alternate L2; everyone else's simulation
+#: skips that cache entirely.
+FIGURES_NEEDING_ALT_L2 = frozenset({"figure8"})
 
 
 def figure_jobs(figure_id: str, scale: SimulationScale | None = None,
@@ -72,11 +81,12 @@ def figure_jobs(figure_id: str, scale: SimulationScale | None = None,
     return [
         ExperimentJob(
             figure=figure_id,
-            engine=FIGURE_ENGINES[figure_id],
+            schemes=FIGURE_SCHEMES[figure_id],
             workload=bench.name,
             snc_configs=snc,
             scale=scale,
             seed=seed,
+            alt_l2=figure_id in FIGURES_NEEDING_ALT_L2,
         )
         for bench in BENCHMARKS
     ]
@@ -141,23 +151,29 @@ class FigureResult:
         raise KeyError(label)
 
 
+def _pricer(scheme_key: str, snc_key: str | None = None,
+            alt_l2: bool = False):
+    """A (events, latencies) -> cycles closure from the scheme registry."""
+    spec = get_scheme(scheme_key)
+
+    def price(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
+        return spec.price(
+            events_one.trace_events(snc_key, alt_l2=alt_l2), lat
+        )
+
+    return price
+
+
+_baseline = _pricer("baseline")
+
+
 def _slowdowns(events: dict[str, BenchmarkEvents], pricer,
                lat: LatencyParams) -> dict[str, float]:
     out = {}
     for name, bench_events in events.items():
-        base = baseline_cycles(bench_events.trace_events(), lat)
+        base = _baseline(bench_events, lat)
         out[name] = slowdown_pct(pricer(bench_events, lat), base)
     return out
-
-
-def _xom(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
-    return xom_cycles(events_one.trace_events(), lat)
-
-
-def _otp(snc_key: str):
-    def pricer(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
-        return otp_cycles(events_one.trace_events(snc_key), lat)
-    return pricer
 
 
 def figure3(events: dict[str, BenchmarkEvents]) -> FigureResult:
@@ -169,7 +185,7 @@ def figure3(events: dict[str, BenchmarkEvents]) -> FigureResult:
     )
     result.series.append(Series(
         "XOM", paper_data.FIGURE3_XOM,
-        _slowdowns(events, _xom, PAPER_LATENCIES),
+        _slowdowns(events, _pricer("xom"), PAPER_LATENCIES),
         paper_data.FIGURE3_XOM_AVG,
     ))
     return result
@@ -184,17 +200,17 @@ def figure5(events: dict[str, BenchmarkEvents]) -> FigureResult:
     )
     result.series.append(Series(
         "XOM", paper_data.FIGURE3_XOM,
-        _slowdowns(events, _xom, PAPER_LATENCIES),
+        _slowdowns(events, _pricer("xom"), PAPER_LATENCIES),
         paper_data.FIGURE3_XOM_AVG,
     ))
     result.series.append(Series(
         "SNC-NoRepl", paper_data.FIGURE5_SNC_NOREPL,
-        _slowdowns(events, _otp("norepl64"), PAPER_LATENCIES),
+        _slowdowns(events, _pricer("otp", "norepl64"), PAPER_LATENCIES),
         paper_data.FIGURE5_SNC_NOREPL_AVG,
     ))
     result.series.append(Series(
         "SNC-LRU", paper_data.FIGURE5_SNC_LRU,
-        _slowdowns(events, _otp("lru64"), PAPER_LATENCIES),
+        _slowdowns(events, _pricer("otp", "lru64"), PAPER_LATENCIES),
         paper_data.FIGURE5_SNC_LRU_AVG,
     ))
     return result
@@ -216,7 +232,7 @@ def figure6(events: dict[str, BenchmarkEvents]) -> FigureResult:
     ):
         result.series.append(Series(
             label, paper,
-            _slowdowns(events, _otp(key), PAPER_LATENCIES), avg,
+            _slowdowns(events, _pricer("otp", key), PAPER_LATENCIES), avg,
         ))
     return result
 
@@ -230,12 +246,12 @@ def figure7(events: dict[str, BenchmarkEvents]) -> FigureResult:
     )
     result.series.append(Series(
         "fully-assoc", paper_data.FIGURE7_FULLY,
-        _slowdowns(events, _otp("lru64"), PAPER_LATENCIES),
+        _slowdowns(events, _pricer("otp", "lru64"), PAPER_LATENCIES),
         paper_data.FIGURE7_FULLY_AVG,
     ))
     result.series.append(Series(
         "32-way", paper_data.FIGURE7_32WAY,
-        _slowdowns(events, _otp("lru64_32way"), PAPER_LATENCIES),
+        _slowdowns(events, _pricer("otp", "lru64_32way"), PAPER_LATENCIES),
         paper_data.FIGURE7_32WAY_AVG,
     ))
     return result
@@ -248,19 +264,16 @@ def figure8(events: dict[str, BenchmarkEvents]) -> FigureResult:
         "normalized execution time",
     )
     lat = PAPER_LATENCIES
+    price_xom = _pricer("xom")
+    price_xom_big = _pricer("xom", alt_l2=True)
+    price_snc = _pricer("otp", "lru64_32way")
     xom256, xom384, snc = {}, {}, {}
     for name, bench_events in events.items():
-        base = baseline_cycles(bench_events.trace_events(), lat)
-        xom256[name] = normalized_time(
-            xom_cycles(bench_events.trace_events(), lat), base
-        )
-        xom384[name] = normalized_time(
-            xom_cycles(bench_events.trace_events(), lat, use_alt_l2=True),
-            base,
-        )
-        snc[name] = normalized_time(
-            otp_cycles(bench_events.trace_events("lru64_32way"), lat), base
-        )
+        base = _baseline(bench_events, lat)
+        xom256[name] = normalized_time(price_xom(bench_events, lat), base)
+        xom384[name] = normalized_time(price_xom_big(bench_events, lat),
+                                       base)
+        snc[name] = normalized_time(price_snc(bench_events, lat), base)
     result.series.append(Series(
         "XOM-256KL2", paper_data.FIGURE8_XOM_256K, xom256,
         paper_data.FIGURE8_XOM_256K_AVG,
@@ -303,16 +316,17 @@ def figure10(events: dict[str, BenchmarkEvents]) -> FigureResult:
     lat = SLOW_CRYPTO_LATENCIES
     result.series.append(Series(
         "XOM", paper_data.FIGURE10_XOM,
-        _slowdowns(events, _xom, lat), paper_data.FIGURE10_XOM_AVG,
+        _slowdowns(events, _pricer("xom"), lat),
+        paper_data.FIGURE10_XOM_AVG,
     ))
     result.series.append(Series(
         "SNC-NoRepl", paper_data.FIGURE10_SNC_NOREPL,
-        _slowdowns(events, _otp("norepl64"), lat),
+        _slowdowns(events, _pricer("otp", "norepl64"), lat),
         paper_data.FIGURE10_SNC_NOREPL_AVG,
     ))
     result.series.append(Series(
         "SNC-LRU", paper_data.FIGURE10_SNC_LRU,
-        _slowdowns(events, _otp("lru64"), lat),
+        _slowdowns(events, _pricer("otp", "lru64"), lat),
         paper_data.FIGURE10_SNC_LRU_AVG,
     ))
     return result

@@ -6,14 +6,17 @@ SNC geometries and latencies.  This module turns that sweep into explicit
 data:
 
 * :class:`ExperimentJob` — what one *figure* needs from one *workload*:
-  the engine being priced, the SNC configurations that must be simulated,
-  the trace scale and the workload seed.  Figures declare jobs
+  the registered protection schemes being priced
+  (:mod:`repro.secure.schemes`), the SNC configurations that must be
+  simulated, whether the Figure 8 alternate L2 is priced, the trace scale
+  and the workload seed.  Figures declare jobs
   (:func:`repro.eval.experiments.figure_jobs`); they never loop inline.
 * :class:`SimulationTask` — what actually runs: one trace pass over one
   workload, feeding the union of every SNC configuration any selected
-  figure asked for.  :func:`merge_jobs` folds a job list into the minimal
-  task list, so requesting all seven figures still simulates each
-  benchmark exactly once.
+  figure asked for (and the alternate L2 only if some figure prices it).
+  :func:`merge_jobs` folds a job list into the minimal task list, so
+  requesting all seven figures still simulates each benchmark exactly
+  once.
 
 Both are frozen, hashable and picklable, so tasks can fan out across
 processes (:mod:`repro.eval.scheduler`) and key an on-disk result store
@@ -35,28 +38,37 @@ from repro.eval.pipeline import (
     simulate_benchmark,
     standard_snc_configs,
 )
+from repro.secure.schemes import get_scheme
 from repro.secure.snc import SNCConfig, SNCPolicy
 from repro.workloads.spec import BY_NAME
 
 
 @dataclass(frozen=True)
 class SNCSpec:
-    """A hashable, JSON-friendly description of one SNC configuration."""
+    """A hashable, JSON-friendly description of one SNC configuration.
+
+    ``scheme`` names the registered protection scheme whose timing state
+    machine simulates this configuration (``"otp"`` for the paper's
+    Algorithm 1; variants like ``"otp_split"`` plug in their own core).
+    """
 
     key: str  # the pricing key figures use, e.g. "lru64"
     size_bytes: int = 64 * 1024
     entry_bytes: int = 2
     assoc: int | None = None  # None = fully associative
     policy: str = SNCPolicy.LRU.value
+    scheme: str = "otp"
 
     @classmethod
-    def from_config(cls, key: str, config: SNCConfig) -> SNCSpec:
+    def from_config(cls, key: str, config: SNCConfig,
+                    scheme: str = "otp") -> SNCSpec:
         return cls(
             key=key,
             size_bytes=config.size_bytes,
             entry_bytes=config.entry_bytes,
             assoc=config.assoc,
             policy=config.policy.value,
+            scheme=scheme,
         )
 
     def to_config(self) -> SNCConfig:
@@ -69,7 +81,7 @@ class SNCSpec:
 
     def canonical(self) -> list:
         return [self.key, self.size_bytes, self.entry_bytes, self.assoc,
-                self.policy]
+                self.policy, self.scheme]
 
 
 def standard_snc_specs() -> dict[str, SNCSpec]:
@@ -93,33 +105,40 @@ def _scale_canonical(scale: SimulationScale) -> list[int]:
 class ExperimentJob:
     """One figure's requirement on one workload — the unit figures declare.
 
-    ``figure`` and ``engine`` say who wants the result and which pricing
-    path (xom / otp / both) will consume it; ``workload``, ``snc_configs``,
-    ``scale`` and ``seed`` pin down the simulation itself.  Jobs on the
-    same (workload, scale, seed) share one :class:`SimulationTask` whose
-    SNC set is the union of theirs (:func:`merge_jobs`).
+    ``figure`` says who wants the result; ``schemes`` names the registered
+    protection schemes whose pricers will consume it (validated against
+    the registry); ``workload``, ``snc_configs``, ``alt_l2``, ``scale``
+    and ``seed`` pin down the simulation itself.  Jobs on the same
+    (workload, scale, seed) share one :class:`SimulationTask` whose SNC
+    set is the union of theirs (:func:`merge_jobs`).
     """
 
     figure: str
-    engine: str  # "xom", "otp" or "xom+otp" — the pricing path
+    schemes: tuple[str, ...]  # registered scheme keys being priced
     workload: str
     snc_configs: tuple[SNCSpec, ...]
     scale: SimulationScale
     seed: int = 1
+    alt_l2: bool = False  # does this figure price the Figure 8 384KB L2?
 
     def __post_init__(self) -> None:
         if self.workload not in BY_NAME:
             raise KeyError(f"unknown workload {self.workload!r}")
+        for key in self.schemes:
+            get_scheme(key)  # raises KeyError on an unregistered scheme
+        for spec in self.snc_configs:
+            get_scheme(spec.scheme)
 
     def canonical(self) -> dict:
         return {
             "figure": self.figure,
-            "engine": self.engine,
+            "schemes": sorted(self.schemes),
             "workload": self.workload,
             "snc": [spec.canonical() for spec in
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
+            "alt_l2": self.alt_l2,
         }
 
     def config_hash(self) -> str:
@@ -135,6 +154,7 @@ class SimulationTask:
     snc_configs: tuple[SNCSpec, ...]
     scale: SimulationScale
     seed: int = 1
+    alt_l2: bool = False
 
     def canonical(self) -> dict:
         return {
@@ -143,6 +163,7 @@ class SimulationTask:
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
+            "alt_l2": self.alt_l2,
         }
 
     def config_hash(self) -> str:
@@ -162,14 +183,18 @@ def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
     """Fold figure-level jobs into the minimal simulation task list.
 
     Jobs on the same (workload, scale, seed) merge into one task whose SNC
-    set is the union of their requirements, so overlapping figures never
-    re-simulate a trace.  Task order follows first appearance, keeping the
+    set is the union of their requirements — and whose alternate-L2 flag
+    is the OR of theirs — so overlapping figures never re-simulate a
+    trace, and nobody pays for the Figure 8 cache unless some figure
+    prices it.  Task order follows first appearance, keeping the
     scheduler's result order deterministic.
     """
     grouped: dict[tuple, dict[str, SNCSpec]] = {}
+    alt_l2: dict[tuple, bool] = {}
     for job in jobs:
         group = (job.workload, job.scale, job.seed)
         specs = grouped.setdefault(group, {})
+        alt_l2[group] = alt_l2.get(group, False) or job.alt_l2
         for spec in job.snc_configs:
             existing = specs.get(spec.key)
             if existing is not None and existing != spec:
@@ -185,6 +210,7 @@ def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
                                      key=lambda spec: spec.key)),
             scale=scale,
             seed=seed,
+            alt_l2=alt_l2[(workload, scale, seed)],
         )
         for (workload, scale, seed), specs in grouped.items()
     ]
@@ -197,5 +223,7 @@ def execute_task(task: SimulationTask) -> BenchmarkEvents:
         scale=task.scale,
         snc_configs={spec.key: spec.to_config()
                      for spec in task.snc_configs},
+        snc_schemes={spec.key: spec.scheme for spec in task.snc_configs},
         seed=task.seed,
+        simulate_alt_l2=task.alt_l2,
     )

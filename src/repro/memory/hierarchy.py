@@ -63,6 +63,8 @@ def default_l2_config() -> CacheConfig:
 class MemoryHierarchy:
     """Functional two-level cache hierarchy over a line engine."""
 
+    engine: LineEngine
+
     def __init__(self, engine: LineEngine,
                  l1i_config: CacheConfig | None = None,
                  l1d_config: CacheConfig | None = None,

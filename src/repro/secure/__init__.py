@@ -32,6 +32,21 @@ from repro.secure.snc import (
     SNCPolicy,
     SNCStats,
 )
+from repro.secure.snc_policy import (
+    ReadClass,
+    ReadDecision,
+    SNCPolicyCore,
+    WriteClass,
+    WriteDecision,
+)
+from repro.secure.schemes import (
+    EngineContext,
+    SchemeSpec,
+    all_schemes,
+    get_scheme,
+    register as register_scheme,
+    scheme_keys,
+)
 from repro.secure.processor import EngineKind, RunReport, SecureProcessor
 from repro.secure.software import (
     PlainProgram,
@@ -49,9 +64,14 @@ __all__ = [
     "BaselineEngine",
     "Compartment",
     "CompartmentManager",
+    "EngineContext",
     "EngineKind",
     "ProtectionScheme",
+    "ReadClass",
+    "ReadDecision",
     "RunReport",
+    "SNCPolicyCore",
+    "SchemeSpec",
     "SecureProcessor",
     "ContextSwitchReport",
     "EngineStats",
@@ -79,8 +99,14 @@ __all__ = [
     "SwitchStrategy",
     "TaggedRegisterFile",
     "TaskStream",
+    "WriteClass",
+    "WriteDecision",
     "XOMEngine",
+    "all_schemes",
+    "get_scheme",
     "install_image",
     "package_program",
+    "register_scheme",
+    "scheme_keys",
     "unwrap_program_key",
 ]

@@ -20,6 +20,14 @@ pad with the *new* seed, XOR, send — all in the write buffer, off the
 critical path.  An update miss costs an extra seqnum-table round trip
 (traffic, not stall).
 
+The query/update decision procedure itself lives in
+:class:`~repro.secure.snc_policy.SNCPolicyCore` — one state machine shared
+with the byte-free timing simulator, so the two layers cannot drift.  This
+engine contributes what the core abstracts away: the actual cryptography,
+the encrypted sequence-number table in untrusted memory, and the bus
+traffic.  Scheme variants (e.g. ``otp_split``) swap in a different core
+via ``core_factory`` without touching this file.
+
 The sequence-number table in untrusted memory stores, per line, the block
 ``E_K(line_index || seq)`` — encrypted *directly*, not with a pad ("it is
 not preferred that the sequence numbers are encrypted using one-time pad
@@ -30,6 +38,8 @@ decrypt, which the attack tests exercise.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.crypto.blockcipher import BlockCipher
 from repro.crypto.modes import ecb_decrypt, ecb_encrypt, otp_transform
 from repro.errors import ConfigurationError, TamperDetected
@@ -39,11 +49,16 @@ from repro.memory.hierarchy import LineKind
 from repro.secure.engine import EngineStats, LatencyParams
 from repro.secure.regions import RegionMap
 from repro.secure.seeds import SeedScheme
-from repro.secure.snc import SequenceNumberCache, SNCPolicy
+from repro.secure.snc import Evicted, SequenceNumberCache, SNCPolicy
+from repro.secure.snc_policy import ReadClass, SNCPolicyCore, WriteClass
 
 #: Default base of the sequence-number spill table: far above any program
 #: segment, still inside the sparse DRAM model's address space.
 SEQNUM_TABLE_BASE = 1 << 44
+
+#: Builds the policy state machine the engine consults; the default is the
+#: paper's Algorithm 1, variants come from scheme spec files.
+CoreFactory = Callable[..., SNCPolicyCore]
 
 
 class OTPEngine:
@@ -57,7 +72,8 @@ class OTPEngine:
                  regions: RegionMap | None = None,
                  integrity=None,
                  table_base: int = SEQNUM_TABLE_BASE,
-                 xom_id: int = 0):
+                 xom_id: int = 0,
+                 core_factory: CoreFactory | None = None):
         self.dram = dram
         self.cipher = cipher
         # Explicit None checks: these objects define __len__, so an empty
@@ -77,14 +93,12 @@ class OTPEngine:
         self.table_base = table_base
         self.xom_id = xom_id
         self.stats = EngineStats()
-        # Lines that fell back to direct encryption (no-replacement policy).
-        # Conceptually a metadata bit travelling with the line; kept here as
-        # engine state because untrusted memory cannot be trusted to keep it.
-        self._direct_lines: set[int] = set()
-        # Highest sequence number ever issued per line under no-replacement,
-        # so a line re-admitted after a flush can never reuse a pad.  (LRU
-        # recovers this from the spill table; no-replacement has no table.)
-        self._fallback_seq: dict[int, int] = {}
+        factory = core_factory or SNCPolicyCore
+        self.core = factory(
+            self.snc, xom_id=xom_id,
+            fetch_entry=self._fetch_table_entry,
+            spill_entry=self._spill_victim,
+        )
 
     # ------------------------------------------------------------------ reads
 
@@ -116,49 +130,21 @@ class OTPEngine:
             )
 
         line_index = self.seed_scheme.line_index(line_addr)
-        seq = self.snc.query(line_index, self.xom_id)
-        if seq is not None:
-            seed = self.seed_scheme.data_seed(line_addr, seq)
-            self.stats.overlapped_reads += 1
-            return (
-                otp_transform(self.cipher, seed, raw),
-                self.stats.charge(self.latencies.overlapped_read),
-            )
-        if self.snc.config.policy is SNCPolicy.NO_REPLACEMENT:
-            return self._read_no_replacement_miss(line_addr, line_index, raw)
-        return self._read_lru_query_miss(line_addr, line_index, raw)
-
-    def _read_no_replacement_miss(self, line_addr: int, line_index: int,
-                                  raw: bytes) -> tuple[bytes, int]:
-        """§4.2: under no-replacement, a query miss means the line was
-        encrypted directly — or is untouched vendor image (version 0)."""
-        if line_index in self._direct_lines:
+        decision = self.core.read(line_index)
+        if decision.kind is ReadClass.DIRECT:
             self.stats.serial_reads += 1
             return (
                 ecb_decrypt(self.cipher, raw),
                 self.stats.charge(self.latencies.serial_read),
             )
-        seed = self.seed_scheme.data_seed(line_addr, 0)
-        self.stats.overlapped_reads += 1
-        return (
-            otp_transform(self.cipher, seed, raw),
-            self.stats.charge(self.latencies.overlapped_read),
-        )
-
-    def _read_lru_query_miss(self, line_addr: int, line_index: int,
-                             raw: bytes) -> tuple[bytes, int]:
-        """Algorithm 1, query-miss arm: fetch + decrypt the spilled number,
-        install it (spilling a victim), then decrypt the line."""
-        seq = self._fetch_table_entry(line_index)
-        victim = self.snc.insert(line_index, seq, self.xom_id)
-        if victim is not None:
-            self._spill_table_entry(victim.line_index, victim.seq)
-        seed = self.seed_scheme.data_seed(line_addr, seq)
-        self.stats.seqnum_miss_reads += 1
-        return (
-            otp_transform(self.cipher, seed, raw),
-            self.stats.charge(self.latencies.seqnum_miss_read),
-        )
+        seed = self.seed_scheme.data_seed(line_addr, decision.seq)
+        if decision.kind is ReadClass.OVERLAPPED:
+            self.stats.overlapped_reads += 1
+            cycles = self.stats.charge(self.latencies.overlapped_read)
+        else:  # ReadClass.SEQNUM_MISS: the table fetch already happened.
+            self.stats.seqnum_miss_reads += 1
+            cycles = self.stats.charge(self.latencies.seqnum_miss_read)
+        return otp_transform(self.cipher, seed, raw), cycles
 
     # ----------------------------------------------------------------- writes
 
@@ -170,17 +156,13 @@ class OTPEngine:
             return 0
 
         line_index = self.seed_scheme.line_index(line_addr)
-        seq = self.snc.update(line_index, self.xom_id)
-        if seq is None:
-            seq = self._handle_update_miss(line_index)
-        if seq is None:
-            # No-replacement SNC is full: XOM-style direct encryption.
-            self._direct_lines.add(line_index)
-            self.snc.note_rejection()
+        decision = self.core.write(line_index)
+        if decision.kind is WriteClass.REJECTED:
+            # Direct-encryption fallback (no-replacement SNC full, or a
+            # variant scheme retiring the line from pad treatment).
             ciphertext = ecb_encrypt(self.cipher, plaintext)
         else:
-            seq = self._wrap_seq(line_index, seq)
-            self._direct_lines.discard(line_index)
+            seq = self._wrap_seq(line_index, decision.seq)
             seed = self.seed_scheme.data_seed(line_addr, seq)
             ciphertext = otp_transform(self.cipher, seed, plaintext)
         if self.integrity is not None and self.integrity.covers(line_addr):
@@ -188,23 +170,6 @@ class OTPEngine:
         self.bus.record(TransactionKind.DATA_WRITE, line_addr, ciphertext)
         self.dram.write_line(line_addr, ciphertext)
         return 0  # encryption happens in the write buffer, off critical path
-
-    def _handle_update_miss(self, line_index: int) -> int | None:
-        """Returns the new (bumped) sequence number, or None if the line
-        must fall back to direct encryption."""
-        if self.snc.config.policy is SNCPolicy.LRU:
-            # Algorithm 1, update-miss arm: fetch, increment, install.
-            seq = self._fetch_table_entry(line_index) + 1
-            victim = self.snc.insert(line_index, seq, self.xom_id)
-            if victim is not None:
-                self._spill_table_entry(victim.line_index, victim.seq)
-            return seq
-        if not self.snc.can_insert(line_index):
-            return None
-        seq = self._fallback_seq.get(line_index, 0) + 1
-        self._fallback_seq[line_index] = seq
-        self.snc.insert(line_index, seq, self.xom_id)
-        return seq
 
     def _wrap_seq(self, line_index: int, seq: int) -> int:
         """A sequence number overflowing its field would force a re-keying
@@ -227,6 +192,10 @@ class OTPEngine:
         counter can reach (pad seeds top out at line-index bit 61), so the
         two uses of the cipher can never process the same block."""
         return 1 << (8 * self.cipher.block_size - 2)
+
+    def _spill_victim(self, victim: Evicted) -> None:
+        """The core's spill callback: persist one evicted entry."""
+        self._spill_table_entry(victim.line_index, victim.seq)
 
     def _spill_table_entry(self, line_index: int, seq: int) -> None:
         """Encrypt-and-store one evicted sequence number (bus traffic)."""

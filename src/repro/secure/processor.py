@@ -6,7 +6,8 @@ entire protected execution environment:
 
 1. unwrap the vendor's symmetric key (fails on the wrong processor — the
    anti-piracy property);
-2. stand up DRAM, bus, and the configured engine (baseline / XOM / OTP);
+2. stand up DRAM, bus, and the engine of the configured protection scheme
+   (resolved through the :mod:`repro.secure.schemes` registry);
 3. let the untrusted loader place the ciphertext image in memory;
 4. run the program inside a fresh XOM compartment, with every off-chip
    transfer going through the engine.
@@ -26,27 +27,45 @@ from repro.errors import ConfigurationError
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import CacheConfig
 from repro.memory.dram import DRAM
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.hierarchy import LineEngine, MemoryHierarchy
 from repro.secure.compartment import CompartmentManager, TaggedRegisterFile
-from repro.secure.engine import BaselineEngine, LatencyParams
-from repro.secure.otp_engine import OTPEngine
-from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.engine import LatencyParams
+from repro.secure.regions import RegionMap
+from repro.secure.schemes import (
+    EngineContext,
+    SchemeSpec,
+    all_schemes,
+    get_scheme,
+)
+from repro.secure.snc import SNCConfig
 from repro.secure.software import (
-    ProtectionScheme,
     SecureProgram,
     install_image,
     unwrap_program_key,
 )
-from repro.secure.xom_engine import XOMEngine
 from repro.crypto.rsa import RSAKeyPair
 
+#: Which memory-protection scheme the processor applies — one member per
+#: registered scheme (``BASELINE``, ``XOM``, ``OTP``, ``OTP_SPLIT``, ...),
+#: generated from the registry so a new scheme file shows up here without
+#: edits.  ``SecureProcessor`` also accepts plain registry keys, which is
+#: the only way to address a scheme registered after this module imported.
+EngineKind = enum.Enum(
+    "EngineKind", {spec.key.upper(): spec.key for spec in all_schemes()}
+)
+EngineKind.__doc__ = (
+    "Registered protection schemes, one member per "
+    ":class:`~repro.secure.schemes.SchemeSpec` (value = registry key)."
+)
 
-class EngineKind(enum.Enum):
-    """Which memory-protection scheme the processor applies."""
 
-    BASELINE = "baseline"  # insecure: plaintext on the bus
-    XOM = "xom"  # direct encryption, serial crypto (§2.2)
-    OTP = "otp"  # one-time pad + SNC (the paper)
+def _engine_kind_for(key: str) -> EngineKind | None:
+    """The enum member for a registry key, or None for schemes registered
+    after this module was imported (addressable by key string only)."""
+    try:
+        return EngineKind(key)
+    except ValueError:
+        return None
 
 
 @dataclass
@@ -54,10 +73,11 @@ class RunReport:
     """Everything a finished protected run exposes."""
 
     result: MachineResult
-    engine_kind: EngineKind
+    engine_kind: EngineKind | None
     bus: MemoryBus
-    engine: object
+    engine: LineEngine
     hierarchy: MemoryHierarchy
+    scheme: SchemeSpec
 
     @property
     def output(self) -> str:
@@ -69,10 +89,10 @@ class RunReport:
 
 
 class SecureProcessor:
-    """A processor die: private key burned in, engines configurable."""
+    """A processor die: private key burned in, schemes configurable."""
 
     def __init__(self, key_seed: str = "default-processor",
-                 engine_kind: EngineKind = EngineKind.OTP,
+                 engine_kind: EngineKind | str = "otp",
                  latencies: LatencyParams | None = None,
                  snc_config: SNCConfig | None = None,
                  l1i_config: CacheConfig | None = None,
@@ -81,7 +101,12 @@ class SecureProcessor:
                  integrity_factory=None,
                  key_bits: int = 512):
         self.keypair = RSAKeyPair.generate(bits=key_bits, seed=key_seed)
-        self.engine_kind = engine_kind
+        key = (
+            engine_kind.value if isinstance(engine_kind, EngineKind)
+            else str(engine_kind)
+        )
+        self.scheme = get_scheme(key)
+        self.engine_kind = _engine_kind_for(self.scheme.key)
         self.latencies = latencies or LatencyParams()
         self.snc_config = snc_config or SNCConfig()
         self.l1i_config = l1i_config
@@ -115,7 +140,9 @@ class SecureProcessor:
         integrity = (
             self.integrity_factory() if self.integrity_factory else None
         )
-        engine = self._build_engine(dram, cipher, bus, regions, integrity)
+        engine = self.scheme.build_engine(self._engine_context(
+            dram, cipher, bus, regions, integrity
+        ))
         install_image(program, dram, integrity=integrity)
 
         hierarchy = self._build_hierarchy(engine)
@@ -143,6 +170,7 @@ class SecureProcessor:
             bus=bus,
             engine=engine,
             hierarchy=hierarchy,
+            scheme=self.scheme,
         )
 
     def run_plain(self, program, max_steps: int = 1_000_000,
@@ -151,9 +179,12 @@ class SecureProcessor:
 
         The reference point for every comparison: same CPU, same caches,
         no crypto, plaintext on the bus."""
+        spec = get_scheme("baseline")
         dram = DRAM(line_bytes=128, latency=self.latencies.memory)
         bus = MemoryBus()
-        engine = BaselineEngine(dram, bus, latencies=self.latencies)
+        engine = spec.build_engine(self._engine_context(
+            dram, None, bus, RegionMap(), None
+        ))
         for segment in program.segments:
             dram.poke(segment.base, segment.data)
         hierarchy = self._build_hierarchy(engine)
@@ -168,9 +199,18 @@ class SecureProcessor:
             bus=bus,
             engine=engine,
             hierarchy=hierarchy,
+            scheme=spec,
         )
 
-    def _build_hierarchy(self, engine) -> MemoryHierarchy:
+    def _engine_context(self, dram, cipher, bus, regions,
+                        integrity) -> EngineContext:
+        return EngineContext(
+            dram=dram, cipher=cipher, bus=bus, regions=regions,
+            integrity=integrity, latencies=self.latencies,
+            snc_config=self.snc_config,
+        )
+
+    def _build_hierarchy(self, engine: LineEngine) -> MemoryHierarchy:
         return MemoryHierarchy(
             engine,
             l1i_config=self.l1i_config,
@@ -179,32 +219,14 @@ class SecureProcessor:
         )
 
     def _check_scheme(self, program: SecureProgram) -> None:
-        expected = {
-            EngineKind.XOM: ProtectionScheme.DIRECT,
-            EngineKind.OTP: ProtectionScheme.OTP,
-        }.get(self.engine_kind)
+        expected = self.scheme.protection
         if expected is None:
             raise ConfigurationError(
-                "the baseline processor runs unprotected programs only — "
-                "use run_plain()"
+                f"the {self.scheme.key} processor runs unprotected "
+                "programs only — use run_plain()"
             )
         if program.scheme is not expected:
             raise ConfigurationError(
                 f"program packaged for the {program.scheme.value} scheme "
-                f"cannot run on a {self.engine_kind.value} processor"
+                f"cannot run on a {self.scheme.key} processor"
             )
-
-    def _build_engine(self, dram, cipher, bus, regions, integrity):
-        if self.engine_kind is EngineKind.BASELINE:
-            return BaselineEngine(dram, bus, latencies=self.latencies)
-        if self.engine_kind is EngineKind.XOM:
-            return XOMEngine(
-                dram, cipher, bus=bus, latencies=self.latencies,
-                regions=regions, integrity=integrity,
-            )
-        return OTPEngine(
-            dram, cipher,
-            snc=SequenceNumberCache(self.snc_config),
-            bus=bus, latencies=self.latencies, regions=regions,
-            integrity=integrity,
-        )

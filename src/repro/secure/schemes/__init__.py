@@ -1,0 +1,162 @@
+"""The protection-scheme registry: one declaration per scheme, all layers.
+
+The paper's design space is a *family* of memory-protection schemes —
+plaintext baseline, XOM direct encryption, OTP+SNC, and variants (§4.2's
+split sequence numbers).  Each scheme used to be implemented two-and-a-half
+times: a byte-moving functional engine, a byte-free timing mirror, and
+ad-hoc string keys in the evaluation layer.  A :class:`SchemeSpec` declares
+each scheme **once**:
+
+* ``build_engine`` — the functional line-engine factory
+  (:class:`SecureProcessor <repro.secure.processor.SecureProcessor>`
+  resolves through it);
+* ``build_timing_sim`` — the timing-event state machine the trace pipeline
+  drives (``None`` for schemes without SNC state);
+* ``price`` — the cycle-pricing function over
+  :class:`~repro.timing.model.TraceEvents` (the figure drivers resolve
+  through it);
+* ``protection`` — the vendor-packaging binding
+  (:class:`~repro.secure.software.ProtectionScheme`), ``None`` for the
+  unprotected baseline.
+
+Every module in this package (not starting with ``_``) is auto-imported
+and self-registers its spec, so **adding a scheme is adding one file** —
+see ``otp_split.py`` for the worked example, and ``docs/schemes.md`` for
+the walkthrough.  ``python -m repro.secure.schemes`` runs every registered
+scheme end-to-end through :class:`SecureProcessor` as a completeness check.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.crypto.blockcipher import BlockCipher
+from repro.errors import ConfigurationError
+from repro.memory.bus import MemoryBus
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineEngine
+from repro.secure.engine import LatencyParams
+from repro.secure.regions import RegionMap
+from repro.secure.snc import SNCConfig
+from repro.secure.software import ProtectionScheme
+from repro.timing.model import TraceEvents
+
+
+@dataclass(frozen=True)
+class EngineContext:
+    """Everything a functional engine factory may need.
+
+    Assembled by :class:`~repro.secure.processor.SecureProcessor` per run;
+    factories pick the fields their scheme uses (the baseline ignores the
+    cipher, XOM ignores the SNC config, ...).
+    """
+
+    dram: DRAM
+    cipher: BlockCipher | None
+    bus: MemoryBus
+    regions: RegionMap
+    integrity: object | None
+    latencies: LatencyParams
+    snc_config: SNCConfig
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One protection scheme, declared once for all consuming layers."""
+
+    key: str  # registry key: "baseline", "xom", "otp", ...
+    title: str  # human name for tables and docs
+    summary: str  # one-line description
+    #: Which vendor packaging the scheme executes, ``None`` = unprotected
+    #: (such a scheme runs plain programs only).
+    protection: ProtectionScheme | None
+    #: Functional layer: build the line engine for one protected run.
+    build_engine: Callable[[EngineContext], LineEngine]
+    #: Evaluation layer: price one benchmark's trace events in cycles.
+    price: Callable[[TraceEvents, LatencyParams], float]
+    #: Timing layer: build the byte-free SNC state machine the trace
+    #: pipeline drives, or ``None`` for schemes without SNC state.
+    build_timing_sim: Callable[[SNCConfig], object] | None = None
+
+    @property
+    def uses_snc(self) -> bool:
+        """Whether the trace pipeline must simulate an SNC for pricing."""
+        return self.build_timing_sim is not None
+
+
+_REGISTRY: dict[str, SchemeSpec] = {}
+
+
+def register(spec: SchemeSpec) -> SchemeSpec:
+    """Register a scheme; returns the spec so modules can keep a handle."""
+    if spec.key in _REGISTRY:
+        raise ConfigurationError(
+            f"protection scheme {spec.key!r} is already registered"
+        )
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def get_scheme(key: str) -> SchemeSpec:
+    """Look up one registered scheme by key."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown protection scheme {key!r} (registered: {known})"
+        ) from None
+
+
+def scheme_keys() -> tuple[str, ...]:
+    """Every registered scheme key, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_schemes() -> tuple[SchemeSpec, ...]:
+    """Every registered spec, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+_SCHEME_MODULES: list[str] = []
+
+
+def scheme_module_names() -> tuple[str, ...]:
+    """Fully-qualified names of the discovered scheme modules.
+
+    The result cache fingerprints exactly these files (plus this one), so
+    editing a scheme's spec invalidates the simulation results produced
+    through it — and the cache can never drift from the discovery rules.
+    """
+    return tuple(_SCHEME_MODULES)
+
+
+def _discover() -> None:
+    """Import every scheme module in this package so it self-registers.
+
+    Modules starting with ``_`` (like ``__main__``, the completeness
+    check) are skipped — they are tooling, not scheme declarations.
+    """
+    for info in sorted(pkgutil.iter_modules(__path__),
+                       key=lambda info: info.name):
+        if info.name.startswith("_"):
+            continue
+        name = f"{__name__}.{info.name}"
+        importlib.import_module(name)
+        _SCHEME_MODULES.append(name)
+
+
+_discover()
+
+__all__ = [
+    "EngineContext",
+    "SchemeSpec",
+    "all_schemes",
+    "get_scheme",
+    "register",
+    "scheme_keys",
+    "scheme_module_names",
+]

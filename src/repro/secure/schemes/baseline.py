@@ -1,0 +1,26 @@
+"""Scheme spec: the insecure baseline — plaintext on the bus.
+
+The reference point of every figure: no cryptography, a read costs exactly
+the memory latency.  ``protection`` is ``None``, so the processor refuses
+vendor-packaged images and runs plain programs only (``run_plain``).
+"""
+
+from __future__ import annotations
+
+from repro.secure.engine import BaselineEngine
+from repro.secure.schemes import EngineContext, SchemeSpec, register
+from repro.timing.model import baseline_cycles
+
+
+def _build_engine(ctx: EngineContext) -> BaselineEngine:
+    return BaselineEngine(ctx.dram, ctx.bus, latencies=ctx.latencies)
+
+
+SPEC = register(SchemeSpec(
+    key="baseline",
+    title="insecure baseline",
+    summary="plaintext on the bus; a read costs one memory latency",
+    protection=None,
+    build_engine=_build_engine,
+    price=baseline_cycles,
+))

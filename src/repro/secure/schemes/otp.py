@@ -1,0 +1,40 @@
+"""Scheme spec: one-time-pad encryption with an SNC — the paper (§3-§4).
+
+Pad generation overlaps the DRAM access when the seed is on chip; the
+Sequence Number Cache decides when it is.  The default
+:class:`~repro.secure.snc_policy.SNCPolicyCore` implements the paper's
+Algorithm 1 for both the LRU (spilling) and no-replacement policies — the
+policy itself is a property of the :class:`~repro.secure.snc.SNCConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.schemes import EngineContext, SchemeSpec, register
+from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.software import ProtectionScheme
+from repro.timing.model import SNCTimingSim, otp_cycles
+
+
+def _build_engine(ctx: EngineContext) -> OTPEngine:
+    return OTPEngine(
+        ctx.dram, ctx.cipher,
+        snc=SequenceNumberCache(ctx.snc_config),
+        bus=ctx.bus, latencies=ctx.latencies, regions=ctx.regions,
+        integrity=ctx.integrity,
+    )
+
+
+def _build_timing_sim(config: SNCConfig) -> SNCTimingSim:
+    return SNCTimingSim(config)
+
+
+SPEC = register(SchemeSpec(
+    key="otp",
+    title="OTP + SNC",
+    summary="one-time pads with a sequence-number cache (the paper)",
+    protection=ProtectionScheme.OTP,
+    build_engine=_build_engine,
+    price=otp_cycles,
+    build_timing_sim=_build_timing_sim,
+))

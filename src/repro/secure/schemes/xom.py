@@ -1,0 +1,30 @@
+"""Scheme spec: XOM-style direct encryption on the memory path (§2.2).
+
+The baseline the paper improves on: every line is decrypted *after* it
+arrives, so a read costs ``memory + crypto`` serially.  No SNC state, so
+no timing state machine — pricing needs only the miss counts.
+"""
+
+from __future__ import annotations
+
+from repro.secure.schemes import EngineContext, SchemeSpec, register
+from repro.secure.software import ProtectionScheme
+from repro.secure.xom_engine import XOMEngine
+from repro.timing.model import xom_cycles
+
+
+def _build_engine(ctx: EngineContext) -> XOMEngine:
+    return XOMEngine(
+        ctx.dram, ctx.cipher, bus=ctx.bus, latencies=ctx.latencies,
+        regions=ctx.regions, integrity=ctx.integrity,
+    )
+
+
+SPEC = register(SchemeSpec(
+    key="xom",
+    title="XOM direct encryption",
+    summary="decrypt-after-fetch: every read pays memory + crypto serially",
+    protection=ProtectionScheme.DIRECT,
+    build_engine=_build_engine,
+    price=xom_cycles,
+))

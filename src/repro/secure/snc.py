@@ -241,6 +241,16 @@ class SequenceNumberCache:
         if key in entries:
             entries[key] = seq
 
+    def remove(self, line_index: int, xom_id: int = 0) -> int | None:
+        """Drop one entry without spilling it; returns its sequence number.
+
+        Used by schemes that retire a line from one-time-pad treatment
+        (e.g. a split-counter overflow falling back to direct encryption):
+        the entry must not linger, or a later query would hit a stale pad
+        version for a line that is no longer pad-encrypted.
+        """
+        return self._set_for(line_index).pop((line_index, xom_id), None)
+
     # -- context-switch support (§4.3) ---------------------------------------
 
     def flush(self) -> list[Evicted]:

@@ -1,0 +1,155 @@
+"""The SNC decision logic (Algorithm 1, §4.2) as one shared state machine.
+
+Historically this logic existed twice — once in the byte-moving
+:class:`~repro.secure.otp_engine.OTPEngine` and once in the byte-free
+:class:`~repro.timing.model.SNCTimingSim` — held consistent only by a
+cross-check test.  :class:`SNCPolicyCore` is the single implementation both
+layers now drive, so the functional and timing paths *cannot* drift: the
+engine supplies real table fetch/spill callbacks (moving encrypted
+sequence-number blocks over the bus), the timing simulator supplies
+counting callbacks backed by a plain dict, and both get back the same
+:class:`ReadDecision`/:class:`WriteDecision` stream for the same trace.
+
+Scheme variants subclass the core and override the ``_read_query_miss`` /
+``_write_update_hit`` / ``_write_update_miss`` hooks — see the
+``otp_split`` spec in :mod:`repro.secure.schemes.otp_split` for the
+paper's §4.2 split-sequence-number variant done this way.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.secure.snc import Evicted, SequenceNumberCache, SNCPolicy
+
+#: Fetch one spilled sequence number for a line index (the engine decrypts
+#: a table entry; the timing simulator reads a dict).
+FetchEntry = Callable[[int], int]
+
+#: Persist one evicted entry (the engine encrypts-and-stores; the timing
+#: simulator records the value and counts the transfer).
+SpillEntry = Callable[[Evicted], None]
+
+
+class ReadClass(enum.Enum):
+    """How an L2 read miss is serviced — what the timing model prices."""
+
+    OVERLAPPED = "overlapped"  # seed on chip: MAX(memory, crypto) + 1
+    SEQNUM_MISS = "seqnum-miss"  # table fetch on the critical path
+    DIRECT = "direct"  # direct-encryption fallback: the XOM serial path
+
+
+class WriteClass(enum.Enum):
+    """How an L2 writeback is serviced (always off the critical path)."""
+
+    UPDATE_HIT = "update-hit"
+    UPDATE_MISS = "update-miss"  # resolved with a sequence number anyway
+    REJECTED = "rejected"  # direct-encryption fallback
+
+
+@dataclass(frozen=True)
+class ReadDecision:
+    """Outcome of one read miss: the path taken and the pad version.
+
+    ``seq`` is ``None`` exactly when ``kind`` is :attr:`ReadClass.DIRECT`
+    (a directly-encrypted line has no pad version)."""
+
+    kind: ReadClass
+    seq: int | None
+
+
+@dataclass(frozen=True)
+class WriteDecision:
+    """Outcome of one writeback: ``seq`` is the new pad version, or
+    ``None`` when ``kind`` is :attr:`WriteClass.REJECTED`."""
+
+    kind: WriteClass
+    seq: int | None
+
+
+class SNCPolicyCore:
+    """The paper's query/update decision procedure over one SNC.
+
+    Owns the per-line fallback state the decisions depend on — which lines
+    fell back to direct encryption (``direct_lines``) and the highest
+    sequence number ever issued under no-replacement (``fallback_seq``) —
+    and delegates actual sequence-number movement to the two callbacks.
+    """
+
+    def __init__(self, snc: SequenceNumberCache, *, xom_id: int = 0,
+                 fetch_entry: FetchEntry | None = None,
+                 spill_entry: SpillEntry | None = None):
+        self.snc = snc
+        self.xom_id = xom_id
+        self._fetch_entry = fetch_entry or (lambda line_index: 0)
+        self._spill_entry = spill_entry or (lambda victim: None)
+        # Lines that fell back to direct encryption.  Conceptually a
+        # metadata bit travelling with the line; kept here because
+        # untrusted memory cannot be trusted to keep it.
+        self.direct_lines: set[int] = set()
+        # Highest sequence number ever issued per line under
+        # no-replacement, so a line re-admitted after a flush can never
+        # reuse a pad.  (LRU recovers this from the spill table;
+        # no-replacement has no table.)
+        self.fallback_seq: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ reads
+
+    def read(self, line_index: int) -> ReadDecision:
+        """Classify one L2 read miss and apply its SNC state effects."""
+        seq = self.snc.query(line_index, self.xom_id)
+        if seq is not None:
+            return ReadDecision(ReadClass.OVERLAPPED, seq)
+        return self._read_query_miss(line_index)
+
+    def _read_query_miss(self, line_index: int) -> ReadDecision:
+        if self.snc.config.policy is SNCPolicy.NO_REPLACEMENT:
+            if line_index in self.direct_lines:
+                return ReadDecision(ReadClass.DIRECT, None)
+            # Untouched vendor-image line: version-0 pad, overlapped.
+            return ReadDecision(ReadClass.OVERLAPPED, 0)
+        return self._read_table_fetch(line_index)
+
+    def _read_table_fetch(self, line_index: int) -> ReadDecision:
+        """Algorithm 1, query-miss arm: fetch the spilled number, install
+        it (spilling a victim), decrypt with it."""
+        seq = self._fetch_entry(line_index)
+        self._install(line_index, seq)
+        return ReadDecision(ReadClass.SEQNUM_MISS, seq)
+
+    # ----------------------------------------------------------------- writes
+
+    def write(self, line_index: int) -> WriteDecision:
+        """Classify one L2 writeback and apply its SNC state effects."""
+        seq = self.snc.update(line_index, self.xom_id)
+        if seq is not None:
+            return self._write_update_hit(line_index, seq)
+        return self._write_update_miss(line_index)
+
+    def _write_update_hit(self, line_index: int, seq: int) -> WriteDecision:
+        return WriteDecision(WriteClass.UPDATE_HIT, seq)
+
+    def _write_update_miss(self, line_index: int) -> WriteDecision:
+        if self.snc.config.policy is SNCPolicy.LRU:
+            # Algorithm 1, update-miss arm: fetch, increment, install.
+            seq = self._fetch_entry(line_index) + 1
+            self._install(line_index, seq)
+            return WriteDecision(WriteClass.UPDATE_MISS, seq)
+        if not self.snc.can_insert(line_index):
+            self.snc.note_rejection()
+            self.direct_lines.add(line_index)
+            return WriteDecision(WriteClass.REJECTED, None)
+        seq = self.fallback_seq.get(line_index, 0) + 1
+        self.fallback_seq[line_index] = seq
+        self.snc.insert(line_index, seq, self.xom_id)
+        self.direct_lines.discard(line_index)
+        return WriteDecision(WriteClass.UPDATE_MISS, seq)
+
+    # -------------------------------------------------------------- internals
+
+    def _install(self, line_index: int, seq: int) -> None:
+        victim = self.snc.insert(line_index, seq, self.xom_id)
+        if victim is not None:
+            self._spill_entry(victim)

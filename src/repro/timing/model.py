@@ -7,20 +7,24 @@ event counts, and pricing them under any :class:`LatencyParams` regenerates
 any latency configuration (which is how Figure 10 is produced without
 re-simulating).
 
-The SNC timing simulator here mirrors the control flow of the functional
-:class:`~repro.secure.otp_engine.OTPEngine` exactly — same
-:class:`~repro.secure.snc.SequenceNumberCache` structure, same policy
-decisions — just without moving bytes.  The cross-check test in
-``tests/timing`` drives both with one trace and asserts identical event
-counts, so the functional and timing layers cannot drift apart.
+The SNC timing simulator here drives the *same*
+:class:`~repro.secure.snc_policy.SNCPolicyCore` state machine as the
+functional :class:`~repro.secure.otp_engine.OTPEngine` — one decision
+procedure, two consumers — so the functional and timing layers cannot
+drift apart by construction (the cross-check tests in ``tests/timing``
+still assert it).  Scheme variants plug in their own core via
+``core_factory``; the scheme registry
+(:mod:`repro.secure.schemes`) binds each registered scheme to its core,
+its engine, and its pricing function below.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.secure.engine import LatencyParams
-from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.secure.snc import Evicted, SequenceNumberCache, SNCConfig
+from repro.secure.snc_policy import ReadClass, SNCPolicyCore, WriteClass
 
 
 @dataclass
@@ -49,18 +53,39 @@ class SNCEventCounts:
         return self.table_fetches + self.table_spills
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        for field in fields(self):
+            setattr(self, field.name, 0)
 
 
 class SNCTimingSim:
-    """Byte-free mirror of the OTP engine's SNC decision logic."""
+    """Byte-free twin of the OTP engine: the shared policy core over a
+    value-faithful (but unencrypted) sequence-number spill table.
 
-    def __init__(self, config: SNCConfig):
+    The table is a plain dict standing in for the encrypted in-memory
+    table the functional engine maintains — fetches and spills move the
+    same values, so even value-dependent scheme variants (split counters
+    overflowing to direct encryption) stay count-identical across the two
+    layers.
+    """
+
+    def __init__(self, config: SNCConfig, core_factory=None):
         self.snc = SequenceNumberCache(config)
         self.counts = SNCEventCounts()
-        self._direct_lines: set[int] = set()
-        self._fallback_seq: dict[int, int] = {}
+        self._table: dict[int, int] = {}
+        factory = core_factory or SNCPolicyCore
+        self.core = factory(
+            self.snc,
+            fetch_entry=self._fetch_entry,
+            spill_entry=self._spill_entry,
+        )
+
+    def _fetch_entry(self, line_index: int) -> int:
+        self.counts.table_fetches += 1
+        return self._table.get(line_index, 0)
+
+    def _spill_entry(self, victim: Evicted) -> None:
+        self.counts.table_spills += 1
+        self._table[victim.line_index] = victim.seq
 
     def read_miss(self, line_index: int, critical: bool = True) -> None:
         """An L2 miss fetches a data line through the engine.
@@ -70,55 +95,25 @@ class SNCTimingSim:
         store buffer hides (paper §3.4: writes are off the critical path)
         but which still need the sequence number to decrypt the line.
         """
-        seq = self.snc.query(line_index)
-        if seq is not None:
-            if critical:
-                self.counts.overlapped_reads += 1
-            else:
-                self.counts.allocate_queries += 1
-            return
-        if self.snc.config.policy is SNCPolicy.NO_REPLACEMENT:
-            if critical:
-                if line_index in self._direct_lines:
-                    self.counts.direct_reads += 1
-                else:
-                    # Untouched vendor-image line: version-0 pad, overlapped.
-                    self.counts.overlapped_reads += 1
-            else:
-                self.counts.allocate_queries += 1
-            return
-        # LRU: fetch the spilled number, install it, maybe spill a victim.
-        if critical:
+        decision = self.core.read(line_index)
+        if not critical:
+            self.counts.allocate_queries += 1
+        elif decision.kind is ReadClass.OVERLAPPED:
+            self.counts.overlapped_reads += 1
+        elif decision.kind is ReadClass.SEQNUM_MISS:
             self.counts.seqnum_miss_reads += 1
         else:
-            self.counts.allocate_queries += 1
-        self.counts.table_fetches += 1
-        victim = self.snc.insert(line_index, 0)
-        if victim is not None:
-            self.counts.table_spills += 1
+            self.counts.direct_reads += 1
 
     def writeback(self, line_index: int) -> None:
         """A dirty L2 line is evicted through the engine."""
-        seq = self.snc.update(line_index)
-        if seq is not None:
+        decision = self.core.write(line_index)
+        if decision.kind is WriteClass.UPDATE_HIT:
             self.counts.update_hits += 1
             return
         self.counts.update_misses += 1
-        if self.snc.config.policy is SNCPolicy.LRU:
-            self.counts.table_fetches += 1
-            victim = self.snc.insert(line_index, 0)
-            if victim is not None:
-                self.counts.table_spills += 1
-            return
-        if self.snc.can_insert(line_index):
-            seq = self._fallback_seq.get(line_index, 0) + 1
-            self._fallback_seq[line_index] = seq
-            self.snc.insert(line_index, seq)
-            self._direct_lines.discard(line_index)
-        else:
-            self.snc.note_rejection()
+        if decision.kind is WriteClass.REJECTED:
             self.counts.rejected_updates += 1
-            self._direct_lines.add(line_index)
 
     def reset_counts(self) -> None:
         """Zero the counters while keeping warm state (end of warmup)."""
@@ -135,7 +130,6 @@ class TraceEvents:
     writebacks: int  # dirty L2 evictions reaching memory
     compute_cycles: int  # non-memory cycles (calibrated, see workloads.spec)
     snc: SNCEventCounts | None = None  # present for OTP configurations
-    read_misses_alt_l2: int | None = None  # Figure 8's 384KB L2 re-simulation
     line_bytes: int = 128
     seq_bytes: int = 2
 
@@ -150,15 +144,13 @@ def baseline_cycles(events: TraceEvents, lat: LatencyParams) -> float:
     return events.compute_cycles + events.read_misses * lat.memory
 
 
-def xom_cycles(events: TraceEvents, lat: LatencyParams,
-               use_alt_l2: bool = False) -> float:
-    """XOM: every read miss pays memory plus serial crypto."""
-    misses = events.read_misses
-    if use_alt_l2:
-        if events.read_misses_alt_l2 is None:
-            raise ValueError("trace carries no alternate-L2 miss count")
-        misses = events.read_misses_alt_l2
-    return events.compute_cycles + misses * lat.serial_read
+def xom_cycles(events: TraceEvents, lat: LatencyParams) -> float:
+    """XOM: every read miss pays memory plus serial crypto.
+
+    Pricing the Figure 8 alternate hierarchy needs no special case here:
+    :meth:`~repro.eval.pipeline.BenchmarkEvents.trace_events` with
+    ``alt_l2=True`` substitutes the 384KB-L2 miss counts."""
+    return events.compute_cycles + events.read_misses * lat.serial_read
 
 
 def otp_cycles(events: TraceEvents, lat: LatencyParams) -> float:

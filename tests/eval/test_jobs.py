@@ -27,12 +27,12 @@ _SCALE = SimulationScale(warmup_refs=5_000, measure_refs=10_000)
 
 
 def _job(workload="art", snc_keys=("lru64",), scale=_SCALE, seed=1,
-         figure="figure5", engine="otp"):
+         figure="figure5", schemes=("otp",), alt_l2=False):
     specs = standard_snc_specs()
     return ExperimentJob(
-        figure=figure, engine=engine, workload=workload,
+        figure=figure, schemes=schemes, workload=workload,
         snc_configs=tuple(specs[key] for key in snc_keys),
-        scale=scale, seed=seed,
+        scale=scale, seed=seed, alt_l2=alt_l2,
     )
 
 
@@ -46,11 +46,32 @@ class TestSNCSpec:
         spec = standard_snc_specs()["norepl64"]
         assert spec.to_config().policy is SNCPolicy.NO_REPLACEMENT
 
+    def test_standard_specs_bind_the_paper_scheme(self):
+        for spec in standard_snc_specs().values():
+            assert spec.scheme == "otp"
+
+    def test_scheme_key_participates_in_canonical_form(self):
+        base = standard_snc_specs()["lru64"]
+        split = SNCSpec(key="lru64", scheme="otp_split")
+        assert base.canonical() != split.canonical()
+
 
 class TestExperimentJob:
     def test_rejects_unknown_workload(self):
         with pytest.raises(KeyError, match="nosuchbench"):
             _job(workload="nosuchbench")
+
+    def test_rejects_unregistered_scheme(self):
+        with pytest.raises(KeyError, match="nosuchscheme"):
+            _job(schemes=("nosuchscheme",))
+
+    def test_rejects_unregistered_snc_spec_scheme(self):
+        rogue = SNCSpec(key="lru64", scheme="nosuchscheme")
+        with pytest.raises(KeyError, match="nosuchscheme"):
+            ExperimentJob(
+                figure="figure5", schemes=("otp",), workload="art",
+                snc_configs=(rogue,), scale=_SCALE, seed=1,
+            )
 
     def test_hash_is_deterministic(self):
         assert _job().config_hash() == _job().config_hash()
@@ -59,7 +80,7 @@ class TestExperimentJob:
         specs = standard_snc_specs()
         forward = _job(snc_keys=("lru32", "lru64"))
         backward = ExperimentJob(
-            figure="figure5", engine="otp", workload="art",
+            figure="figure5", schemes=("otp",), workload="art",
             snc_configs=(specs["lru64"], specs["lru32"]),
             scale=_SCALE, seed=1,
         )
@@ -70,13 +91,14 @@ class TestExperimentJob:
         dict(snc_keys=("lru32",)),
         dict(scale=SimulationScale(warmup_refs=5_000, measure_refs=10_001)),
         dict(seed=2),
+        dict(alt_l2=True),
     ])
     def test_hash_tracks_every_simulation_input(self, change):
         assert _job(**change).config_hash() != _job().config_hash()
 
-    def test_merging_ignores_figure_and_engine(self):
-        a = _job(figure="figure5", engine="otp")
-        b = _job(figure="figure10", engine="xom+otp")
+    def test_merging_ignores_figure_and_schemes(self):
+        a = _job(figure="figure5", schemes=("otp",))
+        b = _job(figure="figure10", schemes=("xom", "otp"))
         assert merge_jobs([a, b]) == merge_jobs([a])
 
     def test_hash_stable_across_processes(self):
@@ -85,7 +107,7 @@ class TestExperimentJob:
         code = (
             "from repro.eval.pipeline import SimulationScale\n"
             "from repro.eval.jobs import ExperimentJob, standard_snc_specs\n"
-            "job = ExperimentJob(figure='figure5', engine='otp',"
+            "job = ExperimentJob(figure='figure5', schemes=('otp',),"
             " workload='art',"
             " snc_configs=(standard_snc_specs()['lru64'],),"
             " scale=SimulationScale(warmup_refs=5000, measure_refs=10000),"
@@ -128,11 +150,30 @@ class TestMergeJobs:
     def test_conflicting_geometry_for_one_key_rejected(self):
         rogue = SNCSpec(key="lru64", size_bytes=32 * 1024)
         jobs = [_job(), ExperimentJob(
-            figure="figure6", engine="otp", workload="art",
+            figure="figure6", schemes=("otp",), workload="art",
             snc_configs=(rogue,), scale=_SCALE, seed=1,
         )]
         with pytest.raises(ValueError, match="lru64"):
             merge_jobs(jobs)
+
+    def test_conflicting_scheme_for_one_key_rejected(self):
+        """The same pricing key bound to two different schemes is as
+        ambiguous as two geometries: the merged task could only simulate
+        one of them."""
+        rogue = SNCSpec(key="lru64", scheme="otp_split")
+        jobs = [_job(), ExperimentJob(
+            figure="figure6", schemes=("otp_split",), workload="art",
+            snc_configs=(rogue,), scale=_SCALE, seed=1,
+        )]
+        with pytest.raises(ValueError, match="lru64"):
+            merge_jobs(jobs)
+
+    def test_alt_l2_flag_merges_as_or(self):
+        tasks = merge_jobs([_job(alt_l2=False), _job(alt_l2=True)])
+        assert len(tasks) == 1
+        assert tasks[0].alt_l2 is True
+        tasks = merge_jobs([_job(alt_l2=False)])
+        assert tasks[0].alt_l2 is False
 
 
 class TestFigureDeclarations:
@@ -162,6 +203,15 @@ class TestFigureDeclarations:
             assert {spec.key for spec in task.snc_configs} == set(
                 standard_snc_configs()
             )
+            # figure8 is in the set, so the merged task simulates the
+            # alternate L2.
+            assert task.alt_l2 is True
+
+    def test_only_figure8_declares_the_alternate_l2(self):
+        for figure_id in FIGURE_SNC_KEYS:
+            jobs = figure_jobs(figure_id, scale=_SCALE)
+            expected = figure_id == "figure8"
+            assert all(job.alt_l2 is expected for job in jobs), figure_id
 
 
 class TestExecuteTask:
@@ -181,3 +231,19 @@ class TestExecuteTask:
         task = SimulationTask(workload="art", snc_configs=(),
                               scale=_SCALE, seed=1)
         assert execute_task(task).snc == {}
+
+    def test_alt_l2_only_simulated_when_declared(self):
+        """A task whose figures never price the 384KB L2 must not pay for
+        it — and the base counts must not depend on the skip."""
+        base = SimulationTask(workload="art", snc_configs=(),
+                              scale=_SCALE, seed=1, alt_l2=False)
+        full = SimulationTask(workload="art", snc_configs=(),
+                              scale=_SCALE, seed=1, alt_l2=True)
+        skipped, simulated = execute_task(base), execute_task(full)
+        assert skipped.read_misses_big_l2 is None
+        assert skipped.allocate_misses_big_l2 is None
+        assert simulated.read_misses_big_l2 > 0
+        assert skipped.read_misses == simulated.read_misses
+        assert skipped.writebacks == simulated.writebacks
+        with pytest.raises(Exception, match="alternate-L2"):
+            skipped.trace_events(alt_l2=True)

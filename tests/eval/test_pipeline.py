@@ -88,3 +88,15 @@ class TestSimulateBenchmark:
     def test_trace_events_requires_known_key(self, vpr_events):
         assert vpr_events.trace_events("lru64").snc is not None
         assert vpr_events.trace_events().snc is None
+
+    def test_alt_l2_substitutes_big_l2_misses(self, vpr_events):
+        alt = vpr_events.trace_events(alt_l2=True)
+        assert alt.read_misses == vpr_events.read_misses_big_l2
+        assert alt.allocate_misses == vpr_events.allocate_misses_big_l2
+
+    def test_alt_l2_rejects_snc_events(self, vpr_events):
+        """SNC counts come from the baseline L2's miss stream; pairing
+        them with the 384KB L2's misses would be physically inconsistent
+        and must be refused, not silently priced."""
+        with pytest.raises(Exception, match="baseline L2"):
+            vpr_events.trace_events("lru64", alt_l2=True)

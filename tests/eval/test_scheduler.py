@@ -15,7 +15,7 @@ _WORKLOADS = ("art", "vpr", "equake")
 def _jobs(scale=_SCALE, seed=1):
     specs = (standard_snc_specs()["lru64"],)
     return [
-        ExperimentJob(figure="figure5", engine="otp", workload=name,
+        ExperimentJob(figure="figure5", schemes=("otp",), workload=name,
                       snc_configs=specs, scale=scale, seed=seed)
         for name in _WORKLOADS
     ]

@@ -1,0 +1,163 @@
+"""Tests for the protection-scheme registry and the ``otp_split`` scheme.
+
+The registry is the single point the functional, timing and evaluation
+layers resolve schemes through; these tests pin its API, prove every
+registered scheme runs a program end-to-end (the same check CI runs via
+``python -m repro.secure.schemes``), and exercise the split-counter
+scheme's overflow-to-direct-encryption behaviour functionally.
+"""
+
+import pytest
+
+from repro.crypto.blockcipher import IdentityCipher
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAM
+from repro.memory.hierarchy import LineKind
+from repro.secure.otp_engine import OTPEngine
+from repro.secure.processor import EngineKind, SecureProcessor
+from repro.secure.schemes import (
+    all_schemes,
+    get_scheme,
+    register,
+    scheme_keys,
+)
+from repro.secure.schemes.__main__ import run_registry_check
+from repro.secure.schemes.otp_split import SplitSequenceCore
+from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.software import ProtectionScheme
+from repro.timing.model import SNCTimingSim
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        assert set(scheme_keys()) >= {"baseline", "xom", "otp", "otp_split"}
+
+    def test_get_scheme_unknown_key_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="otp_split"):
+            get_scheme("nosuchscheme")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scheme("otp")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(spec)
+
+    def test_engine_kind_enum_tracks_the_registry(self):
+        for spec in all_schemes():
+            assert EngineKind(spec.key).value == spec.key
+        assert EngineKind.OTP_SPLIT.value == "otp_split"
+
+    def test_packaging_bindings(self):
+        assert get_scheme("baseline").protection is None
+        assert get_scheme("xom").protection is ProtectionScheme.DIRECT
+        assert get_scheme("otp").protection is ProtectionScheme.OTP
+        assert get_scheme("otp_split").protection is ProtectionScheme.OTP
+
+    def test_snc_usage_declarations(self):
+        assert not get_scheme("baseline").uses_snc
+        assert not get_scheme("xom").uses_snc
+        assert get_scheme("otp").uses_snc
+        assert get_scheme("otp_split").uses_snc
+
+    def test_every_scheme_runs_a_program_end_to_end(self):
+        """The CI completeness check: one tiny program through each
+        registered scheme's full SecureProcessor path."""
+        assert run_registry_check(verbose=False) == []
+
+    def test_processor_accepts_key_strings_and_enum_members(self):
+        by_string = SecureProcessor(engine_kind="otp_split")
+        by_member = SecureProcessor(engine_kind=EngineKind.OTP_SPLIT)
+        assert by_string.scheme is by_member.scheme
+        assert by_string.engine_kind is EngineKind.OTP_SPLIT
+
+
+def _split_engine(n_entries=32, counter_bits=2):
+    """A tiny split-counter engine: 8-byte lines, no-op cipher, counters
+    that overflow after 2**counter_bits writebacks."""
+    config = SNCConfig(size_bytes=2 * n_entries, entry_bytes=2)
+    return OTPEngine(
+        DRAM(line_bytes=8, latency=100), IdentityCipher(8),
+        snc=SequenceNumberCache(config),
+        core_factory=lambda snc, **kwargs: SplitSequenceCore(
+            snc, counter_bits=counter_bits, **kwargs
+        ),
+    )
+
+
+class TestSplitSequenceScheme:
+    def test_reads_stay_correct_across_overflow(self):
+        """A hot line keeps decrypting to what was last written, before
+        and after its counter overflows to direct encryption."""
+        engine = _split_engine(counter_bits=2)  # overflow after seq 3
+        for round_number in range(10):
+            payload = bytes([round_number] * 8)
+            engine.write_line(0, payload)
+            data, _ = engine.read_line(0, LineKind.DATA)
+            assert data == payload, round_number
+
+    def test_overflow_retires_line_to_direct_path(self):
+        engine = _split_engine(counter_bits=2)
+        for i in range(3):  # seq 1..3: still pad-encrypted
+            engine.write_line(0, bytes([i] * 8))
+        assert 0 not in engine.core.direct_lines
+        engine.write_line(0, bytes(8))  # seq would be 4 > 3: overflow
+        assert 0 in engine.core.direct_lines
+        assert engine.snc.peek(0) is None  # stale entry removed
+        before = engine.stats.serial_reads
+        engine.read_line(0, LineKind.DATA)
+        assert engine.stats.serial_reads == before + 1
+
+    def test_cold_lines_unaffected_by_hot_line_overflow(self):
+        engine = _split_engine(counter_bits=2)
+        engine.write_line(8, bytes([7] * 8))  # a cold neighbour
+        for i in range(8):
+            engine.write_line(0, bytes([i] * 8))
+        data, _ = engine.read_line(8, LineKind.DATA)
+        assert data == bytes([7] * 8)
+        assert 1 not in engine.core.direct_lines
+        assert 0 in engine.core.direct_lines
+
+    def test_rejects_nonpositive_counter_width(self):
+        with pytest.raises(ConfigurationError):
+            SplitSequenceCore(SequenceNumberCache(), counter_bits=0)
+
+    def test_timing_sim_factory_uses_the_split_core(self):
+        sim = get_scheme("otp_split").build_timing_sim(SNCConfig())
+        assert isinstance(sim, SNCTimingSim)
+        assert isinstance(sim.core, SplitSequenceCore)
+
+    def test_end_to_end_protected_run(self):
+        """The tentpole acceptance: otp_split runs a protected program
+        through SecureProcessor.run with its spec in one file."""
+        from repro.cpu.assembler import assemble
+        from repro.secure.software import package_program
+
+        source = """
+        main:
+            li   s0, 0
+            li   t0, 5
+            la   t1, buffer
+        loop:
+            sw   t0, 0(t1)
+            lw   t2, 0(t1)
+            add  s0, s0, t2
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            mov  a0, s0
+            li   v0, 1
+            syscall
+            halt
+            .data
+        buffer: .space 8
+        """
+        plain = assemble(source, name="split-e2e")
+        cpu = SecureProcessor(
+            key_seed="split-e2e", engine_kind="otp_split",
+        )
+        program = package_program(
+            plain, cpu.public_key, vendor_seed="split-e2e",
+            scheme=ProtectionScheme.OTP,
+        )
+        report = cpu.run(program)
+        assert report.output == "15"
+        assert report.scheme.key == "otp_split"
+        assert report.engine_kind is EngineKind.OTP_SPLIT

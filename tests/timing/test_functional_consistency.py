@@ -3,18 +3,33 @@ same decisions as the functional OTP engine on the same reference stream.
 
 This is the glue test that keeps the evaluation honest: the figures are
 produced by the timing layer, the security properties by the functional
-layer, and this test pins them together.
+layer, and this test pins them together.  Since the registry refactor
+both layers drive one :class:`~repro.secure.snc_policy.SNCPolicyCore`, so
+agreement holds by construction — these tests now guard the *wiring* (the
+engine's stats mapping, the simulator's counting callbacks, the registry
+factories) against regressions.
+
+``TestRegistryConsistency`` drives every scheme through its registry spec
+at the evaluation's five *standard* SNC configurations with one shared
+randomized trace — the full-size geometries the figures actually price,
+not just the scaled-down ones.
 """
 
 import random
 
 import pytest
 
+from repro.crypto.blockcipher import IdentityCipher
 from repro.crypto.des import DES
+from repro.memory.bus import MemoryBus, TransactionKind
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import LineKind
+from repro.secure.engine import LatencyParams
 from repro.secure.otp_engine import OTPEngine
+from repro.secure.regions import RegionMap
+from repro.secure.schemes import EngineContext, get_scheme
 from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.eval.pipeline import standard_snc_configs
 from repro.timing.model import SNCTimingSim
 
 
@@ -114,3 +129,119 @@ class TestNoReplacementConsistency:
                 sim.read_miss(line)
         assert engine.snc.stats.rejected == sim.snc.stats.rejected
         assert engine.stats.serial_reads == sim.counts.direct_reads
+
+
+# -- registry-level cross-check: the five standard configurations -----------
+
+#: 8-byte lines with the no-op cipher keep the functional engine cheap
+#: enough to drive the full-size standard SNCs (32K-64K entries) with a
+#: trace long enough to exercise capacity misses.
+_LINE_BYTES = 8
+
+
+def _registry_engine(scheme_key: str, config: SNCConfig) -> OTPEngine:
+    """Build the scheme's functional engine exactly as the processor
+    would, through its registry spec."""
+    dram = DRAM(line_bytes=_LINE_BYTES, latency=100)
+    return get_scheme(scheme_key).build_engine(EngineContext(
+        dram=dram, cipher=IdentityCipher(8), bus=MemoryBus(),
+        regions=RegionMap(), integrity=None,
+        latencies=LatencyParams(memory=100), snc_config=config,
+    ))
+
+
+def _drive_pair(engine: OTPEngine, sim, operations) -> tuple[dict, dict]:
+    """One shared op stream through both layers; return their counts."""
+    for line_index, is_write in operations:
+        if is_write:
+            engine.write_line(line_index * _LINE_BYTES, bytes(_LINE_BYTES))
+            sim.writeback(line_index)
+        else:
+            engine.read_line(line_index * _LINE_BYTES, LineKind.DATA)
+            sim.read_miss(line_index)
+    engine_counts = {
+        "overlapped": engine.stats.overlapped_reads,
+        "seqnum_miss": engine.stats.seqnum_miss_reads,
+        "direct": engine.stats.serial_reads,
+        "table_fetches": engine.bus.counts[TransactionKind.SEQNUM_READ],
+        "table_spills": engine.bus.counts[TransactionKind.SEQNUM_WRITE],
+        "snc_query_hits": engine.snc.stats.query_hits,
+        "snc_update_hits": engine.snc.stats.update_hits,
+        "snc_insertions": engine.snc.stats.insertions,
+        "snc_evictions": engine.snc.stats.evictions,
+        "snc_rejected": engine.snc.stats.rejected,
+    }
+    sim_counts = {
+        "overlapped": sim.counts.overlapped_reads,
+        "seqnum_miss": sim.counts.seqnum_miss_reads,
+        "direct": sim.counts.direct_reads,
+        "table_fetches": sim.counts.table_fetches,
+        "table_spills": sim.counts.table_spills,
+        "snc_query_hits": sim.snc.stats.query_hits,
+        "snc_update_hits": sim.snc.stats.update_hits,
+        "snc_insertions": sim.snc.stats.insertions,
+        "snc_evictions": sim.snc.stats.evictions,
+        "snc_rejected": sim.snc.stats.rejected,
+    }
+    return engine_counts, sim_counts
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    """One randomized reference stream reused for every configuration:
+    24K distinct lines overflow the 16K-entry 32KB SNC (evictions) while
+    the larger configs see a mix of cold misses and hits."""
+    rng = random.Random(20260730)
+    return [
+        (rng.randrange(24_000), rng.random() < 0.4) for _ in range(30_000)
+    ]
+
+
+class TestRegistryConsistency:
+    """Every standard SNC config, engine vs registry timing machine."""
+
+    @pytest.mark.parametrize("config_key",
+                             sorted(standard_snc_configs()))
+    def test_standard_config_counts_agree(self, config_key, shared_trace):
+        config = standard_snc_configs()[config_key]
+        engine = _registry_engine("otp", config)
+        sim = get_scheme("otp").build_timing_sim(config)
+        engine_counts, sim_counts = _drive_pair(engine, sim, shared_trace)
+        assert engine_counts == sim_counts, config_key
+        # The trace must actually exercise the machinery.
+        assert sim_counts["snc_query_hits"] > 0
+        if config.policy is SNCPolicy.LRU:
+            assert sim_counts["seqnum_miss"] > 0
+
+    def test_smallest_config_sees_evictions(self, shared_trace):
+        """The 32KB config's 16K entries overflow under the 24K-line
+        trace — the spill/refetch paths are genuinely covered."""
+        config = standard_snc_configs()["lru32"]
+        sim = get_scheme("otp").build_timing_sim(config)
+        for line_index, is_write in shared_trace:
+            if is_write:
+                sim.writeback(line_index)
+            else:
+                sim.read_miss(line_index)
+        assert sim.counts.table_spills > 0
+        assert sim.snc.stats.evictions > 0
+
+    def test_otp_split_counts_agree_through_overflow(self):
+        """The split-counter scheme stays layer-consistent across its
+        overflow-to-direct transition (>256 rewrites of hot lines)."""
+        rng = random.Random(7)
+        hot = [0, 1, 2]
+        operations = []
+        for _ in range(2_500):
+            line = rng.choice(hot) if rng.random() < 0.8 else (
+                rng.randrange(3, 40)
+            )
+            operations.append((line, rng.random() < 0.7))
+        config = SNCConfig(size_bytes=64, entry_bytes=2)  # 32 entries
+        engine = _registry_engine("otp_split", config)
+        sim = get_scheme("otp_split").build_timing_sim(config)
+        engine_counts, sim_counts = _drive_pair(engine, sim, operations)
+        assert engine_counts == sim_counts
+        # The hot lines must actually have overflowed to direct.
+        assert sim_counts["direct"] > 0
+        assert sim_counts["snc_rejected"] > 0

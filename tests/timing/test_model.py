@@ -21,11 +21,10 @@ _LAT = LatencyParams(memory=100, crypto=50, xor=1)
 
 
 def make_events(read_misses=1000, allocate=100, writebacks=200,
-                compute=100_000, snc=None, alt=None):
+                compute=100_000, snc=None):
     return TraceEvents(
         name="test", read_misses=read_misses, allocate_misses=allocate,
         writebacks=writebacks, compute_cycles=compute, snc=snc,
-        read_misses_alt_l2=alt,
     )
 
 
@@ -37,16 +36,6 @@ class TestPricing:
     def test_xom_adds_serial_crypto(self):
         events = make_events()
         assert xom_cycles(events, _LAT) == 100_000 + 1000 * 150
-
-    def test_xom_alt_l2(self):
-        events = make_events(alt=400)
-        assert xom_cycles(events, _LAT, use_alt_l2=True) == (
-            100_000 + 400 * 150
-        )
-
-    def test_xom_alt_l2_requires_counts(self):
-        with pytest.raises(ValueError):
-            xom_cycles(make_events(), _LAT, use_alt_l2=True)
 
     def test_otp_prices_the_mix(self):
         snc = SNCEventCounts(
