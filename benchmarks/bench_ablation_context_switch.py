@@ -1,74 +1,185 @@
 """Ablation: SNC handling across context switches (§4.3).
 
 The paper names two strategies — flush-with-encryption vs XOM-ID tagging —
-and leaves their cost "currently open".  This bench runs the multi-task
-round-robin model and reports the trade-off: FLUSH pays spill writes at
-every switch and cold-start query misses after; TAG pays nothing at switch
-time but shares capacity.
+and leaves their cost "currently open".  This bench answers it through the
+real evaluation stack: scenario jobs (strategy x scheme x SNC geometry
+over a multi-task interleave) merged, scheduled, cached and priced exactly
+like figure jobs, with the registered schemes' own state machines handling
+the switches.  FLUSH pays spill writes at every switch and cold-start
+query misses after; TAG pays nothing at switch time but shares capacity.
+
+As a script it emits ``BENCH_scenarios.json`` (CI uploads it alongside
+``BENCH_trace.json``)::
+
+    python benchmarks/bench_ablation_context_switch.py \\
+        --scale 20000:30000 --quantum 1000 --jobs 2 \\
+        --output BENCH_scenarios.json
+
+Under pytest it benchmarks one scenario pass and asserts the §4.3
+invariants.
 """
 
+from __future__ import annotations
 
-from repro.secure.context import (
-    MultiTaskSNCModel,
-    SwitchStrategy,
-    TaskStream,
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.cache import ResultCache, default_cache_dir
+from repro.eval.experiments import (
+    SCENARIO_SCHEMES,
+    index_scenario_results,
+    run_scenario_tasks,
+    scenario_jobs,
+    scenario_slowdowns,
+    scheme_config_key,
 )
-from repro.secure.snc import SNCConfig
+from repro.eval.pipeline import QUICK_SCALE
+from repro.eval.report import format_run_stats, format_scenario_table
+from repro.eval.runner import parse_scale
+
+#: Two mixes, one per arm of the trade-off: art+vpr fit the 64KB SNC
+#: together (TAG keeps everything warm), equake+mcf overflow it (TAG
+#: tasks evict each other).
+MIX_FITS = ("art", "vpr")
+MIX_CONTENDS = ("equake", "mcf")
 
 
-def make_tasks(n_tasks=4, lines_per_task=6000, repeats=6):
-    """Tasks with disjoint working sets, each re-read several times."""
-    tasks = []
-    for task_number in range(n_tasks):
-        base = task_number * 100_000
-        refs = [(base + line, True) for line in range(lines_per_task)]
-        for _ in range(repeats):
-            refs.extend((base + line, False) for line in range(lines_per_task))
-        tasks.append(TaskStream(task_number + 1, refs))
-    return tasks
+def run_mix(workloads, quantum=2000, scale=None, n_jobs=1, cache=None,
+            seed=1, progress=None):
+    """Scenario jobs -> scheduler -> {(label, strategy): events}."""
+    jobs = scenario_jobs(workloads, quantum=quantum,
+                         scale=scale or QUICK_SCALE, seed=seed)
+    results = run_scenario_tasks(jobs, n_jobs=n_jobs, cache=cache,
+                                 progress=progress)
+    return index_scenario_results(results), results
 
 
-def run_strategy(strategy, quantum=2000):
-    model = MultiTaskSNCModel(SNCConfig(), strategy)
-    return model.run(make_tasks(), quantum=quantum)
+# ------------------------------------------------------------------ pytest
 
 
-def test_flush_strategy(benchmark, record_figure):
-    report = benchmark.pedantic(
-        lambda: run_strategy(SwitchStrategy.FLUSH), rounds=2, iterations=1
+def test_flush_vs_tag_when_working_sets_fit(benchmark, record_figure):
+    """art+vpr fit the SNC together: TAG stays warm across quanta, FLUSH
+    re-pays the table on every quantum."""
+    events, _ = benchmark.pedantic(
+        lambda: run_mix(MIX_FITS), rounds=2, iterations=1
     )
-    tag_report = run_strategy(SwitchStrategy.TAG)
-    table = "\n".join([
-        "ablation: SNC context-switch strategy (section 4.3, left open)",
-        f"{'metric':<28} {'FLUSH':>12} {'TAG':>12}",
-        "-" * 54,
-        f"{'switches':<28} {report.switches:>12} {tag_report.switches:>12}",
-        f"{'flush spill writes':<28} {report.flush_spills:>12} "
-        f"{tag_report.flush_spills:>12}",
-        f"{'query hit rate':<28} {report.query_hit_rate:>12.3f} "
-        f"{tag_report.query_hit_rate:>12.3f}",
-        f"{'evictions':<28} {report.evictions:>12} "
-        f"{tag_report.evictions:>12}",
-    ])
-    record_figure("ablation_context_switch", table)
+    label = next(iter(events))[0]
+    flush = events[(label, "flush")].snc[scheme_config_key("otp")]
+    tag = events[(label, "tag")].snc[scheme_config_key("otp")]
+
+    record_figure(
+        "ablation_context_switch",
+        format_scenario_table(events),
+    )
 
     # FLUSH pays at every switch; TAG never spills at switch time.
-    assert report.flush_spills > 0
-    assert tag_report.flush_spills == 0
-    # TAG keeps warm state across quanta: strictly better hit rate here
-    # (disjoint working sets that fit the SNC together).
-    assert tag_report.query_hit_rate > report.query_hit_rate
+    assert flush.switches > 0 and flush.switch_spills > 0
+    assert tag.switches > 0 and tag.switch_spills == 0
+    # TAG keeps warm state across quanta: more overlapped reads, and a
+    # strictly lower priced slowdown, for every registered scheme.
+    assert tag.overlapped_reads > flush.overlapped_reads
+    flush_slow = scenario_slowdowns(events[(label, "flush")])
+    tag_slow = scenario_slowdowns(events[(label, "tag")])
+    for scheme in SCENARIO_SCHEMES:
+        assert tag_slow[scheme] < flush_slow[scheme]
 
 
-def test_tag_strategy_capacity_pressure(benchmark):
-    """With working sets that together exceed the SNC, TAG loses its edge:
-    tasks evict each other (the trade-off's other arm)."""
+def test_tag_capacity_pressure(benchmark):
+    """equake+mcf together exceed the SNC: TAG loses its edge — tasks
+    evict each other and the warm fraction collapses (the trade-off's
+    other arm)."""
+    events, _ = benchmark.pedantic(
+        lambda: run_mix(MIX_CONTENDS), rounds=2, iterations=1
+    )
+    label = next(iter(events))[0]
+    tag = events[(label, "tag")].snc[scheme_config_key("otp")]
+    assert tag.switch_spills == 0
+    # Cross-task evictions show up as ordinary table spills under TAG.
+    assert tag.table_spills > 0
+    assert tag.overlapped_reads < tag.reads * 0.5
 
-    def run():
-        model = MultiTaskSNCModel(SNCConfig(), SwitchStrategy.TAG)
-        return model.run(
-            make_tasks(n_tasks=4, lines_per_task=12_000), quantum=2000
+
+# ------------------------------------------------------------------ script
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=parse_scale, default=QUICK_SCALE,
+                        help="'full', 'quick' (default) or "
+                             "'warmup:measure' reference counts")
+    parser.add_argument("--quantum", type=int, default=2000,
+                        help="references per scheduling quantum "
+                             "(default 2000)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="one mix of benchmark names (default: both "
+                             "canonical mixes)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help=f"result cache location "
+                             f"(default {default_cache_dir()})")
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_scenarios.json"),
+                        help="result file (default ./BENCH_scenarios.json)")
+    args = parser.parse_args()
+
+    mixes = [tuple(args.workloads)] if args.workloads else [
+        MIX_FITS, MIX_CONTENDS,
+    ]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    all_events = {}
+    all_results = []
+    started = time.time()
+    for mix in mixes:
+        events, results = run_mix(
+            mix, quantum=args.quantum, scale=args.scale,
+            n_jobs=args.jobs, cache=cache, seed=args.seed,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
         )
+        all_events.update(events)
+        all_results.extend(results)
+    print(
+        f"{format_run_stats(all_results)} "
+        f"(wall {time.time() - started:.1f}s)",
+        file=sys.stderr,
+    )
 
-    report = benchmark.pedantic(run, rounds=2, iterations=1)
-    assert report.evictions > 0
+    print(format_scenario_table(all_events))
+
+    scenarios = {}
+    for (label, strategy), events in sorted(all_events.items()):
+        counts = events.snc[scheme_config_key("otp")]
+        scenarios[f"{label}/{strategy}"] = {
+            "slowdown_pct": {
+                scheme: round(value, 4)
+                for scheme, value in scenario_slowdowns(events).items()
+            },
+            "switches": counts.switches,
+            "switch_spills": counts.switch_spills,
+            "overlapped_reads": counts.overlapped_reads,
+            "seqnum_miss_reads": counts.seqnum_miss_reads,
+            "task_read_misses": events.task_read_misses,
+        }
+    payload = {
+        "benchmark": "context_switch_scenarios",
+        "scenarios": scenarios,
+        "quantum": args.quantum,
+        "scale": {"warmup_refs": args.scale.warmup_refs,
+                  "measure_refs": args.scale.measure_refs},
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"-> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,24 +28,10 @@ from repro.eval.pipeline import (
     simulate_benchmark,
     standard_snc_configs,
 )
+from repro.eval.runner import parse_scale
 from repro.workloads.spec import BY_NAME
 
 DEFAULT_WORKLOADS = ("equake", "mcf", "gcc")
-
-
-def parse_scale(text: str) -> SimulationScale:
-    if text == "full":
-        return SimulationScale()
-    if text == "quick":
-        return QUICK_SCALE
-    try:
-        warmup, measure = (int(part) for part in text.split(":"))
-        return SimulationScale(warmup_refs=warmup, measure_refs=measure)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"scale must be 'full', 'quick' or 'warmup:measure', got "
-            f"{text!r}"
-        ) from None
 
 
 def time_workload(name: str, scale: SimulationScale,

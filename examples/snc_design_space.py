@@ -9,15 +9,26 @@ through the experiment scheduler at a reduced scale, and prints:
   the registry (:mod:`repro.secure.schemes`) at the paper's default 64KB
   SNC — including the §4.2 ``otp_split`` variant, whose spec registered
   itself from one file;
-* the Figure 8 area-equivalence check.
+* the Figure 8 area-equivalence check;
+* with ``--scenario``, the §4.3 multi-programmed design space instead: a
+  two-task interleave priced under every (switch strategy x SNC
+  geometry x scheme) combination, resolved through cached scenario jobs.
 
-Run:  python examples/snc_design_space.py [--jobs N]
+Run:  python examples/snc_design_space.py [--jobs N] [--scenario]
 """
 
 import argparse
 
 from repro.area import figure8_area_check
-from repro.eval.experiments import PAPER_LATENCIES
+from repro.eval.cache import ResultCache
+from repro.eval.experiments import (
+    PAPER_LATENCIES,
+    SCENARIO_SCHEMES,
+    SCENARIO_STRATEGIES,
+    scenario_jobs,
+    scenario_slowdowns,
+    run_scenarios,
+)
 from repro.eval.jobs import ExperimentJob, SNCSpec, standard_snc_specs
 from repro.eval.pipeline import SimulationScale
 from repro.eval.scheduler import run_jobs
@@ -26,6 +37,12 @@ from repro.timing.model import slowdown_pct
 
 SCALE = SimulationScale(warmup_refs=100_000, measure_refs=120_000)
 WORKLOADS = ("equake", "mcf", "gcc")  # fits / too big / poisons-NoRepl
+
+#: The --scenario mode's mix and geometry sweep: art+vpr fit the larger
+#: SNCs together but straddle the 32KB one, so the strategy x geometry
+#: grid shows both arms of the §4.3 trade-off.
+SCENARIO_MIX = ("art", "vpr")
+SCENARIO_SNC_KEYS = ("lru32", "lru64", "lru128")
 
 #: Every registered scheme that runs an SNC state machine gets a 64KB
 #: design-space column; the paper's own scheme keeps the standard
@@ -105,14 +122,48 @@ def print_scheme_table(all_events) -> None:
         print(f"{name:<10}" + "".join(f" {value:10.2f}" for value in row))
 
 
+def print_scenario_tables(n_jobs: int) -> None:
+    """The §4.3 strategy x geometry x scheme slowdown grid.
+
+    Jobs resolve through the on-disk result cache, so re-runs (and any
+    scenario the bench script already simulated at this scale) price
+    instantly from cached events."""
+    jobs = scenario_jobs(SCENARIO_MIX, quantum=2000,
+                         snc_keys=SCENARIO_SNC_KEYS, scale=SCALE)
+    results = run_scenarios(jobs, n_jobs=n_jobs, cache=ResultCache())
+    label = jobs[0].source.label
+    header = f"{'strategy':<9} {'scheme':<10}" + "".join(
+        f" {key:>10}" for key in SCENARIO_SNC_KEYS
+    )
+    print(f"context-switch design space: {label}   [slowdown %]")
+    print(header)
+    print("-" * len(header))
+    for strategy in SCENARIO_STRATEGIES:
+        events = results[(label, strategy)]
+        for scheme in SCENARIO_SCHEMES:
+            row = f"{strategy:<9} {scheme:<10}"
+            for key in SCENARIO_SNC_KEYS:
+                value = scenario_slowdowns(events, (scheme,), key)[scheme]
+                row += f" {value:>10.2f}"
+            print(row)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep (default 1)")
+    parser.add_argument("--scenario", action="store_true",
+                        help="print the §4.3 multi-programmed strategy x "
+                             "SNC-config table instead of the figure "
+                             "sweep")
     args = parser.parse_args()
 
     names = ", ".join(spec.key for spec in all_schemes())
     print(f"registered protection schemes: {names}\n")
+
+    if args.scenario:
+        print_scenario_tables(args.jobs)
+        return
 
     all_events = run_jobs(design_space_jobs(), n_jobs=args.jobs)
     print_geometry_table(all_events)

@@ -2,11 +2,14 @@
 
 A full-scale sweep simulates 11 benchmarks x ~450K references each; an
 interrupted or partially-selected run should not pay for the part that
-already happened.  The cache maps a :class:`~repro.eval.jobs.SimulationTask`
-to its :class:`~repro.eval.pipeline.BenchmarkEvents`, keyed by
+already happened.  The cache maps a task — a figure
+:class:`~repro.eval.jobs.SimulationTask` or a §4.3
+:class:`~repro.eval.jobs.ScenarioTask` — to its
+:class:`~repro.eval.pipeline.BenchmarkEvents`, keyed by
 
-* the task's :meth:`~repro.eval.jobs.SimulationTask.config_hash` (workload,
-  SNC geometries, scale, seed), and
+* the task's ``config_hash()`` (workload source, SNC geometries, switch
+  strategy, scale, seed — a trace-file source digests the file's
+  contents), and
 * a fingerprint of the simulation-relevant source modules,
 
 so any config tweak *or* code change invalidates exactly the affected
@@ -24,7 +27,7 @@ from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
 
-from repro.eval.jobs import SimulationTask
+from repro.eval.jobs import AnyTask
 from repro.eval.pipeline import BenchmarkEvents
 from repro.timing.model import SNCEventCounts
 
@@ -38,11 +41,14 @@ CACHE_FORMAT = 1
 _FINGERPRINT_MODULES = (
     "repro.eval.pipeline",
     "repro.memory.cache",
+    "repro.secure.context",
     "repro.secure.snc",
     "repro.secure.snc_policy",
     "repro.timing.model",
     "repro.workloads.patterns",
+    "repro.workloads.sources",
     "repro.workloads.spec",
+    "repro.workloads.tracegen",
 )
 
 
@@ -96,17 +102,17 @@ class ResultCache:
         self.misses = 0
         self.put_errors = 0
 
-    def key_for(self, task: SimulationTask) -> str:
+    def key_for(self, task: AnyTask) -> str:
         digest = hashlib.sha256()
         digest.update(f"format:{CACHE_FORMAT}\n".encode())
         digest.update(f"code:{code_fingerprint()}\n".encode())
         digest.update(f"task:{task.config_hash()}\n".encode())
         return digest.hexdigest()
 
-    def path_for(self, task: SimulationTask) -> Path:
+    def path_for(self, task: AnyTask) -> Path:
         return self.root / f"{self.key_for(task)}.json"
 
-    def get(self, task: SimulationTask) -> BenchmarkEvents | None:
+    def get(self, task: AnyTask) -> BenchmarkEvents | None:
         path = self.path_for(task)
         try:
             payload = json.loads(path.read_text())
@@ -117,7 +123,7 @@ class ResultCache:
         self.hits += 1
         return events
 
-    def put(self, task: SimulationTask, events: BenchmarkEvents) -> None:
+    def put(self, task: AnyTask, events: BenchmarkEvents) -> None:
         """Best-effort write: an unwritable cache must never abort a run
         whose (expensive) simulation already succeeded."""
         payload = {

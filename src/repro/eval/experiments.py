@@ -16,18 +16,32 @@ Each figure contributes two things:
   bodies only say *which* scheme and SNC key each series uses.  The
   benchmark files in ``benchmarks/`` print these tables; EXPERIMENTS.md
   archives them.
+
+The §4.3 multi-programmed scenarios follow the same declare/price split:
+:func:`scenario_jobs` emits :class:`~repro.eval.jobs.ScenarioJob` entries
+(strategy x scheme x SNC geometry over one workload mix),
+:func:`run_scenarios` schedules them through the same task
+scheduler/cache, and :func:`scenario_slowdowns` prices each scheme
+against the insecure baseline — see ``docs/scenarios.md``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.eval import paper_data
 from repro.eval.cache import ResultCache
-from repro.eval.jobs import ExperimentJob, standard_snc_specs
+from repro.eval.jobs import (
+    ExperimentJob,
+    ScenarioJob,
+    SNCSpec,
+    SourceSpec,
+    merge_scenario_jobs,
+    standard_snc_specs,
+)
 from repro.eval.pipeline import BenchmarkEvents, SimulationScale
-from repro.eval.scheduler import Progress, run_jobs
+from repro.eval.scheduler import Progress, run_jobs, run_tasks
 from repro.secure.engine import LatencyParams
 from repro.secure.schemes import get_scheme
 from repro.timing.model import (
@@ -330,6 +344,139 @@ def figure10(events: dict[str, BenchmarkEvents]) -> FigureResult:
         paper_data.FIGURE10_SNC_LRU_AVG,
     ))
     return result
+
+
+# --------------------------------------------------------------- scenarios
+
+#: The §4.3 design-space defaults: both switch strategies, priced through
+#: both SNC-bearing registered schemes.
+SCENARIO_STRATEGIES = ("flush", "tag")
+SCENARIO_SCHEMES = ("otp", "otp_split")
+
+
+def scheme_config_key(scheme: str, snc_key: str = "lru64") -> str:
+    """The SNC-config pricing key a scheme uses in scenario tables.
+
+    The paper's own scheme keeps the standard geometry key; variants get
+    a suffixed key so one task can simulate the same geometry under
+    several schemes' state machines."""
+    return snc_key if scheme == "otp" else f"{snc_key}+{scheme}"
+
+
+def scenario_snc_specs(schemes: Iterable[str] = SCENARIO_SCHEMES,
+                       snc_key: str = "lru64") -> tuple[SNCSpec, ...]:
+    """One SNC spec per scheme, all sharing the ``snc_key`` geometry."""
+    base = standard_snc_specs()[snc_key]
+    return tuple(
+        SNCSpec(
+            key=scheme_config_key(scheme, snc_key),
+            size_bytes=base.size_bytes,
+            entry_bytes=base.entry_bytes,
+            assoc=base.assoc,
+            policy=base.policy,
+            scheme=scheme,
+        )
+        for scheme in schemes
+    )
+
+
+def scenario_jobs(workloads: Sequence[str], quantum: int = 2000,
+                  strategies: Iterable[str] | None = None,
+                  schemes: tuple[str, ...] = SCENARIO_SCHEMES,
+                  snc_keys: Iterable[str] = ("lru64",),
+                  scale: SimulationScale | None = None,
+                  seed: int = 1,
+                  scenario: str = "context-switch") -> list[ScenarioJob]:
+    """The §4.3 job matrix: one job per (strategy, SNC geometry) over one
+    workload mix.
+
+    ``strategies=None`` means :data:`SCENARIO_STRATEGIES` — except for a
+    single workload name, which declares a no-switch scenario (the
+    degenerate case the parity tests pin): with no switches the
+    strategies are indistinguishable, so the default matrix collapses to
+    TAG alone rather than simulating the identical run once per
+    strategy.  An explicitly passed ``strategies`` is honored as given.
+    """
+    strategies = None if strategies is None else tuple(strategies)
+    if len(workloads) == 1:
+        source = SourceSpec(kind="benchmark", workloads=tuple(workloads))
+        if strategies is None:
+            strategies = ("tag",)
+    else:
+        source = SourceSpec(kind="multitask", workloads=tuple(workloads),
+                            quantum=quantum)
+        if strategies is None:
+            strategies = SCENARIO_STRATEGIES
+    scale = scale or SimulationScale()
+    return [
+        ScenarioJob(
+            scenario=scenario,
+            schemes=schemes,
+            source=source,
+            snc_configs=scenario_snc_specs(schemes, snc_key),
+            strategy=strategy,
+            scale=scale,
+            seed=seed,
+        )
+        for strategy in strategies
+        for snc_key in snc_keys
+    ]
+
+
+def run_scenario_tasks(jobs: list[ScenarioJob], n_jobs: int = 1,
+                       cache: ResultCache | None = None,
+                       progress: Progress | None = None) -> list:
+    """Merge and schedule scenario jobs, returning the raw
+    :class:`~repro.eval.scheduler.TaskResult` list (for run stats);
+    :func:`run_scenarios` is the indexed convenience wrapper."""
+    tasks = merge_scenario_jobs(jobs)
+    keys = [(task.source.label, task.strategy) for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError(
+            "scenario jobs must resolve to one task per (source, "
+            "strategy); mixed scales/seeds make the result mapping "
+            "ambiguous (use merge_scenario_jobs + run_tasks directly)"
+        )
+    return run_tasks(tasks, n_jobs=n_jobs, cache=cache, progress=progress)
+
+
+def index_scenario_results(results: list,
+                           ) -> dict[tuple[str, str], BenchmarkEvents]:
+    """Index :func:`run_scenario_tasks` results by (source label,
+    strategy) — the keying every scenario table uses."""
+    return {
+        (result.task.source.label, result.task.strategy): result.events
+        for result in results
+    }
+
+
+def run_scenarios(jobs: list[ScenarioJob], n_jobs: int = 1,
+                  cache: ResultCache | None = None,
+                  progress: Progress | None = None,
+                  ) -> dict[tuple[str, str], BenchmarkEvents]:
+    """Merge, schedule and index scenario jobs: the scenario analogue of
+    :func:`run_all_benchmarks`, returning events keyed by
+    ``(source label, strategy)``."""
+    return index_scenario_results(
+        run_scenario_tasks(jobs, n_jobs=n_jobs, cache=cache,
+                           progress=progress)
+    )
+
+
+def scenario_slowdowns(events: BenchmarkEvents,
+                       schemes: Iterable[str] = SCENARIO_SCHEMES,
+                       snc_key: str = "lru64",
+                       lat: LatencyParams = PAPER_LATENCIES,
+                       ) -> dict[str, float]:
+    """Each scheme's slowdown over the insecure baseline for one scenario
+    run (the baseline pays the same compute and misses but no SNC or
+    switch costs)."""
+    base = _baseline(events, lat)
+    out = {}
+    for scheme in schemes:
+        pricer = _pricer(scheme, scheme_config_key(scheme, snc_key))
+        out[scheme] = slowdown_pct(pricer(events, lat), base)
+    return out
 
 
 ALL_FIGURES = (figure3, figure5, figure6, figure7, figure8, figure9,

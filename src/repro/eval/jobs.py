@@ -17,13 +17,22 @@ data:
   :func:`merge_jobs` folds a job list into the minimal task list, so
   requesting all seven figures still simulates each benchmark exactly
   once.
+* :class:`ScenarioJob` / :class:`ScenarioTask` — the same two-level shape
+  for multi-programmed §4.3 scenarios: a :class:`SourceSpec` names the
+  workload source (a benchmark, a trace file, or a multi-task interleave
+  with its quantum), a switch strategy picks FLUSH or TAG, and
+  :func:`merge_scenario_jobs` unions SNC requirements exactly like
+  :func:`merge_jobs`.  The scheduler and result cache treat both task
+  kinds identically (:func:`execute_task` dispatches).
 
-Both are frozen, hashable and picklable, so tasks can fan out across
+All are frozen, hashable and picklable, so tasks can fan out across
 processes (:mod:`repro.eval.scheduler`) and key an on-disk result store
 (:mod:`repro.eval.cache`).  Identity is *content-based*:
 :meth:`SimulationTask.config_hash` is a SHA-256 over the canonical JSON of
 the full configuration, stable across processes and interpreter runs
-(unlike ``hash()``, which is salted per process for strings).
+(unlike ``hash()``, which is salted per process for strings); a trace
+source hashes its file's *contents*, so editing a trace invalidates its
+cached results.
 """
 
 from __future__ import annotations
@@ -31,15 +40,27 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
 
+from repro.errors import ConfigurationError
 from repro.eval.pipeline import (
     BenchmarkEvents,
     SimulationScale,
     simulate_benchmark,
+    simulate_scenario,
     standard_snc_configs,
 )
 from repro.secure.schemes import get_scheme
 from repro.secure.snc import SNCConfig, SNCPolicy
+from repro.secure.snc_policy import SwitchStrategy
+from repro.workloads.sources import (
+    TRACE_XOM_SLOWDOWN_PCT,
+    MultiTaskInterleaver,
+    SingleBenchmark,
+    TraceFile,
+    WorkloadSource,
+)
 from repro.workloads.spec import BY_NAME
 
 
@@ -216,8 +237,223 @@ def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
     ]
 
 
-def execute_task(task: SimulationTask) -> BenchmarkEvents:
-    """Run one task's trace simulation (picklable: pool workers call it)."""
+@lru_cache(maxsize=64)
+def _trace_digest_stat(path: str, mtime_ns: int, size: int) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def _trace_digest(path: str) -> str:
+    """Content digest of a trace file, memoized per (path, mtime, size)
+    so hashing a scheduled trace task doesn't re-read the whole file on
+    every cache lookup."""
+    stat = Path(path).stat()
+    return _trace_digest_stat(path, stat.st_mtime_ns, stat.st_size)
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A hashable, JSON-friendly description of one workload source.
+
+    ``kind`` selects the :mod:`repro.workloads.sources` implementation:
+
+    * ``"benchmark"`` — one synthetic model (``workloads`` has one name);
+    * ``"multitask"`` — the §4.3 interleaver over ``workloads`` with
+      ``quantum`` references per time slice;
+    * ``"trace"`` — a recorded trace file at ``trace_path``, calibrated
+      by ``xom_slowdown_pct``.  Its canonical form digests the file's
+      contents, so a changed trace never resolves to a stale cached
+      result.
+    """
+
+    kind: str
+    workloads: tuple[str, ...] = ()
+    quantum: int = 0
+    trace_path: str = ""
+    #: Trace calibration anchor; same default :class:`TraceFile` uses.
+    xom_slowdown_pct: float = TRACE_XOM_SLOWDOWN_PCT
+
+    def __post_init__(self) -> None:
+        if self.kind in ("benchmark", "multitask"):
+            if not self.workloads:
+                raise ConfigurationError(
+                    f"{self.kind!r} source needs workload names"
+                )
+            for name in self.workloads:
+                if name not in BY_NAME:
+                    raise KeyError(f"unknown workload {name!r}")
+            if self.kind == "benchmark" and len(self.workloads) != 1:
+                raise ConfigurationError(
+                    "'benchmark' source takes exactly one workload"
+                )
+            if self.kind == "multitask" and self.quantum <= 0:
+                raise ConfigurationError(
+                    "'multitask' source needs a positive quantum"
+                )
+        elif self.kind == "trace":
+            if not self.trace_path:
+                raise ConfigurationError("'trace' source needs a path")
+        else:
+            raise ConfigurationError(
+                f"unknown source kind {self.kind!r} "
+                "(benchmark, multitask, trace)"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.kind == "benchmark":
+            return self.workloads[0]
+        if self.kind == "multitask":
+            return f"mix({'+'.join(self.workloads)})@q{self.quantum}"
+        return f"trace:{self.trace_path}"
+
+    def build(self) -> WorkloadSource:
+        """Materialize the runtime source this spec describes."""
+        if self.kind == "benchmark":
+            return SingleBenchmark(self.workloads[0])
+        if self.kind == "multitask":
+            return MultiTaskInterleaver(self.workloads, self.quantum)
+        return TraceFile(self.trace_path,
+                         xom_slowdown_pct=self.xom_slowdown_pct)
+
+    def canonical(self) -> list:
+        if self.kind == "trace":
+            return [self.kind, _trace_digest(self.trace_path),
+                    self.xom_slowdown_pct]
+        return [self.kind, list(self.workloads), self.quantum]
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One scenario table's requirement on one workload source.
+
+    The scenario analogue of :class:`ExperimentJob`: ``scenario`` says
+    who wants the result, ``schemes`` names the registered schemes whose
+    pricers will consume it, and (``source``, ``strategy``, ``scale``,
+    ``seed``) pin down the simulation.  Jobs sharing those four merge
+    into one :class:`ScenarioTask` (:func:`merge_scenario_jobs`).
+    """
+
+    scenario: str
+    schemes: tuple[str, ...]
+    source: SourceSpec
+    snc_configs: tuple[SNCSpec, ...]
+    strategy: str  # SwitchStrategy value: "flush" | "tag"
+    scale: SimulationScale
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        SwitchStrategy(self.strategy)  # raises ValueError on a bad name
+        for key in self.schemes:
+            get_scheme(key)
+        for spec in self.snc_configs:
+            get_scheme(spec.scheme)
+
+    def canonical(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "schemes": sorted(self.schemes),
+            "source": self.source.canonical(),
+            "snc": [spec.canonical() for spec in
+                    sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "strategy": self.strategy,
+            "scale": _scale_canonical(self.scale),
+            "seed": self.seed,
+        }
+
+    def config_hash(self) -> str:
+        return _canonical_hash(self.canonical())
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One scenario trace pass — scheduled and cached like a
+    :class:`SimulationTask`."""
+
+    source: SourceSpec
+    snc_configs: tuple[SNCSpec, ...]
+    strategy: str
+    scale: SimulationScale
+    seed: int = 1
+
+    @property
+    def workload(self) -> str:
+        """The display name run stats and progress lines use."""
+        return f"{self.source.label}/{self.strategy}"
+
+    def canonical(self) -> dict:
+        return {
+            "kind": "scenario",
+            "source": self.source.canonical(),
+            "snc": [spec.canonical() for spec in
+                    sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "strategy": self.strategy,
+            "scale": _scale_canonical(self.scale),
+            "seed": self.seed,
+        }
+
+    def config_hash(self) -> str:
+        return _canonical_hash(self.canonical())
+
+    def describe(self) -> str:
+        scale = self.scale
+        return (
+            f"{self.source.label} "
+            f"[{self.strategy}, {len(self.snc_configs)} SNC cfgs, "
+            f"{scale.warmup_refs}+{scale.measure_refs} refs, "
+            f"seed {self.seed}]"
+        )
+
+
+#: What the scheduler runs and the result cache keys: either task kind.
+AnyTask = SimulationTask | ScenarioTask
+
+
+def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
+    """Fold scenario jobs into the minimal task list, like
+    :func:`merge_jobs`: jobs sharing (source, strategy, scale, seed)
+    merge into one task whose SNC set is the union of theirs."""
+    grouped: dict[tuple, dict[str, SNCSpec]] = {}
+    for job in jobs:
+        group = (job.source, job.strategy, job.scale, job.seed)
+        specs = grouped.setdefault(group, {})
+        for spec in job.snc_configs:
+            existing = specs.get(spec.key)
+            if existing is not None and existing != spec:
+                raise ValueError(
+                    f"SNC key {spec.key!r} bound to two different "
+                    f"geometries in one scenario job set"
+                )
+            specs[spec.key] = spec
+    return [
+        ScenarioTask(
+            source=source,
+            snc_configs=tuple(sorted(specs.values(),
+                                     key=lambda spec: spec.key)),
+            strategy=strategy,
+            scale=scale,
+            seed=seed,
+        )
+        for (source, strategy, scale, seed), specs in grouped.items()
+    ]
+
+
+def execute_task(task: AnyTask) -> BenchmarkEvents:
+    """Run one task's trace simulation (picklable: pool workers call it).
+
+    Dispatches on the task kind: figure tasks run the single-benchmark
+    fast path, scenario tasks build their workload source and run the
+    switch-aware scenario loop."""
+    if isinstance(task, ScenarioTask):
+        return simulate_scenario(
+            task.source.build(),
+            scale=task.scale,
+            snc_configs={spec.key: spec.to_config()
+                         for spec in task.snc_configs},
+            snc_schemes={spec.key: spec.scheme
+                         for spec in task.snc_configs},
+            switch_strategy=SwitchStrategy(task.strategy),
+            seed=task.seed,
+        )
     return simulate_benchmark(
         BY_NAME[task.workload],
         scale=task.scale,

@@ -1,16 +1,23 @@
 """Plain-text reporting: the same rows the paper's figures print.
 
 ``format_figure`` renders one reproduced figure as a paper-vs-measured
-table; ``format_summary`` prints the headline averages; and
+table; ``format_summary`` prints the headline averages;
 ``format_run_stats`` summarizes one scheduler pass (simulated vs cached,
-where the time went).  These are what ``pytest benchmarks/
+where the time went); and ``format_scenario_table`` renders the §4.3
+FLUSH-vs-TAG strategy table.  These are what ``pytest benchmarks/
 --benchmark-only``, ``python -m repro.eval`` and the examples show.
 """
 
 from __future__ import annotations
 
-from repro.eval.experiments import FigureResult
+from repro.eval.experiments import (
+    FigureResult,
+    SCENARIO_SCHEMES,
+    scenario_slowdowns,
+    scheme_config_key,
+)
 from repro.eval.paper_data import BENCHMARK_ORDER
+from repro.eval.pipeline import BenchmarkEvents
 from repro.eval.scheduler import TaskResult
 
 
@@ -66,6 +73,47 @@ def format_summary(results: list[FigureResult]) -> str:
                 f"  avg {label:<11} slowdown @102-cycle crypto: "
                 f"{series.paper_avg:6.2f}% -> {series.measured_avg:6.2f}%"
             )
+    return "\n".join(lines)
+
+
+def format_scenario_table(
+    results: dict[tuple[str, str], BenchmarkEvents],
+    schemes: tuple[str, ...] = SCENARIO_SCHEMES,
+    snc_key: str = "lru64",
+) -> str:
+    """The §4.3 strategy table: one row per (source, strategy), one
+    slowdown column per scheme, plus the switch-cost columns the paper
+    leaves open (spills per switch, warm-read fraction)."""
+    header = f"{'scenario':<26} {'strategy':<9}"
+    for scheme in schemes:
+        header += f" {scheme:>10}"
+    header += f" {'switches':>9} {'spills/sw':>10} {'warm%':>7}"
+    lines = [
+        f"SNC context-switch strategies (section 4.3)  "
+        f"[slowdown %, {snc_key} geometry]",
+        header,
+        "-" * len(header),
+    ]
+    for (label, strategy), events in sorted(results.items()):
+        row = f"{label:<26} {strategy:<9}"
+        for scheme, value in scenario_slowdowns(
+            events, schemes, snc_key
+        ).items():
+            row += f" {value:>10.2f}"
+        counts = events.snc[scheme_config_key(schemes[0], snc_key)]
+        spills_per_switch = (
+            counts.switch_spills / counts.switches if counts.switches
+            else 0.0
+        )
+        warm_pct = (
+            100.0 * counts.overlapped_reads / counts.reads
+            if counts.reads else 0.0
+        )
+        row += (
+            f" {counts.switches:>9} {spills_per_switch:>10.1f}"
+            f" {warm_pct:>7.1f}"
+        )
+        lines.append(row)
     return "\n".join(lines)
 
 

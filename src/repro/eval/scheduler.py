@@ -1,6 +1,7 @@
 """Multiprocessing executor for simulation tasks.
 
-The tasks produced by :func:`repro.eval.jobs.merge_jobs` are embarrassingly
+The tasks produced by :func:`repro.eval.jobs.merge_jobs` and
+:func:`repro.eval.jobs.merge_scenario_jobs` are embarrassingly
 parallel — independent seeded trace simulations with no shared state — so
 the executor is a straight fan-out:
 
@@ -26,8 +27,8 @@ from dataclasses import dataclass
 
 from repro.eval.cache import ResultCache
 from repro.eval.jobs import (
+    AnyTask,
     ExperimentJob,
-    SimulationTask,
     execute_task,
     merge_jobs,
 )
@@ -40,23 +41,23 @@ Progress = Callable[[str], None]
 class TaskResult:
     """One executed (or cache-served) task."""
 
-    task: SimulationTask
+    task: AnyTask
     events: BenchmarkEvents
     seconds: float
     cached: bool
 
 
-def _run_indexed(item: tuple[int, SimulationTask]):
+def _run_indexed(item: tuple[int, AnyTask]):
     index, task = item
     started = time.perf_counter()
     events = execute_task(task)
     return index, events, time.perf_counter() - started
 
 
-def run_tasks(tasks: list[SimulationTask], n_jobs: int = 1,
+def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
               cache: ResultCache | None = None,
               progress: Progress | None = None) -> list[TaskResult]:
-    """Execute tasks, returning results in task order.
+    """Execute tasks — figure and scenario alike — in task order.
 
     Cache hits are resolved first (and never occupy a worker); the
     remainder runs inline (``n_jobs == 1``) or across a process pool.
@@ -65,7 +66,7 @@ def run_tasks(tasks: list[SimulationTask], n_jobs: int = 1,
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     total = len(tasks)
     results: list[TaskResult | None] = [None] * total
-    pending: list[tuple[int, SimulationTask]] = []
+    pending: list[tuple[int, AnyTask]] = []
 
     def emit(index: int, result: TaskResult) -> None:
         results[index] = result

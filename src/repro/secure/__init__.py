@@ -11,10 +11,8 @@ from repro.secure.compartment import (
     TaggedRegisterFile,
 )
 from repro.secure.context import (
-    ContextSwitchReport,
-    MultiTaskSNCModel,
     SwitchStrategy,
-    TaskStream,
+    TaskContexts,
 )
 from repro.secure.engine import BaselineEngine, EngineStats, LatencyParams
 from repro.secure.integrity import (
@@ -73,7 +71,6 @@ __all__ = [
     "SNCPolicyCore",
     "SchemeSpec",
     "SecureProcessor",
-    "ContextSwitchReport",
     "EngineStats",
     "Evicted",
     "HashTreeIntegrity",
@@ -81,7 +78,6 @@ __all__ = [
     "InterruptFrame",
     "LatencyParams",
     "MACIntegrity",
-    "MultiTaskSNCModel",
     "OTPEngine",
     "PlainProgram",
     "Region",
@@ -98,7 +94,7 @@ __all__ = [
     "SequenceNumberCache",
     "SwitchStrategy",
     "TaggedRegisterFile",
-    "TaskStream",
+    "TaskContexts",
     "WriteClass",
     "WriteDecision",
     "XOMEngine",

@@ -1,4 +1,4 @@
-"""SNC handling across context switches — the question §4.3 leaves open.
+"""Multi-task SNC coordination — the question §4.3 leaves open.
 
 The paper names two protection strategies for the SNC when the OS switches
 tasks, and explicitly does not evaluate them ("the impact on the overall
@@ -11,118 +11,99 @@ performance in multi-task systems is currently open"):
    switch-time cost, but tasks share capacity and a task's entries can be
    evicted by another's traffic.
 
-:class:`MultiTaskSNCModel` simulates round-robin execution of several
-tasks' L2-miss streams under either strategy and reports the event counts
-the ablation benchmark (``bench_ablation_context_switch``) prices.
+Both strategies are implemented as :class:`~repro.secure.snc_policy.
+SNCPolicyCore` hooks (``on_switch_out`` / ``on_switch_in``), so every
+registered scheme's state machine — the paper's Algorithm 1 *and* variants
+like ``otp_split`` — handles context switches identically in the
+functional and timing layers.  This module contributes only the
+coordination: :class:`TaskContexts` keeps **one core per task over one
+shared** :class:`~repro.secure.snc.SequenceNumberCache` (whose entries are
+already owner-tagged) and routes switch events through the hooks.  It
+holds no SNC decision logic of its own.
+
+The evaluation drives this through the scenario pipeline
+(:func:`repro.eval.pipeline.simulate_scenario`) fed by a
+:class:`~repro.workloads.sources.MultiTaskInterleaver`; the §4.3 cost
+table comes out of ``benchmarks/bench_ablation_context_switch.py``.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Callable
 
-from repro.secure.snc import SequenceNumberCache, SNCConfig, SNCPolicy
+from repro.secure.snc import Evicted, SequenceNumberCache
+from repro.secure.snc_policy import SNCPolicyCore, SwitchStrategy
+
+__all__ = ["SwitchStrategy", "TaskContexts"]
+
+#: Fetch one spilled entry for (xom_id, line_index) — the per-task view of
+#: the in-memory table.
+TaskFetch = Callable[[int, int], int]
+
+#: Persist one evicted entry; ``Evicted.xom_id`` names the owner, so one
+#: shared callback serves every task.
+TaskSpill = Callable[[Evicted], None]
+
+#: Builds one task's policy core (the scheme registry supplies variants).
+CoreFactory = Callable[..., SNCPolicyCore]
 
 
-class SwitchStrategy(enum.Enum):
-    FLUSH = "flush"
-    TAG = "tag"
+class TaskContexts:
+    """Per-task :class:`SNCPolicyCore` instances over one shared SNC.
 
+    Each task gets its own core — its own XOM id (the SNC owner tag), its
+    own direct-encryption set, its own slice of the spill table — built
+    lazily by ``core_factory`` the first time the task runs.  The §4.3
+    switch strategies live in the cores' ``on_switch_out``/``on_switch_in``
+    hooks; :meth:`switch_to` only routes the event.
+    """
 
-@dataclass
-class ContextSwitchReport:
-    """Event counts from a multi-task SNC simulation."""
+    def __init__(self, snc: SequenceNumberCache, *,
+                 core_factory: CoreFactory | None = None,
+                 strategy: SwitchStrategy = SwitchStrategy.TAG,
+                 fetch_entry: TaskFetch | None = None,
+                 spill_entry: TaskSpill | None = None,
+                 initial_task: int = 0):
+        self.snc = snc
+        self.strategy = strategy
+        self._factory = core_factory or SNCPolicyCore
+        self._fetch_entry = fetch_entry or (lambda xom_id, line_index: 0)
+        self._spill_entry = spill_entry or (lambda victim: None)
+        self._cores: dict[int, SNCPolicyCore] = {}
+        self.current = self.core_for(initial_task)
 
-    switches: int = 0
-    flush_spills: int = 0  # entries written to memory at switch time
-    query_hits: int = 0
-    query_misses: int = 0
-    update_hits: int = 0
-    update_misses: int = 0
-    evictions: int = 0
+    def core_for(self, xom_id: int) -> SNCPolicyCore:
+        """The task's core, created on first use."""
+        core = self._cores.get(xom_id)
+        if core is None:
+            core = self._factory(
+                self.snc,
+                xom_id=xom_id,
+                fetch_entry=lambda line, xom=xom_id: self._fetch_entry(
+                    xom, line
+                ),
+                spill_entry=self._spill_entry,
+                switch_strategy=self.strategy,
+            )
+            self._cores[xom_id] = core
+        return core
+
+    def begin(self, xom_id: int) -> SNCPolicyCore:
+        """Select the first running task without counting a switch."""
+        self.current = self.core_for(xom_id)
+        return self.current
+
+    def switch_to(self, xom_id: int) -> int:
+        """One OS context switch: deschedule the current task (its core's
+        ``on_switch_out`` applies the strategy), schedule the next.
+        Returns the number of entries spilled at switch time (0 under
+        TAG)."""
+        spilled = self.current.on_switch_out()
+        self.current = self.core_for(xom_id)
+        self.current.on_switch_in()
+        return spilled
 
     @property
-    def query_hit_rate(self) -> float:
-        total = self.query_hits + self.query_misses
-        return self.query_hits / total if total else 0.0
-
-
-@dataclass
-class TaskStream:
-    """One task's L2-to-memory reference stream: (line_index, is_write)."""
-
-    xom_id: int
-    references: Sequence[tuple[int, bool]]
-
-
-class MultiTaskSNCModel:
-    """Round-robin tasks over one shared SNC under a switch strategy."""
-
-    def __init__(self, config: SNCConfig | None = None,
-                 strategy: SwitchStrategy = SwitchStrategy.TAG):
-        if config is not None and config.policy is not SNCPolicy.LRU:
-            raise ValueError("multi-task model requires the LRU policy")
-        self.snc = SequenceNumberCache(config or SNCConfig())
-        self.strategy = strategy
-        self.report = ContextSwitchReport()
-        # The spilled table: (xom_id, line_index) -> seq.  One entry per
-        # line; fetching one back on a query miss costs a memory round trip.
-        self._table: dict[tuple[int, int], int] = {}
-
-    def _reference(self, xom_id: int, line_index: int, is_write: bool) -> None:
-        tag = xom_id if self.strategy is SwitchStrategy.TAG else 0
-        key = (xom_id, line_index)
-        if is_write:
-            seq = self.snc.update(line_index, tag)
-            if seq is None:
-                self.report.update_misses += 1
-                seq = self._table.get(key, 0) + 1
-                victim = self.snc.insert(line_index, seq, tag)
-                self._note_eviction(victim, xom_id)
-            else:
-                self.report.update_hits += 1
-            self._table[key] = seq
-        else:
-            seq = self.snc.query(line_index, tag)
-            if seq is None:
-                self.report.query_misses += 1
-                seq = self._table.get(key, 0)
-                victim = self.snc.insert(line_index, seq, tag)
-                self._note_eviction(victim, xom_id)
-            else:
-                self.report.query_hits += 1
-
-    def _note_eviction(self, victim, xom_id: int) -> None:
-        if victim is None:
-            return
-        self.report.evictions += 1
-        owner = victim.xom_id if self.strategy is SwitchStrategy.TAG else xom_id
-        self._table[(owner, victim.line_index)] = victim.seq
-
-    def _switch_out(self, xom_id: int) -> None:
-        self.report.switches += 1
-        if self.strategy is SwitchStrategy.FLUSH:
-            for entry in self.snc.flush():
-                self._table[(xom_id, entry.line_index)] = entry.seq
-                self.report.flush_spills += 1
-
-    def run(self, tasks: Sequence[TaskStream], quantum: int) -> ContextSwitchReport:
-        """Interleave the tasks' streams, ``quantum`` references at a time."""
-        cursors = [iter(task.references) for task in tasks]
-        live = [True] * len(tasks)
-        while any(live):
-            for position, task in enumerate(tasks):
-                if not live[position]:
-                    continue
-                consumed = 0
-                for line_index, is_write in cursors[position]:
-                    self._reference(task.xom_id, line_index, is_write)
-                    consumed += 1
-                    if consumed >= quantum:
-                        break
-                if consumed < quantum:
-                    live[position] = False
-                if any(live):
-                    self._switch_out(task.xom_id)
-        return self.report
+    def task_ids(self) -> tuple[int, ...]:
+        """Every task that has run so far, in first-run order."""
+        return tuple(self._cores)

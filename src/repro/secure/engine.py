@@ -60,6 +60,16 @@ class LatencyParams:
         return max(self.memory, self.crypto) + self.xor
 
     @property
+    def seqnum_spill(self) -> int:
+        """Throughput cost of encrypt-and-spilling one SNC entry during a
+        §4.3 FLUSH context switch.  The spills are bulk work, not a
+        critical-path stall: the crypto unit is fully pipelined (one
+        table block per cycle once primed) and the stores stream through
+        the write buffer, so each entry exposes one pipelined crypto slot
+        plus one store slot."""
+        return self.xor + 1
+
+    @property
     def seqnum_miss_read(self) -> int:
         """OTP read with an SNC query miss (LRU): fetch + decrypt the spilled
         sequence number (memory + crypto, "150 cycles before the seed

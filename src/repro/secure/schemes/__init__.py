@@ -79,7 +79,11 @@ class SchemeSpec:
     price: Callable[[TraceEvents, LatencyParams], float]
     #: Timing layer: build the byte-free SNC state machine the trace
     #: pipeline drives, or ``None`` for schemes without SNC state.
-    build_timing_sim: Callable[[SNCConfig], object] | None = None
+    #: Accepts a keyword ``switch_strategy`` (a
+    #: :class:`~repro.secure.snc_policy.SwitchStrategy`) so the scenario
+    #: pipeline can select the §4.3 context-switch handling; figure jobs
+    #: never switch and use the default.
+    build_timing_sim: Callable[..., object] | None = None
 
     @property
     def uses_snc(self) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.secure.otp_engine import OTPEngine
 from repro.secure.schemes import EngineContext, SchemeSpec, register
 from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.snc_policy import SwitchStrategy
 from repro.secure.software import ProtectionScheme
 from repro.timing.model import SNCTimingSim, otp_cycles
 
@@ -25,8 +26,11 @@ def _build_engine(ctx: EngineContext) -> OTPEngine:
     )
 
 
-def _build_timing_sim(config: SNCConfig) -> SNCTimingSim:
-    return SNCTimingSim(config)
+def _build_timing_sim(
+    config: SNCConfig,
+    switch_strategy: SwitchStrategy = SwitchStrategy.TAG,
+) -> SNCTimingSim:
+    return SNCTimingSim(config, switch_strategy=switch_strategy)
 
 
 SPEC = register(SchemeSpec(

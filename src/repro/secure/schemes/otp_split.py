@@ -24,11 +24,12 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.secure.otp_engine import OTPEngine
 from repro.secure.schemes import EngineContext, SchemeSpec, register
-from repro.secure.snc import SequenceNumberCache, SNCConfig
+from repro.secure.snc import Evicted, SequenceNumberCache, SNCConfig
 from repro.secure.snc_policy import (
     ReadClass,
     ReadDecision,
     SNCPolicyCore,
+    SwitchStrategy,
     WriteClass,
     WriteDecision,
 )
@@ -79,6 +80,21 @@ class SplitSequenceCore(SNCPolicyCore):
             return self._overflow(line_index)
         return decision
 
+    def _write_detached(self, line_index: int) -> WriteDecision:
+        # The FLUSH no-residency write path keeps the split semantics: a
+        # retired line stays direct, and an increment past the counter
+        # width retires it instead of spilling an overflowed value.
+        if line_index in self.direct_lines:
+            self.snc.note_rejection()
+            return WriteDecision(WriteClass.REJECTED, None)
+        seq = self._fetch_entry(line_index) + 1
+        if seq > self.counter_max:
+            self.snc.note_rejection()
+            self.direct_lines.add(line_index)
+            return WriteDecision(WriteClass.REJECTED, None)
+        self._spill_entry(Evicted(line_index, seq, self.xom_id))
+        return WriteDecision(WriteClass.UPDATE_MISS, seq)
+
     def _overflow(self, line_index: int) -> WriteDecision:
         """Retire a line from pad treatment: drop its SNC entry, mark it
         direct, and report the write as rejected (direct encryption)."""
@@ -102,8 +118,12 @@ def _build_engine(ctx: EngineContext) -> OTPEngine:
     )
 
 
-def _build_timing_sim(config: SNCConfig) -> SNCTimingSim:
-    return SNCTimingSim(config, core_factory=_core_factory)
+def _build_timing_sim(
+    config: SNCConfig,
+    switch_strategy: SwitchStrategy = SwitchStrategy.TAG,
+) -> SNCTimingSim:
+    return SNCTimingSim(config, core_factory=_core_factory,
+                        switch_strategy=switch_strategy)
 
 
 SPEC = register(SchemeSpec(

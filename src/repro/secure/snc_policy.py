@@ -13,7 +13,12 @@ counting callbacks backed by a plain dict, and both get back the same
 Scheme variants subclass the core and override the ``_read_query_miss`` /
 ``_write_update_hit`` / ``_write_update_miss`` hooks — see the
 ``otp_split`` spec in :mod:`repro.secure.schemes.otp_split` for the
-paper's §4.2 split-sequence-number variant done this way.
+paper's §4.2 split-sequence-number variant done this way.  The §4.3
+context-switch strategies are core behavior too: ``on_switch_out`` /
+``on_switch_in`` implement FLUSH (encrypt-and-spill on the way out) and
+TAG (owner-tagged entries stay resident), selected by
+:class:`SwitchStrategy`; :class:`~repro.secure.context.TaskContexts`
+coordinates one core per task over a shared SNC.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import enum
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.secure.snc import Evicted, SequenceNumberCache, SNCPolicy
 
 #: Fetch one spilled sequence number for a line index (the engine decrypts
@@ -31,6 +37,24 @@ FetchEntry = Callable[[int], int]
 #: Persist one evicted entry (the engine encrypts-and-stores; the timing
 #: simulator records the value and counts the transfer).
 SpillEntry = Callable[[Evicted], None]
+
+
+class SwitchStrategy(enum.Enum):
+    """SNC handling across OS context switches (§4.3).
+
+    The paper names both and leaves their cost "currently open":
+
+    * :attr:`FLUSH` — encrypt-and-spill every resident entry to the
+      in-memory table on the way out; the incoming task starts with a
+      cold SNC.  Cost is paid at switch time (spill writes) and after
+      (query misses to re-warm).
+    * :attr:`TAG` — entries stay resident, tagged with their owner's XOM
+      ID; no switch-time cost, but tasks share capacity and one task's
+      entries can be evicted by another's traffic.
+    """
+
+    FLUSH = "flush"
+    TAG = "tag"
 
 
 class ReadClass(enum.Enum):
@@ -80,9 +104,17 @@ class SNCPolicyCore:
 
     def __init__(self, snc: SequenceNumberCache, *, xom_id: int = 0,
                  fetch_entry: FetchEntry | None = None,
-                 spill_entry: SpillEntry | None = None):
+                 spill_entry: SpillEntry | None = None,
+                 switch_strategy: SwitchStrategy = SwitchStrategy.TAG):
+        if (switch_strategy is SwitchStrategy.FLUSH
+                and snc.config.policy is not SNCPolicy.LRU):
+            raise ConfigurationError(
+                "the FLUSH switch strategy spills to the in-memory table, "
+                "which only the LRU policy maintains"
+            )
         self.snc = snc
         self.xom_id = xom_id
+        self.switch_strategy = switch_strategy
         self._fetch_entry = fetch_entry or (lambda line_index: 0)
         self._spill_entry = spill_entry or (lambda victim: None)
         # Lines that fell back to direct encryption.  Conceptually a
@@ -145,6 +177,50 @@ class SNCPolicyCore:
         self.fallback_seq[line_index] = seq
         self.snc.insert(line_index, seq, self.xom_id)
         self.direct_lines.discard(line_index)
+        return WriteDecision(WriteClass.UPDATE_MISS, seq)
+
+    # ------------------------------------------------ context switches (§4.3)
+
+    def on_switch_out(self) -> int:
+        """This task is being descheduled; returns the entries spilled.
+
+        Under :attr:`SwitchStrategy.FLUSH` every entry this task owns is
+        spilled to the in-memory table (through the same ``spill_entry``
+        callback evictions use — the engine encrypts-and-stores, the
+        timing simulator counts the transfers) and dropped from the SNC.
+        Under :attr:`SwitchStrategy.TAG` entries stay resident under the
+        owner tag and the switch costs nothing.
+        """
+        if self.switch_strategy is not SwitchStrategy.FLUSH:
+            return 0
+        spilled = self.snc.drop_task(self.xom_id)
+        for victim in spilled:
+            self._spill_entry(victim)
+        return len(spilled)
+
+    def on_switch_in(self) -> None:
+        """This task is being scheduled; nothing to do under either
+        strategy (FLUSH re-warms through query misses, TAG entries never
+        left).  Variant schemes may override — e.g. to prefetch."""
+
+    def write_descheduled(self, line_index: int) -> WriteDecision:
+        """A dirty eviction of this task's line arriving while the task
+        is *descheduled* (a shared L2 can evict it during another task's
+        quantum).
+
+        Under TAG this is an ordinary write — entries are legitimately
+        resident under the owner tag.  Under FLUSH the SNC holds only
+        the running task's entries, so the update must leave no
+        residency: a table read-modify-write through the fetch/spill
+        callbacks (:meth:`_write_detached`, the per-scheme hook).
+        """
+        if self.switch_strategy is not SwitchStrategy.FLUSH:
+            return self.write(line_index)
+        return self._write_detached(line_index)
+
+    def _write_detached(self, line_index: int) -> WriteDecision:
+        seq = self._fetch_entry(line_index) + 1
+        self._spill_entry(Evicted(line_index, seq, self.xom_id))
         return WriteDecision(WriteClass.UPDATE_MISS, seq)
 
     # -------------------------------------------------------------- internals

@@ -22,9 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.secure.context import TaskContexts
 from repro.secure.engine import LatencyParams
 from repro.secure.snc import Evicted, SequenceNumberCache, SNCConfig
-from repro.secure.snc_policy import ReadClass, SNCPolicyCore, WriteClass
+from repro.secure.snc_policy import (
+    ReadClass,
+    SwitchStrategy,
+    WriteClass,
+)
 
 
 @dataclass
@@ -40,6 +45,8 @@ class SNCEventCounts:
     rejected_updates: int = 0  # no-replacement, full: direct encryption
     table_fetches: int = 0  # SEQNUM_READ transfers (traffic)
     table_spills: int = 0  # SEQNUM_WRITE transfers (traffic)
+    switches: int = 0  # §4.3 context switches seen by this SNC
+    switch_spills: int = 0  # entries spilled at switch time (FLUSH only)
 
     @property
     def reads(self) -> int:
@@ -66,26 +73,51 @@ class SNCTimingSim:
     same values, so even value-dependent scheme variants (split counters
     overflowing to direct encryption) stay count-identical across the two
     layers.
+
+    Multi-programmed scenarios (§4.3) drive the same simulator: a
+    :class:`~repro.secure.context.TaskContexts` keeps one policy core per
+    task over the shared SNC, the spill table is keyed per owner, and
+    :meth:`switch_task` routes context switches through the cores'
+    strategy hooks (``switch_strategy`` selects FLUSH or TAG).  A
+    single-task trace never switches, so the figure pipeline's counts are
+    unchanged.
     """
 
-    def __init__(self, config: SNCConfig, core_factory=None):
+    def __init__(self, config: SNCConfig, core_factory=None,
+                 switch_strategy: SwitchStrategy = SwitchStrategy.TAG):
         self.snc = SequenceNumberCache(config)
         self.counts = SNCEventCounts()
-        self._table: dict[int, int] = {}
-        factory = core_factory or SNCPolicyCore
-        self.core = factory(
+        self._table: dict[tuple[int, int], int] = {}
+        self.tasks = TaskContexts(
             self.snc,
+            core_factory=core_factory,
+            strategy=switch_strategy,
             fetch_entry=self._fetch_entry,
             spill_entry=self._spill_entry,
         )
+        self.core = self.tasks.current
 
-    def _fetch_entry(self, line_index: int) -> int:
+    def _fetch_entry(self, xom_id: int, line_index: int) -> int:
         self.counts.table_fetches += 1
-        return self._table.get(line_index, 0)
+        return self._table.get((xom_id, line_index), 0)
 
     def _spill_entry(self, victim: Evicted) -> None:
         self.counts.table_spills += 1
-        self._table[victim.line_index] = victim.seq
+        self._table[(victim.xom_id, victim.line_index)] = victim.seq
+
+    def begin_task(self, xom_id: int) -> None:
+        """Select the first scheduled task (no switch is counted)."""
+        self.core = self.tasks.begin(xom_id)
+
+    def switch_task(self, xom_id: int) -> None:
+        """One §4.3 context switch: the outgoing core's strategy hook
+        runs (FLUSH spills count as table spills — they are real
+        transfers — and as ``switch_spills`` for switch-time pricing),
+        then the incoming task's core takes over."""
+        spilled = self.tasks.switch_to(xom_id)
+        self.counts.switches += 1
+        self.counts.switch_spills += spilled
+        self.core = self.tasks.current
 
     def read_miss(self, line_index: int, critical: bool = True) -> None:
         """An L2 miss fetches a data line through the engine.
@@ -105,9 +137,25 @@ class SNCTimingSim:
         else:
             self.counts.direct_reads += 1
 
-    def writeback(self, line_index: int) -> None:
-        """A dirty L2 line is evicted through the engine."""
-        decision = self.core.write(line_index)
+    def writeback(self, line_index: int, xom_id: int | None = None) -> None:
+        """A dirty L2 line is evicted through the engine.
+
+        ``xom_id`` names the line's *owner* when it differs from the
+        scheduled task: a shared L2 can evict a descheduled task's dirty
+        line during another's quantum, and the sequence-number update
+        must run under the owner's tag (in hardware the owner tag
+        travels with the line).  ``None`` means the current task's line.
+        A descheduled owner's write goes through its core's
+        ``write_descheduled`` path, which under FLUSH leaves no
+        residency (the SNC holds only the running task's entries).
+        """
+        core = self.core
+        if xom_id is not None and xom_id != core.xom_id:
+            decision = self.tasks.core_for(xom_id).write_descheduled(
+                line_index
+            )
+        else:
+            decision = core.write(line_index)
         if decision.kind is WriteClass.UPDATE_HIT:
             self.counts.update_hits += 1
             return
@@ -154,7 +202,14 @@ def xom_cycles(events: TraceEvents, lat: LatencyParams) -> float:
 
 
 def otp_cycles(events: TraceEvents, lat: LatencyParams) -> float:
-    """The paper's scheme, priced from the SNC event mix."""
+    """The paper's scheme, priced from the SNC event mix.
+
+    Multi-programmed scenarios add the §4.3 switch-time term: a FLUSH
+    switch drains ``switch_spills`` encrypt-and-store operations before
+    the next task can fill the SNC (:attr:`LatencyParams.seqnum_spill`
+    per entry; the post-switch re-warm misses are already in
+    ``seqnum_miss_reads``).  Single-task traces carry zero switches, so
+    the figure pipeline's totals are untouched."""
     if events.snc is None:
         raise ValueError("trace carries no SNC events")
     snc = events.snc
@@ -163,6 +218,7 @@ def otp_cycles(events: TraceEvents, lat: LatencyParams) -> float:
         + snc.overlapped_reads * lat.overlapped_read
         + snc.seqnum_miss_reads * lat.seqnum_miss_read
         + snc.direct_reads * lat.serial_read
+        + snc.switch_spills * lat.seqnum_spill
     )
 
 

@@ -1,5 +1,7 @@
-"""Workload generation: pattern combinators and the 11 SPEC2000-shaped
-benchmark models driving the evaluation."""
+"""Workload generation: pattern combinators, the 11 SPEC2000-shaped
+benchmark models driving the evaluation, and the workload sources
+(synthetic / trace replay / §4.3 multi-task interleaving) the simulation
+pipeline consumes."""
 
 from repro.workloads.patterns import (
     Ref,
@@ -12,6 +14,14 @@ from repro.workloads.patterns import (
     strided,
     take,
     zipf_lines,
+)
+from repro.workloads.sources import (
+    MultiTaskInterleaver,
+    SingleBenchmark,
+    Switch,
+    TaskBinding,
+    TraceFile,
+    WorkloadSource,
 )
 from repro.workloads.spec import (
     BENCHMARKS,
@@ -31,9 +41,15 @@ __all__ = [
     "BENCHMARKS",
     "BY_NAME",
     "BenchmarkModel",
+    "MultiTaskInterleaver",
     "Ref",
     "Region",
+    "SingleBenchmark",
+    "Switch",
+    "TaskBinding",
+    "TraceFile",
     "TraceProfile",
+    "WorkloadSource",
     "aligned_random",
     "load_trace",
     "mixture",

@@ -1,0 +1,187 @@
+"""Workload sources: who supplies the reference stream a simulation runs.
+
+The trace pipeline used to be hard-wired to one synthetic benchmark per
+simulation.  A :class:`WorkloadSource` abstracts the supplier, so the same
+pipeline — jobs, scheduler, cache, pricer — runs three kinds of input:
+
+* :class:`SingleBenchmark` — one synthetic SPEC2000-shaped model
+  (:mod:`repro.workloads.spec`), the classic figure path;
+* :class:`TraceFile` — a recorded trace file
+  (:mod:`repro.workloads.tracegen` format, plain or gzipped), replayed in
+  a loop;
+* :class:`MultiTaskInterleaver` — several benchmarks round-robined with a
+  configurable quantum, emitting explicit :class:`Switch` events at the
+  quantum boundaries — the §4.3 multi-programmed scenario.
+
+A source's :meth:`~WorkloadSource.stream` yields plain ``(line_index,
+is_write)`` references interspersed with :class:`Switch` markers; its
+:attr:`~WorkloadSource.tasks` declare each task's XOM id (the SNC owner
+tag) and its Figure 3 XOM-slowdown calibration input, which is how the
+pipeline solves per-task compute cycles.  Single-task sources never emit
+a ``Switch``, so their streams are exactly the references the classic
+path consumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import Ref
+from repro.workloads.spec import BY_NAME, BenchmarkModel
+from repro.workloads.tracegen import load_trace
+
+#: Each interleaved task's lines live in a disjoint slice of the line-index
+#: space (tasks do not share memory; distinct virtual spaces map to
+#: distinct physical lines).  A power-of-two stride is a multiple of every
+#: cache/SNC set count in use, so each task keeps its own set-mapping
+#: behaviour.  The SNC owner tags still matter: every entry, spill and
+#: flush is keyed by the task's XOM id.
+TASK_LINE_STRIDE = 1 << 26
+
+#: Calibration default for trace files, which carry no Figure 3 anchor:
+#: a mid-field memory-boundedness (the 11-benchmark Figure 3 average is
+#: ~16.8%).  Override per trace when the origin workload is known.
+TRACE_XOM_SLOWDOWN_PCT = 15.0
+
+
+@dataclass(frozen=True)
+class Switch:
+    """Explicit context-switch event in a multi-task stream."""
+
+    prev_task: int  # XOM id being descheduled
+    next_task: int  # XOM id being scheduled
+
+
+@dataclass(frozen=True)
+class TaskBinding:
+    """One schedulable task: its XOM id (SNC owner tag), a label, and the
+    Figure 3 XOM slowdown that calibrates its compute weight."""
+
+    xom_id: int
+    label: str
+    xom_slowdown_pct: float
+
+
+class WorkloadSource:
+    """Protocol: a named supplier of a (possibly multi-task) ref stream.
+
+    Implementations provide :attr:`name`, :attr:`tasks` (at least one
+    :class:`TaskBinding`; the first is the initially scheduled task) and
+    :meth:`stream`, an endless iterator of :data:`~repro.workloads.
+    patterns.Ref` tuples and :class:`Switch` markers.  The simulation
+    decides how many references to consume; sources must not end first.
+    """
+
+    name: str
+    tasks: tuple[TaskBinding, ...]
+
+    def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
+        raise NotImplementedError
+
+
+class SingleBenchmark(WorkloadSource):
+    """Today's path: one synthetic benchmark model, no switches."""
+
+    def __init__(self, bench: BenchmarkModel | str):
+        if isinstance(bench, str):
+            bench = BY_NAME[bench]
+        self.bench = bench
+        self.name = bench.name
+        self.tasks = (
+            TaskBinding(0, bench.name, bench.xom_slowdown_pct),
+        )
+
+    def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
+        return self.bench.generator(seed=seed)
+
+
+class TraceFile(WorkloadSource):
+    """A recorded trace file, replayed in a loop.
+
+    The file (``R|W <line>`` lines, optionally gzipped) is materialized
+    once and cycled so the source is endless like the generators; a run
+    longer than the trace re-walks it with warm state, shorter runs use a
+    prefix.  ``xom_slowdown_pct`` supplies the compute calibration a raw
+    trace cannot carry (default :data:`TRACE_XOM_SLOWDOWN_PCT`).
+    """
+
+    def __init__(self, path, name: str | None = None,
+                 xom_slowdown_pct: float = TRACE_XOM_SLOWDOWN_PCT):
+        self.path = path
+        self.name = name or f"trace:{path}"
+        self.tasks = (TaskBinding(0, self.name, xom_slowdown_pct),)
+        self._refs: list[Ref] | None = None
+
+    def refs(self) -> list[Ref]:
+        """The materialized trace (read and parsed on first use)."""
+        if self._refs is None:
+            self._refs = list(load_trace(self.path))
+            if not self._refs:
+                raise ConfigurationError(
+                    f"trace {self.path} holds no references"
+                )
+        return self._refs
+
+    def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
+        # The seed is part of the protocol but a recorded trace is what
+        # it is — replay is deliberately seed-independent.
+        return itertools.cycle(self.refs())
+
+
+class MultiTaskInterleaver(WorkloadSource):
+    """Round-robin several benchmarks' streams, a quantum at a time.
+
+    Task *i* runs ``quantum`` references, then a :class:`Switch` is
+    emitted and task *i+1* runs — the OS scheduling the §4.3 strategies
+    answer to.  Tasks get XOM ids 0..n-1, per-task seeds ``seed + i``
+    (so one benchmark listed twice still runs distinct streams), and
+    disjoint :data:`TASK_LINE_STRIDE` line-index slices.  A one-task
+    interleave degenerates to :class:`SingleBenchmark`'s stream exactly:
+    no switches, no offset.
+    """
+
+    def __init__(self, benchmarks: Sequence[BenchmarkModel | str],
+                 quantum: int):
+        if not benchmarks:
+            raise ConfigurationError("interleaver needs at least one task")
+        if quantum <= 0:
+            raise ConfigurationError("quantum must be positive")
+        self.benchmarks = tuple(
+            BY_NAME[bench] if isinstance(bench, str) else bench
+            for bench in benchmarks
+        )
+        self.quantum = quantum
+        names = "+".join(bench.name for bench in self.benchmarks)
+        self.name = f"mix({names})@q{quantum}"
+        self.tasks = tuple(
+            TaskBinding(index, bench.name, bench.xom_slowdown_pct)
+            for index, bench in enumerate(self.benchmarks)
+        )
+
+    def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
+        generators = [
+            bench.generator(seed=seed + index)
+            for index, bench in enumerate(self.benchmarks)
+        ]
+        n_tasks = len(generators)
+        if n_tasks == 1:
+            return generators[0]
+        return self._interleave(generators)
+
+    def _interleave(self, generators: list[Iterator[Ref]]
+                    ) -> Iterator[Ref | Switch]:
+        n_tasks = len(generators)
+        quantum = self.quantum
+        current = 0
+        while True:
+            offset = current * TASK_LINE_STRIDE
+            generator = generators[current]
+            for _ in range(quantum):
+                line, is_write = next(generator)
+                yield line + offset, is_write
+            next_task = (current + 1) % n_tasks
+            yield Switch(current, next_task)
+            current = next_task

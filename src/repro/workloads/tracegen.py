@@ -7,11 +7,13 @@ regression inputs, and driving the simulator from externally produced
 traces (the file format is a trivial text form any tool can emit).
 
 Format: one reference per line, ``R <line_index>`` or ``W <line_index>``,
-with ``#`` comments.
+with ``#`` comments.  Files named ``*.gz`` are gzip-compressed
+transparently on both save and load (long traces compress ~10x).
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from collections import Counter
 from dataclasses import dataclass
@@ -22,11 +24,18 @@ from repro.errors import ConfigurationError
 from repro.workloads.patterns import Ref
 
 
+def _open_trace(path: str | Path, mode: str):
+    """Text handle for a trace file; ``.gz`` paths go through gzip."""
+    if Path(path).suffix == ".gz":
+        return gzip.open(path, f"{mode}t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
 def save_trace(refs: Iterable[Ref], path: str | Path,
                header: str = "") -> int:
     """Write references to a trace file; returns the count written."""
     count = 0
-    with open(path, "w", encoding="ascii") as handle:
+    with _open_trace(path, "w") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
@@ -37,8 +46,8 @@ def save_trace(refs: Iterable[Ref], path: str | Path,
 
 
 def load_trace(path: str | Path) -> Iterator[Ref]:
-    """Stream references back from a trace file."""
-    with open(path, "r", encoding="ascii") as handle:
+    """Stream references back from a (possibly gzipped) trace file."""
+    with _open_trace(path, "r") as handle:
         yield from parse_trace(handle)
 
 
@@ -56,10 +65,10 @@ def parse_trace(handle: io.TextIOBase) -> Iterator[Ref]:
             )
         try:
             index = int(parts[1])
-        except ValueError:
+        except ValueError as err:
             raise ConfigurationError(
                 f"trace line {line_number}: bad line index {parts[1]!r}"
-            ) from None
+            ) from err
         if index < 0:
             raise ConfigurationError(
                 f"trace line {line_number}: negative line index"

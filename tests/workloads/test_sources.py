@@ -1,0 +1,104 @@
+"""Tests for the WorkloadSource implementations."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import take
+from repro.workloads.sources import (
+    TASK_LINE_STRIDE,
+    MultiTaskInterleaver,
+    SingleBenchmark,
+    Switch,
+    TraceFile,
+)
+from repro.workloads.spec import BY_NAME
+from repro.workloads.tracegen import save_trace
+
+
+class TestSingleBenchmark:
+    def test_stream_is_the_benchmark_generator(self):
+        source = SingleBenchmark("art")
+        expected = take(BY_NAME["art"].generator(seed=3), 200)
+        assert take(source.stream(seed=3), 200) == expected
+
+    def test_declares_one_task_with_the_figure3_anchor(self):
+        source = SingleBenchmark("mcf")
+        (task,) = source.tasks
+        assert task.xom_id == 0
+        assert task.label == "mcf"
+        assert task.xom_slowdown_pct == BY_NAME["mcf"].xom_slowdown_pct
+
+    def test_accepts_model_objects(self):
+        source = SingleBenchmark(BY_NAME["vpr"])
+        assert source.name == "vpr"
+
+
+class TestTraceFile:
+    def test_cycles_the_file(self, tmp_path):
+        refs = [(10, True), (11, False), (12, False)]
+        path = tmp_path / "t.trace"
+        save_trace(refs, path)
+        source = TraceFile(path, name="t")
+        assert take(source.stream(), 7) == (refs * 3)[:7]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        save_trace([], path, header="nothing here")
+        with pytest.raises(ConfigurationError):
+            TraceFile(path).refs()
+
+    def test_gzipped_trace(self, tmp_path):
+        refs = [(1, False), (2, True)]
+        path = tmp_path / "t.trace.gz"
+        save_trace(refs, path)
+        assert take(TraceFile(path).stream(), 2) == refs
+
+
+class TestMultiTaskInterleaver:
+    def test_single_task_degenerates_to_the_plain_stream(self):
+        source = MultiTaskInterleaver(["art"], quantum=50)
+        expected = take(BY_NAME["art"].generator(seed=1), 300)
+        items = take(source.stream(seed=1), 300)
+        assert items == expected  # no switches, no offsets
+
+    def test_quantum_boundaries_emit_switch_events(self):
+        source = MultiTaskInterleaver(["art", "vpr"], quantum=4)
+        items = take(source.stream(), 3 * 5)  # 3 quanta + 3 switches
+        switches = [item for item in items if type(item) is Switch]
+        assert switches == [Switch(0, 1), Switch(1, 0), Switch(0, 1)]
+        # Exactly `quantum` refs between consecutive switches.
+        runs = [
+            len(list(group))
+            for is_switch, group in itertools.groupby(
+                items, key=lambda item: type(item) is Switch
+            )
+            if not is_switch
+        ]
+        assert runs == [4, 4, 4]
+
+    def test_tasks_occupy_disjoint_line_slices(self):
+        source = MultiTaskInterleaver(["art", "vpr", "gzip"], quantum=10)
+        refs = [item for item in take(source.stream(), 100)
+                if type(item) is not Switch]
+        slices = {line // TASK_LINE_STRIDE for line, _ in refs}
+        assert slices == {0, 1, 2}
+
+    def test_per_task_seed_derivation(self):
+        """Task *i* runs the benchmark's seed+i stream (so one benchmark
+        listed twice still runs two distinct streams), offset into its
+        own line slice."""
+        source = MultiTaskInterleaver(["art", "art"], quantum=5)
+        items = take(source.stream(seed=1), 11)
+        task0 = take(BY_NAME["art"].generator(seed=1), 5)
+        task1 = take(BY_NAME["art"].generator(seed=2), 5)
+        assert items[:5] == task0
+        assert [(line - TASK_LINE_STRIDE, is_write)
+                for line, is_write in items[6:11]] == task1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiTaskInterleaver([], quantum=5)
+        with pytest.raises(ConfigurationError):
+            MultiTaskInterleaver(["art"], quantum=0)

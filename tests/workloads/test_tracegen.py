@@ -33,6 +33,22 @@ class TestSaveLoad:
         save_trace(refs, path)
         assert list(load_trace(path)) == refs
 
+    def test_gzip_round_trip(self, tmp_path):
+        """*.gz paths compress transparently on save and load."""
+        refs = take(BY_NAME["art"].generator(), 500)
+        path = tmp_path / "art.trace.gz"
+        assert save_trace(refs, path, header="bench: art") == 500
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        assert list(load_trace(path)) == refs
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        refs = take(BY_NAME["art"].generator(), 2000)
+        plain = tmp_path / "t.trace"
+        packed = tmp_path / "t.trace.gz"
+        save_trace(refs, plain)
+        save_trace(refs, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
 
 class TestParsing:
     def test_inline_comments_and_blanks(self):
@@ -46,6 +62,13 @@ class TestParsing:
     def test_rejects_bad_index(self):
         with pytest.raises(ConfigurationError):
             list(parse_trace(io.StringIO("R five\n")))
+
+    def test_bad_index_chains_the_parse_error(self):
+        """The int() failure stays on the exception chain (__cause__),
+        not suppressed — the traceback shows what int() rejected."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            list(parse_trace(io.StringIO("R five\n")))
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_rejects_negative_index(self):
         with pytest.raises(ConfigurationError):
