@@ -12,9 +12,14 @@ through the experiment scheduler at a reduced scale, and prints:
 * the Figure 8 area-equivalence check;
 * with ``--scenario``, the §4.3 multi-programmed design space instead: a
   two-task interleave priced under every (switch strategy x SNC
-  geometry x scheme) combination, resolved through cached scenario jobs.
+  geometry x scheme) combination, resolved through cached scenario jobs;
+* with ``--integrity``, the integrity design space instead: every
+  registered integrity provider (:mod:`repro.secure.integrity`) priced
+  on top of the paper's scheme, sweeping the trusted node-cache size —
+  the Gassend et al. piece the paper defers (§2.2).
 
 Run:  python examples/snc_design_space.py [--jobs N] [--scenario]
+                                          [--integrity]
 """
 
 import argparse
@@ -25,13 +30,16 @@ from repro.eval.experiments import (
     PAPER_LATENCIES,
     SCENARIO_SCHEMES,
     SCENARIO_STRATEGIES,
+    run_integrity_sweep,
     scenario_jobs,
     scenario_slowdowns,
     run_scenarios,
 )
 from repro.eval.jobs import ExperimentJob, SNCSpec, standard_snc_specs
 from repro.eval.pipeline import SimulationScale
+from repro.eval.report import format_integrity_table
 from repro.eval.scheduler import run_jobs
+from repro.secure.integrity import all_integrities
 from repro.secure.schemes import all_schemes, get_scheme
 from repro.timing.model import slowdown_pct
 
@@ -148,6 +156,18 @@ def print_scenario_tables(n_jobs: int) -> None:
             print(row)
 
 
+def print_integrity_table(n_jobs: int) -> None:
+    """The integrity design space: every provider's cost over OTP+SNC.
+
+    Jobs resolve through the on-disk result cache like the scenario
+    mode, so re-runs price instantly from cached events."""
+    names = ", ".join(spec.key for spec in all_integrities())
+    print(f"registered integrity providers: {names}\n")
+    events = run_integrity_sweep(WORKLOADS, scale=SCALE, n_jobs=n_jobs,
+                                 cache=ResultCache())
+    print(format_integrity_table(events))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=1,
@@ -156,7 +176,15 @@ def main() -> None:
                         help="print the §4.3 multi-programmed strategy x "
                              "SNC-config table instead of the figure "
                              "sweep")
+    parser.add_argument("--integrity", action="store_true",
+                        help="print the integrity design space (every "
+                             "registered provider over OTP+SNC, node-"
+                             "cache sweep) instead of the figure sweep")
     args = parser.parse_args()
+
+    if args.integrity:
+        print_integrity_table(args.jobs)
+        return
 
     names = ", ".join(spec.key for spec in all_schemes())
     print(f"registered protection schemes: {names}\n")

@@ -29,10 +29,11 @@ from pathlib import Path
 
 from repro.eval.jobs import AnyTask
 from repro.eval.pipeline import BenchmarkEvents
+from repro.secure.integrity import IntegrityEventCounts
 from repro.timing.model import SNCEventCounts
 
 #: Bump when the serialization layout changes.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2  # 2: BenchmarkEvents gained per-config integrity counts
 
 #: Modules whose source determines simulation results.  Pricing-only code
 #: (latency parameters, report formatting) deliberately stays out: a tweak
@@ -53,14 +54,19 @@ _FINGERPRINT_MODULES = (
 
 
 def _fingerprint_module_names() -> list[str]:
-    """The static list plus every discovered scheme module (a scheme's
-    timing state machine lives in its spec file, so an edit there must
+    """The static list plus every discovered scheme and integrity module
+    (a scheme's timing state machine lives in its spec file, and an
+    integrity provider's timing twin in its, so an edit there must
     invalidate results simulated through it)."""
+    from repro.secure.integrity import integrity_module_names
     from repro.secure.schemes import scheme_module_names
 
     names = list(_FINGERPRINT_MODULES)
     names.append("repro.secure.schemes")
     names.extend(scheme_module_names())
+    names.append("repro.secure.integrity")
+    names.append("repro.secure.integrity.providers")
+    names.extend(integrity_module_names())
     return sorted(names)
 
 
@@ -90,7 +96,9 @@ def events_to_dict(events: BenchmarkEvents) -> dict:
 def events_from_dict(payload: dict) -> BenchmarkEvents:
     snc = {key: SNCEventCounts(**counts)
            for key, counts in payload.pop("snc", {}).items()}
-    return BenchmarkEvents(snc=snc, **payload)
+    integrity = {key: IntegrityEventCounts(**counts)
+                 for key, counts in payload.pop("integrity", {}).items()}
+    return BenchmarkEvents(snc=snc, integrity=integrity, **payload)
 
 
 class ResultCache:

@@ -34,6 +34,7 @@ from repro.eval import paper_data
 from repro.eval.cache import ResultCache
 from repro.eval.jobs import (
     ExperimentJob,
+    IntegrityModelSpec,
     ScenarioJob,
     SNCSpec,
     SourceSpec,
@@ -166,13 +167,14 @@ class FigureResult:
 
 
 def _pricer(scheme_key: str, snc_key: str | None = None,
-            alt_l2: bool = False):
+            alt_l2: bool = False, integrity_key: str | None = None):
     """A (events, latencies) -> cycles closure from the scheme registry."""
     spec = get_scheme(scheme_key)
 
     def price(events_one: BenchmarkEvents, lat: LatencyParams) -> float:
         return spec.price(
-            events_one.trace_events(snc_key, alt_l2=alt_l2), lat
+            events_one.trace_events(snc_key, alt_l2=alt_l2,
+                                    integrity_key=integrity_key), lat
         )
 
     return price
@@ -476,6 +478,108 @@ def scenario_slowdowns(events: BenchmarkEvents,
     for scheme in schemes:
         pricer = _pricer(scheme, scheme_config_key(scheme, snc_key))
         out[scheme] = slowdown_pct(pricer(events, lat), base)
+    return out
+
+
+# --------------------------------------------------------------- integrity
+
+#: The integrity experiment's defaults: the paper's SNC geometry, and a
+#: node-cache sweep bracketing Gassend et al.'s useful range.
+INTEGRITY_SNC_KEY = "lru64"
+INTEGRITY_NODE_CACHE_SIZES = (64, 256, 1024)
+#: Representative workloads: SNC-friendly / SNC-hostile / in between.
+INTEGRITY_WORKLOADS = ("art", "mcf", "equake")
+
+
+def integrity_model_specs(
+    node_cache_sizes: Sequence[int] = INTEGRITY_NODE_CACHE_SIZES,
+) -> tuple[IntegrityModelSpec, ...]:
+    """One spec per integrity column: MAC, the uncached tree, and one
+    cached tree per node-cache size — all simulated in a single trace
+    pass per workload."""
+    specs = [
+        IntegrityModelSpec(key="mac", provider="mac"),
+        IntegrityModelSpec(key="tree", provider="hash_tree"),
+    ]
+    specs.extend(
+        IntegrityModelSpec(
+            key=f"tree_nc{entries}", provider="hash_tree_cached",
+            node_cache_entries=entries,
+        )
+        for entries in node_cache_sizes
+    )
+    return tuple(specs)
+
+
+def integrity_table_keys(
+    node_cache_sizes: Sequence[int] = INTEGRITY_NODE_CACHE_SIZES,
+) -> tuple[str, ...]:
+    """The table's column order: the paper's configuration first, then
+    MAC, then trees from most to least expensive."""
+    return ("none", "mac", "tree") + tuple(
+        f"tree_nc{entries}" for entries in node_cache_sizes
+    )
+
+
+def integrity_jobs(workloads: Sequence[str] = INTEGRITY_WORKLOADS,
+                   node_cache_sizes: Sequence[int]
+                   = INTEGRITY_NODE_CACHE_SIZES,
+                   scale: SimulationScale | None = None,
+                   seed: int = 1,
+                   scheme: str = "otp",
+                   snc_key: str = INTEGRITY_SNC_KEY) -> list[ExperimentJob]:
+    """The slowdown-vs-node-cache-size experiment: one job per workload,
+    declaring every integrity column over one SNC geometry.  Scheduled,
+    merged and cached exactly like figure jobs."""
+    specs = standard_snc_specs()
+    scale = scale or SimulationScale()
+    return [
+        ExperimentJob(
+            figure="integrity",
+            schemes=(scheme,),
+            workload=name,
+            snc_configs=(specs[snc_key],),
+            scale=scale,
+            seed=seed,
+            integrity=integrity_model_specs(node_cache_sizes),
+        )
+        for name in workloads
+    ]
+
+
+def run_integrity_sweep(workloads: Sequence[str] = INTEGRITY_WORKLOADS,
+                        node_cache_sizes: Sequence[int]
+                        = INTEGRITY_NODE_CACHE_SIZES,
+                        scale: SimulationScale | None = None,
+                        seed: int = 1, n_jobs: int = 1,
+                        cache: ResultCache | None = None,
+                        progress: Progress | None = None,
+                        ) -> dict[str, BenchmarkEvents]:
+    """Declare, schedule and index the integrity experiment's events."""
+    return run_jobs(
+        integrity_jobs(workloads, node_cache_sizes, scale=scale,
+                       seed=seed),
+        n_jobs=n_jobs, cache=cache, progress=progress,
+    )
+
+
+def integrity_slowdowns(events: BenchmarkEvents,
+                        keys: Iterable[str] | None = None,
+                        scheme: str = "otp",
+                        snc_key: str = INTEGRITY_SNC_KEY,
+                        lat: LatencyParams = PAPER_LATENCIES,
+                        ) -> dict[str, float]:
+    """Slowdown over the insecure baseline for each integrity column of
+    one workload's events (``"none"`` = the scheme with no verification,
+    i.e. the paper's own number)."""
+    base = _baseline(events, lat)
+    if keys is None:
+        keys = ("none", *sorted(events.integrity))
+    out = {}
+    for key in keys:
+        pricer = _pricer(scheme, snc_key,
+                         integrity_key=None if key == "none" else key)
+        out[key] = slowdown_pct(pricer(events, lat), base)
     return out
 
 

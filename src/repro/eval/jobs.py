@@ -8,8 +8,11 @@ data:
 * :class:`ExperimentJob` — what one *figure* needs from one *workload*:
   the registered protection schemes being priced
   (:mod:`repro.secure.schemes`), the SNC configurations that must be
-  simulated, whether the Figure 8 alternate L2 is priced, the trace scale
-  and the workload seed.  Figures declare jobs
+  simulated, the integrity configurations riding the same pass
+  (:class:`IntegrityModelSpec`, resolving through the
+  :mod:`repro.secure.integrity` registry; figure jobs declare none, as
+  in the paper), whether the Figure 8 alternate L2 is priced, the trace
+  scale and the workload seed.  Figures declare jobs
   (:func:`repro.eval.experiments.figure_jobs`); they never loop inline.
 * :class:`SimulationTask` — what actually runs: one trace pass over one
   workload, feeding the union of every SNC configuration any selected
@@ -51,6 +54,7 @@ from repro.eval.pipeline import (
     simulate_scenario,
     standard_snc_configs,
 )
+from repro.secure.integrity import IntegrityConfig, get_integrity
 from repro.secure.schemes import get_scheme
 from repro.secure.snc import SNCConfig, SNCPolicy
 from repro.secure.snc_policy import SwitchStrategy
@@ -113,6 +117,63 @@ def standard_snc_specs() -> dict[str, SNCSpec]:
     }
 
 
+@dataclass(frozen=True)
+class IntegrityModelSpec:
+    """A hashable, JSON-friendly description of one integrity
+    configuration — the eval layer's handle on the
+    :mod:`repro.secure.integrity` registry, exactly as :class:`SNCSpec`
+    is its handle on the scheme registry.
+
+    ``provider`` names the registered
+    :class:`~repro.secure.integrity.IntegritySpec` whose byte-free
+    timing model simulates this configuration (it must declare one —
+    ``"none"`` is expressed by *not* requesting a model, which is how
+    the figure jobs stay byte-identical to the pre-integrity pipeline);
+    ``key`` is the pricing key figures and tables use.
+    """
+
+    key: str  # the pricing key, e.g. "tree_nc1024"
+    provider: str  # integrity registry key: "mac", "hash_tree", ...
+    n_lines: int = 1 << 19  # covers every synthetic workload footprint
+    node_cache_entries: int = 0
+    tag_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        spec = get_integrity(self.provider)  # raises on unregistered
+        if spec.build_timing_model is None:
+            raise ConfigurationError(
+                f"integrity provider {self.provider!r} declares no "
+                f"timing model — request it by omission, not by key"
+            )
+
+    def to_config(self) -> IntegrityConfig:
+        return IntegrityConfig(
+            base_addr=0,
+            n_lines=self.n_lines,
+            node_cache_entries=self.node_cache_entries,
+            tag_bytes=self.tag_bytes,
+        )
+
+    def canonical(self) -> list:
+        return [self.key, self.provider, self.n_lines,
+                self.node_cache_entries, self.tag_bytes]
+
+
+def _merge_integrity(target: dict[str, IntegrityModelSpec],
+                     specs: tuple[IntegrityModelSpec, ...],
+                     context: str) -> None:
+    """Union integrity specs by pricing key, rejecting conflicts —
+    the same discipline :func:`merge_jobs` applies to SNC specs."""
+    for spec in specs:
+        existing = target.get(spec.key)
+        if existing is not None and existing != spec:
+            raise ValueError(
+                f"integrity key {spec.key!r} bound to two different "
+                f"configurations in one {context}"
+            )
+        target[spec.key] = spec
+
+
 def _canonical_hash(payload: object) -> str:
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
@@ -141,6 +202,10 @@ class ExperimentJob:
     scale: SimulationScale
     seed: int = 1
     alt_l2: bool = False  # does this figure price the Figure 8 384KB L2?
+    #: Integrity configurations this figure prices; empty (the paper's
+    #: own configuration) for every figure job, so the seven tables are
+    #: untouched by the axis.
+    integrity: tuple[IntegrityModelSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.workload not in BY_NAME:
@@ -157,6 +222,9 @@ class ExperimentJob:
             "workload": self.workload,
             "snc": [spec.canonical() for spec in
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "integrity": [spec.canonical() for spec in
+                          sorted(self.integrity,
+                                 key=lambda spec: spec.key)],
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
             "alt_l2": self.alt_l2,
@@ -176,12 +244,16 @@ class SimulationTask:
     scale: SimulationScale
     seed: int = 1
     alt_l2: bool = False
+    integrity: tuple[IntegrityModelSpec, ...] = ()
 
     def canonical(self) -> dict:
         return {
             "workload": self.workload,
             "snc": [spec.canonical() for spec in
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "integrity": [spec.canonical() for spec in
+                          sorted(self.integrity,
+                                 key=lambda spec: spec.key)],
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
             "alt_l2": self.alt_l2,
@@ -192,9 +264,13 @@ class SimulationTask:
 
     def describe(self) -> str:
         scale = self.scale
+        integrity = (
+            f", {len(self.integrity)} integrity cfgs"
+            if self.integrity else ""
+        )
         return (
             f"{self.workload} "
-            f"[{len(self.snc_configs)} SNC cfgs, "
+            f"[{len(self.snc_configs)} SNC cfgs{integrity}, "
             f"{scale.warmup_refs}+{scale.measure_refs} refs, "
             f"seed {self.seed}]"
         )
@@ -211,11 +287,14 @@ def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
     scheduler's result order deterministic.
     """
     grouped: dict[tuple, dict[str, SNCSpec]] = {}
+    integrity: dict[tuple, dict[str, IntegrityModelSpec]] = {}
     alt_l2: dict[tuple, bool] = {}
     for job in jobs:
         group = (job.workload, job.scale, job.seed)
         specs = grouped.setdefault(group, {})
         alt_l2[group] = alt_l2.get(group, False) or job.alt_l2
+        _merge_integrity(integrity.setdefault(group, {}), job.integrity,
+                         "job set")
         for spec in job.snc_configs:
             existing = specs.get(spec.key)
             if existing is not None and existing != spec:
@@ -232,6 +311,10 @@ def merge_jobs(jobs: list[ExperimentJob]) -> list[SimulationTask]:
             scale=scale,
             seed=seed,
             alt_l2=alt_l2[(workload, scale, seed)],
+            integrity=tuple(sorted(
+                integrity[(workload, scale, seed)].values(),
+                key=lambda spec: spec.key,
+            )),
         )
         for (workload, scale, seed), specs in grouped.items()
     ]
@@ -340,6 +423,7 @@ class ScenarioJob:
     strategy: str  # SwitchStrategy value: "flush" | "tag"
     scale: SimulationScale
     seed: int = 1
+    integrity: tuple[IntegrityModelSpec, ...] = ()
 
     def __post_init__(self) -> None:
         SwitchStrategy(self.strategy)  # raises ValueError on a bad name
@@ -355,6 +439,9 @@ class ScenarioJob:
             "source": self.source.canonical(),
             "snc": [spec.canonical() for spec in
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "integrity": [spec.canonical() for spec in
+                          sorted(self.integrity,
+                                 key=lambda spec: spec.key)],
             "strategy": self.strategy,
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
@@ -374,6 +461,7 @@ class ScenarioTask:
     strategy: str
     scale: SimulationScale
     seed: int = 1
+    integrity: tuple[IntegrityModelSpec, ...] = ()
 
     @property
     def workload(self) -> str:
@@ -386,6 +474,9 @@ class ScenarioTask:
             "source": self.source.canonical(),
             "snc": [spec.canonical() for spec in
                     sorted(self.snc_configs, key=lambda spec: spec.key)],
+            "integrity": [spec.canonical() for spec in
+                          sorted(self.integrity,
+                                 key=lambda spec: spec.key)],
             "strategy": self.strategy,
             "scale": _scale_canonical(self.scale),
             "seed": self.seed,
@@ -413,9 +504,12 @@ def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
     :func:`merge_jobs`: jobs sharing (source, strategy, scale, seed)
     merge into one task whose SNC set is the union of theirs."""
     grouped: dict[tuple, dict[str, SNCSpec]] = {}
+    integrity: dict[tuple, dict[str, IntegrityModelSpec]] = {}
     for job in jobs:
         group = (job.source, job.strategy, job.scale, job.seed)
         specs = grouped.setdefault(group, {})
+        _merge_integrity(integrity.setdefault(group, {}), job.integrity,
+                         "scenario job set")
         for spec in job.snc_configs:
             existing = specs.get(spec.key)
             if existing is not None and existing != spec:
@@ -432,6 +526,10 @@ def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
             strategy=strategy,
             scale=scale,
             seed=seed,
+            integrity=tuple(sorted(
+                integrity[(source, strategy, scale, seed)].values(),
+                key=lambda spec: spec.key,
+            )),
         )
         for (source, strategy, scale, seed), specs in grouped.items()
     ]
@@ -443,6 +541,10 @@ def execute_task(task: AnyTask) -> BenchmarkEvents:
     Dispatches on the task kind: figure tasks run the single-benchmark
     fast path, scenario tasks build their workload source and run the
     switch-aware scenario loop."""
+    integrity_configs = {spec.key: spec.to_config()
+                         for spec in task.integrity}
+    integrity_providers = {spec.key: spec.provider
+                           for spec in task.integrity}
     if isinstance(task, ScenarioTask):
         return simulate_scenario(
             task.source.build(),
@@ -453,6 +555,8 @@ def execute_task(task: AnyTask) -> BenchmarkEvents:
                          for spec in task.snc_configs},
             switch_strategy=SwitchStrategy(task.strategy),
             seed=task.seed,
+            integrity_configs=integrity_configs,
+            integrity_providers=integrity_providers,
         )
     return simulate_benchmark(
         BY_NAME[task.workload],
@@ -462,4 +566,6 @@ def execute_task(task: AnyTask) -> BenchmarkEvents:
         snc_schemes={spec.key: spec.scheme for spec in task.snc_configs},
         seed=task.seed,
         simulate_alt_l2=task.alt_l2,
+        integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
     )

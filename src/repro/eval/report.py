@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from repro.eval.experiments import (
     FigureResult,
+    INTEGRITY_SNC_KEY,
     SCENARIO_SCHEMES,
+    integrity_slowdowns,
+    integrity_table_keys,
     scenario_slowdowns,
     scheme_config_key,
 )
@@ -114,6 +117,61 @@ def format_scenario_table(
             f" {warm_pct:>7.1f}"
         )
         lines.append(row)
+    return "\n".join(lines)
+
+
+def format_integrity_table(
+    events: dict[str, BenchmarkEvents],
+    keys: tuple[str, ...] | None = None,
+    scheme: str = "otp",
+    snc_key: str = INTEGRITY_SNC_KEY,
+) -> str:
+    """The integrity experiment: one row per workload, one slowdown
+    column per integrity configuration, then the per-configuration hash
+    work that explains the slowdowns (hashes per verification and the
+    trusted node cache's hit rate, averaged over the workloads)."""
+    if keys is None:
+        keys = integrity_table_keys()
+    header = f"{'workload':<10}" + "".join(f" {key:>12}" for key in keys)
+    lines = [
+        f"memory-integrity cost over {scheme}+SNC ({snc_key})  "
+        f"[slowdown %]",
+        header,
+        "-" * len(header),
+    ]
+    for name, bench_events in events.items():
+        slowdowns = integrity_slowdowns(bench_events, keys, scheme,
+                                        snc_key)
+        lines.append(
+            f"{name:<10}"
+            + "".join(f" {slowdowns[key]:>12.2f}" for key in keys)
+        )
+
+    lines.append("")
+    lines.append("hash work per configuration (mean over workloads):")
+    detail_header = (
+        f"{'config':<14} {'hashes/verify':>14} {'nc-hit rate':>12}"
+    )
+    lines.append(detail_header)
+    lines.append("-" * len(detail_header))
+    for key in keys:
+        if key == "none":
+            continue
+        per_verify, hit_rates = [], []
+        for bench_events in events.values():
+            counts = bench_events.integrity[key]
+            if counts.verifications:
+                per_verify.append(
+                    counts.verify_hashes / counts.verifications
+                )
+                hit_rates.append(
+                    counts.node_cache_hits / counts.verifications
+                )
+        mean_hashes = sum(per_verify) / len(per_verify) if per_verify else 0
+        mean_hits = sum(hit_rates) / len(hit_rates) if hit_rates else 0
+        lines.append(
+            f"{key:<14} {mean_hashes:>14.2f} {mean_hits:>11.1%}"
+        )
     return "\n".join(lines)
 
 

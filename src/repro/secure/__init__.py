@@ -17,8 +17,16 @@ from repro.secure.context import (
 from repro.secure.engine import BaselineEngine, EngineStats, LatencyParams
 from repro.secure.integrity import (
     HashTreeIntegrity,
+    IntegrityConfig,
+    IntegrityEventCounts,
+    IntegrityProvider,
+    IntegritySpec,
     IntegrityStats,
     MACIntegrity,
+    all_integrities,
+    get_integrity,
+    integrity_keys,
+    register as register_integrity,
 )
 from repro.secure.otp_engine import SEQNUM_TABLE_BASE, OTPEngine
 from repro.secure.regions import Region, RegionMap
@@ -74,6 +82,10 @@ __all__ = [
     "EngineStats",
     "Evicted",
     "HashTreeIntegrity",
+    "IntegrityConfig",
+    "IntegrityEventCounts",
+    "IntegrityProvider",
+    "IntegritySpec",
     "IntegrityStats",
     "InterruptFrame",
     "LatencyParams",
@@ -98,10 +110,14 @@ __all__ = [
     "WriteClass",
     "WriteDecision",
     "XOMEngine",
+    "all_integrities",
     "all_schemes",
+    "get_integrity",
     "get_scheme",
     "install_image",
+    "integrity_keys",
     "package_program",
+    "register_integrity",
     "register_scheme",
     "scheme_keys",
     "unwrap_program_key",

@@ -29,15 +29,20 @@ class LatencyParams:
     ``memory`` is a full DRAM round trip (100 in the paper); ``crypto`` is
     one fully-pipelined line encryption/decryption (50 for the DES ASIC
     assumption, 102 for the Figure 10 stronger-cipher variant); ``xor`` is
-    the single pad-application cycle.
+    the single pad-application cycle.  ``hash_unit`` is one hash-unit
+    operation of the integrity extension (an HMAC or one SHA-256 tree
+    node) — the paper defers integrity to Gassend et al. (§2.2), so this
+    knob prices the deferred piece; 80 cycles is a 2003-era SHA-256 ASIC
+    assumption between the DES and stronger-cipher figures.
     """
 
     memory: int = 100
     crypto: int = 50
     xor: int = 1
+    hash_unit: int = 80
 
     def __post_init__(self) -> None:
-        if min(self.memory, self.crypto, self.xor) < 0:
+        if min(self.memory, self.crypto, self.xor, self.hash_unit) < 0:
             raise ConfigurationError("latencies must be non-negative")
 
     # The four read-path costs of the design space.  Keeping the formulas

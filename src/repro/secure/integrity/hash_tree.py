@@ -1,0 +1,112 @@
+"""Integrity spec: the plain Merkle hash tree — complete, expensive.
+
+A tree over the protected region with the root inside the security
+boundary catches all three active attacks, but every verification walks
+leaf-to-root: ``depth + 1`` hash units on the read critical path.  That
+cost is the reason Gassend et al. add the trusted node cache
+(``hash_tree_cached``); keeping the uncached tree registered gives the
+evaluation its upper bound.
+
+:class:`HashTreeTimingModel` is the byte-free twin both tree specs share:
+the same leaf-to-root walk, the same FIFO trusted-node-cache behaviour,
+no digests — the randomized cross-check tests pin its counters to the
+functional provider's :class:`~repro.secure.integrity.IntegrityStats`.
+"""
+
+from __future__ import annotations
+
+from repro.secure.integrity import (
+    IntegrityConfig,
+    IntegrityEventCounts,
+    IntegrityProvider,
+    IntegritySpec,
+    hash_critical_cycles,
+    register,
+)
+from repro.secure.integrity.providers import HashTreeIntegrity
+from repro.utils.intmath import log2_exact
+
+
+def _build_provider(key: bytes,
+                    config: IntegrityConfig) -> IntegrityProvider:
+    return HashTreeIntegrity(
+        base_addr=config.base_addr, n_lines=config.n_lines,
+        line_bytes=config.line_bytes, node_cache_entries=0,
+    )
+
+
+class HashTreeTimingModel:
+    """Byte-free twin of :class:`HashTreeIntegrity`.
+
+    The walk shape — leaf digest, then one hash per level until a trusted
+    cached ancestor (or the root) — is all that timing needs, so the
+    model keeps only the trusted cache's *occupancy* (a digest-free dict
+    with the provider's exact FIFO store-and-evict behaviour) and the
+    counters.  It assumes honest execution: the timing layer never sees
+    tampering, so every cache hit terminates the walk like the
+    functional provider's successful comparison does.
+    """
+
+    def __init__(self, config: IntegrityConfig,
+                 node_cache_entries: int = 0,
+                 provider_key: str = "hash_tree"):
+        self.base_line = config.base_line
+        self.n_lines = config.n_lines
+        self.depth = log2_exact(config.n_lines)
+        self.counts = IntegrityEventCounts(provider=provider_key)
+        self._cache_entries = node_cache_entries
+        self._cache: dict[tuple[int, int], None] = {}
+
+    def _cache_store(self, level: int, index: int) -> None:
+        if self._cache_entries <= 0:
+            return
+        cache = self._cache
+        if len(cache) >= self._cache_entries:
+            cache.pop(next(iter(cache)))
+        cache[(level, index)] = None
+
+    def verify(self, line_index: int, critical: bool = True) -> None:
+        index = line_index - self.base_line
+        if not 0 <= index < self.n_lines:
+            return  # outside the protected region
+        counts = self.counts
+        counts.verifications += 1
+        hashes = 1  # the leaf digest
+        cache = self._cache
+        for level in range(self.depth):
+            if (level, index) in cache:
+                counts.node_cache_hits += 1
+                break
+            hashes += 1
+            index //= 2
+        counts.hashes_computed += hashes
+        counts.verify_hashes += hashes
+        if critical:
+            counts.critical_hashes += hashes
+
+    def update(self, line_index: int) -> None:
+        index = line_index - self.base_line
+        if not 0 <= index < self.n_lines:
+            return
+        counts = self.counts
+        counts.updates += 1
+        counts.hashes_computed += self.depth + 1
+        self._cache_store(0, index)
+        for level in range(self.depth):
+            index //= 2
+            self._cache_store(level + 1, index)
+
+    def reset_counts(self) -> None:
+        self.counts.reset()
+
+
+SPEC = register(IntegritySpec(
+    key="hash_tree",
+    title="Merkle hash tree",
+    summary="root-anchored tree: catches replay, walks to the root "
+            "every verify",
+    detects=frozenset({"spoof", "splice", "replay"}),
+    build_provider=_build_provider,
+    price=hash_critical_cycles,
+    build_timing_model=HashTreeTimingModel,
+))

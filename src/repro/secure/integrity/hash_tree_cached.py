@@ -1,0 +1,63 @@
+"""Integrity spec: the cached hash tree — Gassend et al.'s optimisation.
+
+Same Merkle tree as ``hash_tree``, plus a trusted on-chip node cache:
+verification stops at the first cached ancestor instead of walking to
+the root, so hot subtrees verify in a hash or two.  This is the design
+the paper actually points at for integrity (§2.2), and the
+slowdown-vs-node-cache-size experiment table
+(:func:`repro.eval.experiments.integrity_jobs`) measures the cache's
+effect on our substrate.
+
+The provider and the timing twin both come from ``hash_tree``; this spec
+only turns the node cache on (``node_cache_entries`` from the
+:class:`~repro.secure.integrity.IntegrityConfig`, with a sensible
+default when the caller leaves it zero).
+"""
+
+from __future__ import annotations
+
+from repro.secure.integrity import (
+    IntegrityConfig,
+    IntegrityProvider,
+    IntegritySpec,
+    hash_critical_cycles,
+    register,
+)
+from repro.secure.integrity.hash_tree import HashTreeTimingModel
+from repro.secure.integrity.providers import HashTreeIntegrity
+
+#: Node-cache size when the config leaves ``node_cache_entries`` at 0
+#: (a *cached* tree with no cache would silently be ``hash_tree``).
+DEFAULT_NODE_CACHE_ENTRIES = 1024
+
+
+def _entries(config: IntegrityConfig) -> int:
+    return config.node_cache_entries or DEFAULT_NODE_CACHE_ENTRIES
+
+
+def _build_provider(key: bytes,
+                    config: IntegrityConfig) -> IntegrityProvider:
+    return HashTreeIntegrity(
+        base_addr=config.base_addr, n_lines=config.n_lines,
+        line_bytes=config.line_bytes,
+        node_cache_entries=_entries(config),
+    )
+
+
+def _build_timing_model(config: IntegrityConfig) -> HashTreeTimingModel:
+    return HashTreeTimingModel(
+        config, node_cache_entries=_entries(config),
+        provider_key="hash_tree_cached",
+    )
+
+
+SPEC = register(IntegritySpec(
+    key="hash_tree_cached",
+    title="cached Merkle hash tree",
+    summary="Gassend-style trusted node cache: verification stops at a "
+            "cached ancestor",
+    detects=frozenset({"spoof", "splice", "replay"}),
+    build_provider=_build_provider,
+    price=hash_critical_cycles,
+    build_timing_model=_build_timing_model,
+))

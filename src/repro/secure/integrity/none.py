@@ -1,0 +1,22 @@
+"""Integrity spec: no verification — the paper's own configuration.
+
+The paper accelerates *privacy* only and leaves integrity to future work
+(§2.2), so ``none`` is the default everywhere: ``SecureProcessor`` builds
+no provider, the trace pipeline builds no timing model, and pricing adds
+zero cycles — which is exactly why the seven paper figure tables are
+untouched by the integrity axis.
+"""
+
+from __future__ import annotations
+
+from repro.secure.integrity import IntegritySpec, register
+
+SPEC = register(IntegritySpec(
+    key="none",
+    title="no integrity",
+    summary="privacy only, as in the paper: nothing verified, zero cost",
+    detects=frozenset(),
+    build_provider=lambda key, config: None,
+    price=lambda counts, lat: 0.0,
+    build_timing_model=None,
+))

@@ -1,4 +1,4 @@
-"""Memory integrity verification — the piece the paper defers (§2.2).
+"""Functional memory-integrity providers — what the paper defers (§2.2).
 
 The paper handles *privacy* and points at Gassend et al. (HPCA 2003) for
 *integrity*; XOM's threat model names three active attacks:
@@ -9,8 +9,10 @@ The paper handles *privacy* and points at Gassend et al. (HPCA 2003) for
 * **replay** — the adversary restores a stale (line, MAC) pair it recorded
   earlier.
 
-Two providers, both pluggable into either engine via the ``integrity``
-constructor argument:
+Two byte-moving providers, both pluggable into any engine via the
+``integrity`` constructor argument (the registry in
+:mod:`repro.secure.integrity` wraps them in :class:`IntegritySpec`
+declarations alongside their byte-free timing twins and cycle pricers):
 
 * :class:`MACIntegrity` — a per-line keyed MAC bound to the line address.
   Catches spoofing and splicing; **intentionally defeated by replay**
@@ -19,7 +21,8 @@ constructor argument:
 * :class:`HashTreeIntegrity` — a Merkle tree over the protected range with
   the root register inside the security boundary.  Catches all three.  A
   trusted on-chip node cache cuts verification work, modelling Gassend's
-  cached-hash-tree optimisation; its effect is an ablation benchmark.
+  cached-hash-tree optimisation; its effect is an ablation benchmark and
+  the ``hash_tree_cached`` registry spec's whole reason to exist.
 
 Both store their metadata in *untrusted* locations on purpose — attack code
 must be able to tamper with it.
@@ -37,6 +40,14 @@ from repro.utils.intmath import is_power_of_two, log2_exact
 
 @dataclass
 class IntegrityStats:
+    """What one provider did — the counters the timing twins must match.
+
+    ``hashes_computed`` counts hash-unit operations (one HMAC or one
+    SHA-256 node/leaf digest each); the randomized cross-check tests pin
+    every field against the corresponding
+    :class:`~repro.secure.integrity.IntegrityEventCounts` of the
+    provider's byte-free timing model."""
+
     verifications: int = 0
     updates: int = 0
     hashes_computed: int = 0
@@ -65,6 +76,7 @@ class MACIntegrity:
         return True
 
     def _tag(self, line_addr: int, ciphertext: bytes) -> bytes:
+        self.stats.hashes_computed += 1
         message = line_addr.to_bytes(8, "big") + ciphertext
         return hmac_sha256(self._key, message)[: self.tag_bytes]
 
@@ -93,7 +105,7 @@ class HashTreeIntegrity:
     """
 
     def __init__(self, base_addr: int, n_lines: int, line_bytes: int = 128,
-                 node_cache_entries: int = 0):
+                 node_cache_entries: int = 0, memoize_paths: bool = True):
         if not is_power_of_two(n_lines):
             raise ConfigurationError("hash tree needs a power-of-two leaves")
         if base_addr % line_bytes:
@@ -108,6 +120,12 @@ class HashTreeIntegrity:
         self.stats = IntegrityStats()
         self._node_cache_entries = node_cache_entries
         self._node_cache: dict[tuple[int, int], bytes] = {}
+        # The leaf-address -> ancestor-index arithmetic is pure (only the
+        # geometry determines it), so the verify hot loop memoizes each
+        # leaf's (index at level 0..depth-1) chain; the ablation bench
+        # measures the effect, and ``memoize_paths=False`` is its control.
+        self._memoize_paths = memoize_paths
+        self._paths: dict[int, tuple[int, ...]] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -142,6 +160,26 @@ class HashTreeIntegrity:
             )
         return index
 
+    def _path(self, line_addr: int) -> tuple[int, ...]:
+        """The leaf's ancestor index at every level, leaf first.
+
+        ``path[level]`` is the node index on the leaf-to-root walk at
+        ``level``; the sibling is ``path[level] ^ 1``.  Memoized per leaf
+        (see ``memoize_paths``)."""
+        if self._memoize_paths:
+            path = self._paths.get(line_addr)
+            if path is not None:
+                return path
+        index = self._leaf_index(line_addr)
+        chain = [index]
+        for _ in range(self.depth):
+            index //= 2
+            chain.append(index)
+        path = tuple(chain)
+        if self._memoize_paths:
+            self._paths[line_addr] = path
+        return path
+
     # -- trusted node cache (the Gassend optimisation) ------------------------
 
     def _cache_lookup(self, level: int, index: int) -> bytes | None:
@@ -162,28 +200,29 @@ class HashTreeIntegrity:
     def record_line(self, line_addr: int, ciphertext: bytes) -> None:
         """Update the leaf and every ancestor up to the on-chip root."""
         self.stats.updates += 1
-        index = self._leaf_index(line_addr)
+        path = self._path(line_addr)
         digest = self._leaf_digest(line_addr, ciphertext)
-        self.node_store[(0, index)] = digest
-        self._cache_store(0, index, digest)
+        self.node_store[(0, path[0])] = digest
+        self._cache_store(0, path[0], digest)
         for level in range(self.depth):
+            index = path[level]
             sibling = self._node(level, index ^ 1)
             left, right = (
                 (digest, sibling) if index % 2 == 0 else (sibling, digest)
             )
             digest = sha256(left + right)
             self.stats.hashes_computed += 1
-            index //= 2
-            self.node_store[(level + 1, index)] = digest
-            self._cache_store(level + 1, index, digest)
+            self.node_store[(level + 1, path[level + 1])] = digest
+            self._cache_store(level + 1, path[level + 1], digest)
         self._root = digest
 
     def verify_line(self, line_addr: int, ciphertext: bytes) -> None:
         """Recompute the path to the root (or to a trusted cached node)."""
         self.stats.verifications += 1
-        index = self._leaf_index(line_addr)
+        path = self._path(line_addr)
         digest = self._leaf_digest(line_addr, ciphertext)
         for level in range(self.depth):
+            index = path[level]
             trusted = self._cache_lookup(level, index)
             if trusted is not None:
                 if constant_time_equal(trusted, digest):
@@ -195,7 +234,6 @@ class HashTreeIntegrity:
             )
             digest = sha256(left + right)
             self.stats.hashes_computed += 1
-            index //= 2
         if not constant_time_equal(digest, self._root):
             self._fail(line_addr, replay=True)
 

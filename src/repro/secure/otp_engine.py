@@ -47,6 +47,7 @@ from repro.memory.bus import MemoryBus, TransactionKind
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import LineKind
 from repro.secure.engine import EngineStats, LatencyParams
+from repro.secure.integrity import IntegrityProvider
 from repro.secure.regions import RegionMap
 from repro.secure.seeds import SeedScheme
 from repro.secure.snc import Evicted, SequenceNumberCache, SNCPolicy
@@ -70,7 +71,7 @@ class OTPEngine:
                  bus: MemoryBus | None = None,
                  latencies: LatencyParams | None = None,
                  regions: RegionMap | None = None,
-                 integrity=None,
+                 integrity: IntegrityProvider | None = None,
                  table_base: int = SEQNUM_TABLE_BASE,
                  xom_id: int = 0,
                  core_factory: CoreFactory | None = None):

@@ -19,6 +19,7 @@ cycles, and every layer's statistics, which the examples print.
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.cpu.machine import Machine, MachineResult
@@ -30,6 +31,12 @@ from repro.memory.dram import DRAM
 from repro.memory.hierarchy import LineEngine, MemoryHierarchy
 from repro.secure.compartment import CompartmentManager, TaggedRegisterFile
 from repro.secure.engine import LatencyParams
+from repro.secure.integrity import (
+    IntegrityConfig,
+    IntegrityProvider,
+    IntegritySpec,
+    get_integrity,
+)
 from repro.secure.regions import RegionMap
 from repro.secure.schemes import (
     EngineContext,
@@ -40,10 +47,24 @@ from repro.secure.schemes import (
 from repro.secure.snc import SNCConfig
 from repro.secure.software import (
     SecureProgram,
+    SegmentKind,
     install_image,
     unwrap_program_key,
 )
 from repro.crypto.rsa import RSAKeyPair
+
+#: Builds the run's functional integrity provider; ``None`` result means
+#: the run verifies nothing.  The default factory comes from the
+#: :mod:`repro.secure.integrity` registry via the ``integrity`` key.
+IntegrityFactory = Callable[[], "IntegrityProvider | None"]
+
+#: The untrusted-loader attachment point of :meth:`SecureProcessor.run`:
+#: called with the freshly installed DRAM and the bus *before* execution
+#: starts.  Everything it receives is outside the security boundary, so
+#: attack tests use it to plant a :class:`~repro.attacks.adversary.
+#: MemoryAdversary` (tamper with the image, or attach a reactive bus
+#: listener that rewrites memory mid-run).
+LoaderHook = Callable[[DRAM, MemoryBus], None]
 
 #: Which memory-protection scheme the processor applies — one member per
 #: registered scheme (``BASELINE``, ``XOM``, ``OTP``, ``OTP_SPLIT``, ...),
@@ -78,6 +99,9 @@ class RunReport:
     engine: LineEngine
     hierarchy: MemoryHierarchy
     scheme: SchemeSpec
+    #: The run's integrity provider (its ``stats`` carry the verification
+    #: counts), ``None`` when the run verified nothing.
+    integrity: IntegrityProvider | None = None
 
     @property
     def output(self) -> str:
@@ -98,7 +122,8 @@ class SecureProcessor:
                  l1i_config: CacheConfig | None = None,
                  l1d_config: CacheConfig | None = None,
                  l2_config: CacheConfig | None = None,
-                 integrity_factory=None,
+                 integrity: str = "none",
+                 integrity_factory: IntegrityFactory | None = None,
                  key_bits: int = 512):
         self.keypair = RSAKeyPair.generate(bits=key_bits, seed=key_seed)
         key = (
@@ -112,6 +137,14 @@ class SecureProcessor:
         self.l1i_config = l1i_config
         self.l1d_config = l1d_config
         self.l2_config = l2_config
+        #: Which registered integrity spec protects runs; a custom
+        #: ``integrity_factory`` overrides the registry resolution.
+        self.integrity_spec: IntegritySpec = get_integrity(integrity)
+        if integrity_factory is not None and integrity != "none":
+            raise ConfigurationError(
+                "pass either an integrity registry key or a custom "
+                "integrity_factory, not both"
+            )
         self.integrity_factory = integrity_factory
         self.compartments = CompartmentManager()
 
@@ -123,8 +156,15 @@ class SecureProcessor:
     # ------------------------------------------------------------------ run
 
     def run(self, program: SecureProgram, max_steps: int = 1_000_000,
-            input_values: list[int] | None = None) -> RunReport:
-        """Install and execute a protected program end to end."""
+            input_values: list[int] | None = None,
+            on_install: LoaderHook | None = None) -> RunReport:
+        """Install and execute a protected program end to end.
+
+        ``on_install`` is the untrusted OS loader's slot: it receives the
+        DRAM (holding the just-installed ciphertext image) and the bus
+        before execution starts.  Both are outside the security boundary
+        — this is where the attack tests mount their adversary.
+        """
         self._check_scheme(program)
         key = unwrap_program_key(program, self.keypair.private)
         cipher = key.new_cipher()
@@ -137,13 +177,13 @@ class SecureProcessor:
                     latency=self.latencies.memory)
         bus = MemoryBus()
         regions = program.plaintext_regions()
-        integrity = (
-            self.integrity_factory() if self.integrity_factory else None
-        )
+        integrity = self._build_integrity(program, key.material)
         engine = self.scheme.build_engine(self._engine_context(
             dram, cipher, bus, regions, integrity
         ))
         install_image(program, dram, integrity=integrity)
+        if on_install is not None:
+            on_install(dram, bus)
 
         hierarchy = self._build_hierarchy(engine)
         compartment = self.compartments.create(cipher)
@@ -171,6 +211,7 @@ class SecureProcessor:
             engine=engine,
             hierarchy=hierarchy,
             scheme=self.scheme,
+            integrity=integrity,
         )
 
     def run_plain(self, program, max_steps: int = 1_000_000,
@@ -200,6 +241,35 @@ class SecureProcessor:
             engine=engine,
             hierarchy=hierarchy,
             scheme=spec,
+        )
+
+    def _build_integrity(self, program: SecureProgram,
+                         key_material: bytes) -> IntegrityProvider | None:
+        """Resolve the run's integrity provider.
+
+        A custom ``integrity_factory`` wins; otherwise the registered
+        spec builds one over a region covering the program's protected
+        segments (rounded up to a power-of-two line count), keyed with
+        the unwrapped program key — the only secret both the vendor and
+        this die share."""
+        if self.integrity_factory is not None:
+            return self.integrity_factory()
+        spec = self.integrity_spec
+        config = self._integrity_config(program)
+        return spec.build_provider(key_material, config)
+
+    def _integrity_config(self, program: SecureProgram) -> IntegrityConfig:
+        line_bytes = program.line_bytes
+        end = max(
+            (segment.base + len(segment.data)
+             for segment in program.segments
+             if segment.kind is not SegmentKind.PLAINTEXT),
+            default=line_bytes,
+        )
+        n_lines = -(-end // line_bytes)  # ceil division
+        n_lines = 1 << max(n_lines - 1, 0).bit_length()
+        return IntegrityConfig(
+            base_addr=0, n_lines=n_lines, line_bytes=line_bytes,
         )
 
     def _engine_context(self, dram, cipher, bus, regions,

@@ -39,6 +39,7 @@ from repro.memory.bus import MemoryBus
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import LineEngine
 from repro.secure.engine import LatencyParams
+from repro.secure.integrity import IntegrityProvider
 from repro.secure.regions import RegionMap
 from repro.secure.snc import SNCConfig
 from repro.secure.software import ProtectionScheme
@@ -58,7 +59,9 @@ class EngineContext:
     cipher: BlockCipher | None
     bus: MemoryBus
     regions: RegionMap
-    integrity: object | None
+    #: The run's functional integrity provider (built through the
+    #: :mod:`repro.secure.integrity` registry), ``None`` = unverified.
+    integrity: IntegrityProvider | None
     latencies: LatencyParams
     snc_config: SNCConfig
 

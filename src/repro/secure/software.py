@@ -27,6 +27,7 @@ from repro.crypto.prng import HashDRBG
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, unwrap_key, wrap_key
 from repro.errors import ConfigurationError
 from repro.memory.dram import DRAM
+from repro.secure.integrity import IntegrityProvider
 from repro.secure.regions import Region, RegionMap
 from repro.secure.seeds import SeedScheme
 
@@ -167,7 +168,7 @@ def unwrap_program_key(program: SecureProgram,
 
 
 def install_image(program: SecureProgram, dram: DRAM,
-                  integrity=None) -> None:
+                  integrity: IntegrityProvider | None = None) -> None:
     """Copy the (ciphertext) image into untrusted memory.
 
     This is what the untrusted OS loader does — it only ever handles

@@ -19,6 +19,7 @@ from repro.memory.bus import MemoryBus, TransactionKind
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import LineKind
 from repro.secure.engine import EngineStats, LatencyParams
+from repro.secure.integrity import IntegrityProvider
 from repro.secure.regions import RegionMap
 
 
@@ -29,7 +30,7 @@ class XOMEngine:
                  bus: MemoryBus | None = None,
                  latencies: LatencyParams | None = None,
                  regions: RegionMap | None = None,
-                 integrity=None):
+                 integrity: IntegrityProvider | None = None):
         self.dram = dram
         self.cipher = cipher
         self.bus = bus or MemoryBus()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 
 from repro.secure.context import TaskContexts
 from repro.secure.engine import LatencyParams
+from repro.secure.integrity import IntegrityEventCounts, get_integrity
 from repro.secure.snc import Evicted, SequenceNumberCache, SNCConfig
 from repro.secure.snc_policy import (
     ReadClass,
@@ -178,6 +179,11 @@ class TraceEvents:
     writebacks: int  # dirty L2 evictions reaching memory
     compute_cycles: int  # non-memory cycles (calibrated, see workloads.spec)
     snc: SNCEventCounts | None = None  # present for OTP configurations
+    #: Present when an integrity configuration was simulated for this
+    #: trace; ``counts.provider`` names the registered
+    #: :class:`~repro.secure.integrity.IntegritySpec` whose pricer
+    #: interprets it (:func:`integrity_cycles` dispatches).
+    integrity: IntegrityEventCounts | None = None
     line_bytes: int = 128
     seq_bytes: int = 2
 
@@ -188,8 +194,32 @@ class TraceEvents:
 
 
 def baseline_cycles(events: TraceEvents, lat: LatencyParams) -> float:
-    """The insecure processor: every read miss pays one memory latency."""
+    """The insecure processor: every read miss pays one memory latency.
+
+    No integrity term by construction — the baseline is every figure's
+    denominator and verifies nothing.  Handing it integrity events is a
+    caller error (the cost would silently vanish from the table), so it
+    raises rather than prices them."""
+    if events.integrity is not None:
+        raise ValueError(
+            f"{events.name}: the insecure baseline verifies nothing — "
+            "price integrity events through a protected scheme"
+        )
     return events.compute_cycles + events.read_misses * lat.memory
+
+
+def integrity_cycles(events: TraceEvents, lat: LatencyParams) -> float:
+    """Extra cycles of the trace's integrity configuration, or 0.
+
+    Dispatches through the integrity registry on ``counts.provider``, so
+    every scheme pricer adds the same term and a new provider file prices
+    itself.  Returns an exact int 0 when the trace carries no integrity
+    events, keeping integrity-free pricing bit-identical to the
+    pre-integrity code paths."""
+    counts = events.integrity
+    if counts is None:
+        return 0
+    return get_integrity(counts.provider).price(counts, lat)
 
 
 def xom_cycles(events: TraceEvents, lat: LatencyParams) -> float:
@@ -198,7 +228,11 @@ def xom_cycles(events: TraceEvents, lat: LatencyParams) -> float:
     Pricing the Figure 8 alternate hierarchy needs no special case here:
     :meth:`~repro.eval.pipeline.BenchmarkEvents.trace_events` with
     ``alt_l2=True`` substitutes the 384KB-L2 miss counts."""
-    return events.compute_cycles + events.read_misses * lat.serial_read
+    return (
+        events.compute_cycles
+        + events.read_misses * lat.serial_read
+        + integrity_cycles(events, lat)
+    )
 
 
 def otp_cycles(events: TraceEvents, lat: LatencyParams) -> float:
@@ -219,6 +253,7 @@ def otp_cycles(events: TraceEvents, lat: LatencyParams) -> float:
         + snc.seqnum_miss_reads * lat.seqnum_miss_read
         + snc.direct_reads * lat.serial_read
         + snc.switch_spills * lat.seqnum_spill
+        + integrity_cycles(events, lat)
     )
 
 

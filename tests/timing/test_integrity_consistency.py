@@ -1,0 +1,159 @@
+"""Cross-check: every registered integrity spec's byte-free timing model
+must count exactly what its functional provider does on the same stream.
+
+The slowdown-vs-node-cache-size experiment is produced by the timing
+models; the tamper-detection guarantees by the functional providers.
+These tests pin the two layers together the same way
+``test_functional_consistency.py`` pins the SNC layers: one randomized
+honest reference stream drives both, and every
+:class:`~repro.secure.integrity.IntegrityStats` field must agree —
+including the trusted node cache's hit count, whose FIFO behaviour the
+model mirrors digest-free.
+"""
+
+import random
+from dataclasses import fields
+
+import pytest
+
+from repro.secure.integrity import (
+    IntegrityConfig,
+    IntegrityStats,
+    all_integrities,
+    get_integrity,
+)
+
+# Small geometry: the pure-Python SHA-256 costs ~1.5ms per node, so the
+# functional side of each cross-check pair is the budget.  Depth 5 still
+# exercises every walk shape (cache hits at every level, full walks).
+_LINE_BYTES = 128
+_N_LINES = 32
+
+
+def _verifying_specs():
+    return [spec for spec in all_integrities() if spec.verifies]
+
+
+def _build_pair(spec, node_cache_entries=0):
+    config = IntegrityConfig(
+        base_addr=0, n_lines=_N_LINES, line_bytes=_LINE_BYTES,
+        node_cache_entries=node_cache_entries,
+    )
+    provider = spec.build_provider(b"cross-check-key", config)
+    model = spec.build_timing_model(config)
+    return provider, model
+
+
+def _install_all(provider, model):
+    """The honest baseline: every covered line recorded, as the loader
+    does at image install (counters then zeroed, like the pipeline's
+    warmup reset)."""
+    payload = bytes(_LINE_BYTES)
+    for line in range(_N_LINES):
+        provider.record_line(line * _LINE_BYTES, payload)
+        model.update(line)
+    provider.stats.__init__()
+    model.reset_counts()
+
+
+def _drive_pair(provider, model, operations):
+    payload = bytes(_LINE_BYTES)
+    for line, is_write in operations:
+        if is_write:
+            provider.record_line(line * _LINE_BYTES, payload)
+            model.update(line)
+        else:
+            provider.verify_line(line * _LINE_BYTES, payload)
+            model.verify(line)
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        field.name: getattr(stats, field.name)
+        for field in fields(IntegrityStats)
+    }
+
+
+def random_operations(seed, n_ops=300, n_lines=_N_LINES):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_lines), rng.random() < 0.35)
+        for _ in range(n_ops)
+    ]
+
+
+class TestRegistryConsistency:
+    """Every verifying spec, functional provider vs timing model."""
+
+    @pytest.mark.parametrize("spec_key",
+                             [spec.key for spec in _verifying_specs()])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_streams_agree(self, spec_key, seed):
+        provider, model = _build_pair(get_integrity(spec_key))
+        _install_all(provider, model)
+        _drive_pair(provider, model, random_operations(seed))
+        assert _stats_dict(provider.stats) == _stats_dict(model.counts), (
+            spec_key
+        )
+        assert model.counts.verifications > 0
+        assert model.counts.hashes_computed > 0
+
+    @pytest.mark.parametrize("entries", [4, 16])
+    def test_node_cache_occupancy_mirrors(self, entries):
+        """The cached tree's FIFO trusted cache — including the evict-
+        then-reinsert subtleties — must count identically across the
+        layers at every cache size."""
+        spec = get_integrity("hash_tree_cached")
+        provider, model = _build_pair(spec, node_cache_entries=entries)
+        _install_all(provider, model)
+        _drive_pair(provider, model, random_operations(99, n_ops=600))
+        assert _stats_dict(provider.stats) == _stats_dict(model.counts)
+        assert model.counts.node_cache_hits > 0
+
+    def test_uncached_tree_never_hits(self):
+        provider, model = _build_pair(get_integrity("hash_tree"))
+        _install_all(provider, model)
+        _drive_pair(provider, model, random_operations(7))
+        assert provider.stats.node_cache_hits == 0
+        assert model.counts.node_cache_hits == 0
+        # Every verification walks the full path: leaf + depth levels.
+        depth = provider.depth
+        assert model.counts.verify_hashes == (
+            model.counts.verifications * (depth + 1)
+        )
+
+    def test_mac_prices_one_hash_per_verification(self):
+        """Honest post-install execution (the precondition `_install_all`
+        establishes, exactly as the loader does): every covered line
+        carries a tag, so each verification is exactly one HMAC in both
+        layers.  The functional provider's untagged shortcut only exists
+        for degenerate never-recorded reads, which a priced trace never
+        contains — the trees *fail* verification on such reads."""
+        provider, model = _build_pair(get_integrity("mac"))
+        _install_all(provider, model)
+        _drive_pair(provider, model, random_operations(21))
+        assert _stats_dict(provider.stats) == _stats_dict(model.counts)
+        assert model.counts.verify_hashes == model.counts.verifications
+
+    def test_critical_split_is_pricing_only(self):
+        """``critical_hashes`` tracks the load-miss subset without
+        disturbing the cross-checked totals."""
+        provider, model = _build_pair(get_integrity("hash_tree"))
+        _install_all(provider, model)
+        payload = bytes(_LINE_BYTES)
+        for line in range(_N_LINES):
+            provider.verify_line(line * _LINE_BYTES, payload)
+            model.verify(line, critical=(line % 2 == 0))
+        assert _stats_dict(provider.stats) == _stats_dict(model.counts)
+        assert model.counts.critical_hashes * 2 == (
+            model.counts.verify_hashes
+        )
+
+    def test_models_ignore_uncovered_lines(self):
+        """References outside the protected region don't count — the
+        covers() mirror of the functional layer."""
+        _, model = _build_pair(get_integrity("hash_tree"))
+        model.verify(_N_LINES + 5)
+        model.update(_N_LINES + 5)
+        assert model.counts.verifications == 0
+        assert model.counts.updates == 0
