@@ -1,13 +1,24 @@
 """Trace-simulation throughput microbench: refs/second through the
-pipeline hot loop.
+pipeline hot loop, and the record/replay engine's speedup over it.
 
 The trace loop in :func:`repro.eval.pipeline.simulate_benchmark` is where
 the full figure sweep spends its wall-clock (11 benchmarks x 450K refs x
 5 SNC state machines), so its throughput *is* the evaluation's speed.
-This script times the exact configuration the figure sweep runs — the
-five standard SNC configs plus the Figure 8 alternate L2 — and emits
-``BENCH_trace.json`` so the perf trajectory has data: CI uploads the file
-as an artifact, and any hot-loop change shows up as a refs/sec delta.
+This script times two things and emits ``BENCH_trace.json`` so the perf
+trajectory has data (CI uploads the file as an artifact):
+
+* the fused hot loop in the exact configuration the figure sweep runs —
+  the five standard SNC configs plus the Figure 8 alternate L2;
+* record-once-replay-K vs fused-K on a K-config SNC geometry sweep
+  (default: the Figure 6 lru32/lru64/lru128 sweep): the fused path pays
+  workload generation + L2 simulation on every run, the replay backend
+  (:mod:`repro.eval.record`) pays it once at record time and then
+  replays only the compacted events.  ``speedup.warm`` is the headline —
+  what a sweep costs once the trace store is warm.
+
+Under pytest it asserts the replay invariants: identical events, and
+strictly fewer simulated operations than the fused pass (replay skips
+the per-reference loop entirely — its work is per-event only).
 
 Run:  python benchmarks/bench_trace_throughput.py [--scale quick]
       python benchmarks/bench_trace_throughput.py --scale 20000:30000 \\
@@ -28,10 +39,16 @@ from repro.eval.pipeline import (
     simulate_benchmark,
     standard_snc_configs,
 )
+from repro.eval.record import record_source, replay_benchmark
 from repro.eval.runner import parse_scale
+from repro.memory.cache import TagOnlyCache
+from repro.workloads.sources import SingleBenchmark
 from repro.workloads.spec import BY_NAME
 
 DEFAULT_WORKLOADS = ("equake", "mcf", "gcc")
+
+#: The replay comparison's K-config sweep: Figure 6's geometry ladder.
+SWEEP_SNC_KEYS = ("lru32", "lru64", "lru128")
 
 
 def time_workload(name: str, scale: SimulationScale,
@@ -50,6 +67,138 @@ def time_workload(name: str, scale: SimulationScale,
         "seconds": round(best, 4),
         "refs_per_sec": round(scale.total_refs / best, 1),
     }
+
+
+def sweep_snc_configs() -> dict:
+    """The K configurations the record/replay comparison sweeps."""
+    standard = standard_snc_configs()
+    return {key: standard[key] for key in SWEEP_SNC_KEYS}
+
+
+def time_record_replay(name: str, scale: SimulationScale,
+                       repeats: int) -> dict:
+    """Fused-K vs record-once-replay-K on one workload.
+
+    Both sides produce the same :class:`~repro.eval.pipeline.
+    BenchmarkEvents` (asserted); the timings separate the one-off record
+    cost from the per-replay cost, so ``warm`` is the steady-state
+    speedup a sweep sees once the trace store holds the recording.
+    """
+    configs = sweep_snc_configs()
+    bench = BY_NAME[name]
+
+    fused_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fused_events = simulate_benchmark(
+            bench, scale=scale, snc_configs=configs,
+            simulate_alt_l2=False,
+        )
+        fused_best = min(fused_best, time.perf_counter() - started)
+
+    record_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        # No alternate L2: the fused side above skips it too, so the
+        # cold speedup compares like with like (the production record
+        # path does include it for benchmark sources — once ever).
+        recording = record_source(SingleBenchmark(bench), scale=scale,
+                                  include_alt_l2=False)
+        record_best = min(record_best, time.perf_counter() - started)
+
+    replay_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        replay_events = replay_benchmark(recording, configs)
+        replay_best = min(replay_best, time.perf_counter() - started)
+
+    assert replay_events == fused_events, (
+        f"{name}: replay events diverged from the fused reference"
+    )
+    n_configs = len(configs)
+    return {
+        "fused_seconds": round(fused_best, 4),
+        "record_seconds": round(record_best, 4),
+        "replay_seconds": round(replay_best, 4),
+        "event_count": recording.event_count,
+        "events_per_ref": round(
+            recording.event_count / scale.total_refs, 4
+        ),
+        # Simulated operations: the fused pass walks every reference
+        # through the generator + L2 and fans each event to the K sims;
+        # warm replay never touches a reference — per-event work only.
+        "fused_ops": scale.total_refs + n_configs * recording.event_count,
+        "replay_ops": n_configs * recording.event_count,
+        "speedup": {
+            "warm": round(fused_best / replay_best, 3),
+            "cold": round(fused_best / (record_best + replay_best), 3),
+        },
+    }
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_replay_matches_and_skips_the_per_ref_loop():
+    """Warm replay must simulate strictly fewer per-ref operations than
+    the fused path — *measured*, not recomputed: every per-reference
+    operation goes through ``TagOnlyCache.access``, so count real calls
+    during a fused pass and during a warm replay.  If the replay engine
+    ever regressed to walking references, this counts it."""
+    scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
+    configs = sweep_snc_configs()
+    bench = BY_NAME["equake"]
+    calls = {"n": 0}
+    original_access = TagOnlyCache.access
+
+    def counted_access(self, line_index, is_write):
+        calls["n"] += 1
+        return original_access(self, line_index, is_write)
+
+    TagOnlyCache.access = counted_access
+    try:
+        fused_events = simulate_benchmark(bench, scale=scale,
+                                          snc_configs=configs,
+                                          simulate_alt_l2=False)
+        fused_ref_ops = calls["n"]
+        recording = record_source(SingleBenchmark(bench), scale=scale,
+                                  include_alt_l2=False)
+        calls["n"] = 0
+        replay_events = replay_benchmark(recording, configs)
+        replay_ref_ops = calls["n"]
+    finally:
+        TagOnlyCache.access = original_access
+
+    assert replay_events == fused_events
+    assert fused_ref_ops == scale.total_refs
+    assert replay_ref_ops == 0, "warm replay must touch no references"
+    assert replay_ref_ops < fused_ref_ops
+
+
+def test_recorded_stream_is_compact_for_cache_friendly_workloads():
+    """The premise of the engine: misses + writebacks are a fraction of
+    the references for workloads the L2 serves well, so the recording is
+    much smaller than the trace it summarizes (gzip: ~0.4 events/ref
+    even with the cold-start warmup events included)."""
+    scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
+    recording = record_source(SingleBenchmark(BY_NAME["gzip"]),
+                              scale=scale)
+    assert recording.event_count < scale.total_refs / 2
+
+
+def test_bench_speedup_payload(benchmark):
+    """Benchmark one workload's record/replay comparison end to end (the
+    JSON payload the script emits) and sanity-check the speedup shape:
+    warm replay must beat one fused pass — it does strictly less work."""
+    scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
+    result = benchmark.pedantic(
+        lambda: time_record_replay("equake", scale, repeats=1),
+        rounds=2, iterations=1,
+    )
+    assert result["speedup"]["warm"] > 1.0
+
+
+# ------------------------------------------------------------------ script
 
 
 def main() -> int:
@@ -84,12 +233,33 @@ def main() -> int:
         total_seconds += result["seconds"]
         print(f"  {name:<10} {result['seconds']:8.2f}s "
               f"{result['refs_per_sec']:12,.0f} refs/s")
-
     overall = round(total_refs / total_seconds, 1)
+
+    print(f"record-once-replay-K vs fused-K "
+          f"({len(SWEEP_SNC_KEYS)}-config sweep "
+          f"{'/'.join(SWEEP_SNC_KEYS)}):")
+    replay = {}
+    fused_total = replay_total = 0.0
+    for name in args.workloads:
+        result = time_record_replay(name, scale, args.repeats)
+        replay[name] = result
+        fused_total += result["fused_seconds"]
+        replay_total += result["replay_seconds"]
+        print(f"  {name:<10} fused {result['fused_seconds']:6.2f}s  "
+              f"record {result['record_seconds']:6.2f}s  "
+              f"replay {result['replay_seconds']:6.2f}s  "
+              f"warm {result['speedup']['warm']:5.2f}x")
+    warm_speedup = round(fused_total / replay_total, 3)
+
     payload = {
         "benchmark": "trace_throughput",
         "refs_per_sec": overall,
         "per_workload": per_workload,
+        "record_replay": {
+            "sweep_snc_keys": list(SWEEP_SNC_KEYS),
+            "per_workload": replay,
+            "warm_speedup": warm_speedup,
+        },
         "scale": {"warmup_refs": scale.warmup_refs,
                   "measure_refs": scale.measure_refs},
         "snc_configs": sorted(standard_snc_configs()),
@@ -97,7 +267,8 @@ def main() -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"overall: {overall:,.0f} refs/s -> {args.output}")
+    print(f"overall: {overall:,.0f} refs/s; "
+          f"warm replay speedup {warm_speedup:.2f}x -> {args.output}")
     return 0
 
 

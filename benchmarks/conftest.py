@@ -10,8 +10,11 @@ Scale control: set ``REPRO_BENCH_REFS=warmup:measure`` (e.g. ``30000:50000``)
 to shrink the trace for a quick pass; the default is the full scale used
 for EXPERIMENTS.md.  Set ``REPRO_BENCH_JOBS=N`` to fan the per-benchmark
 simulations over N worker processes (the same scheduler ``python -m
-repro.eval --jobs N`` uses), and ``REPRO_BENCH_CACHE=1`` to reuse the
-on-disk result cache across benchmark sessions.
+repro.eval --jobs N`` uses), ``REPRO_BENCH_CACHE=1`` to reuse the
+on-disk result cache across benchmark sessions, and
+``REPRO_BENCH_BACKEND=replay`` to produce the events through the
+record/replay engine (with the on-disk trace store; results are
+byte-identical to the default fused path).
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ import pytest
 from repro.eval.cache import ResultCache
 from repro.eval.experiments import plan_jobs
 from repro.eval.pipeline import SimulationScale
-from repro.eval.scheduler import run_jobs
+from repro.eval.scheduler import BACKENDS, run_jobs
+from repro.eval.trace_store import TraceStore
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: dict[str, str] = {}
@@ -58,7 +62,15 @@ def bench_events():
     cache = None
     if os.environ.get("REPRO_BENCH_CACHE") == "1":
         cache = ResultCache()
-    return run_jobs(jobs, n_jobs=n_jobs, cache=cache)
+    backend = os.environ.get("REPRO_BENCH_BACKEND", "fused")
+    if backend not in BACKENDS:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_BACKEND must be one of {BACKENDS}, "
+            f"got {backend!r}"
+        )
+    trace_store = TraceStore() if backend == "replay" else None
+    return run_jobs(jobs, n_jobs=n_jobs, cache=cache, backend=backend,
+                    trace_store=trace_store)
 
 
 @pytest.fixture(scope="session")

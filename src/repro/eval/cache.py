@@ -41,6 +41,7 @@ CACHE_FORMAT = 2  # 2: BenchmarkEvents gained per-config integrity counts
 #: simulation from pricing.
 _FINGERPRINT_MODULES = (
     "repro.eval.pipeline",
+    "repro.eval.record",
     "repro.memory.cache",
     "repro.secure.context",
     "repro.secure.snc",
@@ -70,15 +71,23 @@ def _fingerprint_module_names() -> list[str]:
     return sorted(names)
 
 
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """SHA-256 over the source of every simulation-relevant module."""
+def fingerprint_of(module_names) -> str:
+    """SHA-256 over the given modules' source bytes — the one
+    implementation behind both the result cache's fingerprint and the
+    trace store's (:func:`repro.eval.trace_store.record_fingerprint`),
+    so the two invalidation mechanisms cannot drift."""
     digest = hashlib.sha256()
-    for name in _fingerprint_module_names():
+    for name in module_names:
         module = importlib.import_module(name)
         digest.update(name.encode())
         digest.update(Path(module.__file__).read_bytes())
     return digest.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the source of every simulation-relevant module."""
+    return fingerprint_of(_fingerprint_module_names())
 
 
 def default_cache_dir() -> Path:

@@ -27,6 +27,13 @@ data:
   :func:`merge_scenario_jobs` unions SNC requirements exactly like
   :func:`merge_jobs`.  The scheduler and result cache treat both task
   kinds identically (:func:`execute_task` dispatches).
+* :class:`RecordTask` — the replay backend's phase 1: the
+  configuration-independent record pass a task's replay depends on
+  (:func:`record_task_for` derives it; :func:`execute_record` runs it;
+  :func:`execute_task_replay` is the phase 2 twin of
+  :func:`execute_task`).  Tasks that differ only in SNC geometry,
+  scheme, integrity, switch strategy or the alternate-L2 flag map to
+  the *same* record task — that sharing is the engine's speedup.
 
 All are frozen, hashable and picklable, so tasks can fan out across
 processes (:mod:`repro.eval.scheduler`) and key an on-disk result store
@@ -48,11 +55,21 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.eval.pipeline import (
+    L2_BASE_ASSOC,
+    L2_BASE_LINES,
+    L2_BIG_ASSOC,
+    L2_BIG_LINES,
     BenchmarkEvents,
     SimulationScale,
     simulate_benchmark,
     simulate_scenario,
     standard_snc_configs,
+)
+from repro.eval.record import (
+    Recording,
+    record_source,
+    replay_benchmark,
+    replay_scenario,
 )
 from repro.secure.integrity import IntegrityConfig, get_integrity
 from repro.secure.schemes import get_scheme
@@ -499,6 +516,93 @@ class ScenarioTask:
 AnyTask = SimulationTask | ScenarioTask
 
 
+@dataclass(frozen=True)
+class RecordTask:
+    """Phase 1 of the replay backend: one (source, scale, seed) record
+    pass whose event stream any number of replay tasks consume.
+
+    Derived from simulation/scenario tasks by :func:`record_task_for`;
+    deliberately **omits** everything configuration-dependent — SNC
+    geometries, schemes, integrity models, switch strategies, the
+    alternate-L2 flag — because the recorded stream does not depend on
+    them.  That is what lets a FLUSH task and a TAG task (or a figure-5
+    task and a figure-6 task on new SNC keys) share one recording.
+    Benchmark-source recordings always include the Figure 8 alternate
+    L2's aggregate counts, so one recording per benchmark serves every
+    figure.
+    """
+
+    source: SourceSpec
+    scale: SimulationScale
+    seed: int = 1
+
+    @property
+    def include_alt_l2(self) -> bool:
+        return self.source.kind == "benchmark"
+
+    def canonical(self) -> dict:
+        return {
+            "kind": "record",
+            "source": self.source.canonical(),
+            "scale": _scale_canonical(self.scale),
+            "seed": self.seed,
+            "l2": [L2_BASE_LINES, L2_BASE_ASSOC],
+            "alt_l2": (
+                [L2_BIG_LINES, L2_BIG_ASSOC] if self.include_alt_l2
+                else None
+            ),
+        }
+
+    def config_hash(self) -> str:
+        return _canonical_hash(self.canonical())
+
+    def describe(self) -> str:
+        scale = self.scale
+        return (
+            f"{self.source.label} "
+            f"[{scale.warmup_refs}+{scale.measure_refs} refs, "
+            f"seed {self.seed}]"
+        )
+
+
+def record_task_for(task: AnyTask) -> RecordTask:
+    """The record pass a task's replay depends on (its phase 1 key)."""
+    if isinstance(task, ScenarioTask):
+        source = task.source
+    else:
+        source = SourceSpec(kind="benchmark", workloads=(task.workload,))
+    return RecordTask(source=source, scale=task.scale, seed=task.seed)
+
+
+def execute_record(record_task: RecordTask) -> Recording:
+    """Run one record pass (picklable: pool workers call it)."""
+    return record_source(
+        record_task.source.build(),
+        scale=record_task.scale,
+        seed=record_task.seed,
+        include_alt_l2=record_task.include_alt_l2,
+    )
+
+
+def execute_task_replay(task: AnyTask,
+                        recording: Recording) -> BenchmarkEvents:
+    """Run one task as phase 2: replay ``recording`` through the task's
+    SNC/integrity configurations.  Events are identical to
+    :func:`execute_task`'s — the differential suite pins it."""
+    configs = _task_configs(task)
+    if isinstance(task, ScenarioTask):
+        return replay_scenario(
+            recording,
+            switch_strategy=SwitchStrategy(task.strategy),
+            **configs,
+        )
+    return replay_benchmark(
+        recording,
+        simulate_alt_l2=task.alt_l2,
+        **configs,
+    )
+
+
 def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
     """Fold scenario jobs into the minimal task list, like
     :func:`merge_jobs`: jobs sharing (source, strategy, scale, seed)
@@ -535,37 +639,41 @@ def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
     ]
 
 
+def _task_configs(task: AnyTask) -> dict:
+    """A task's spec tuples as the keyword mapping every simulation and
+    replay entry point takes — one place, so the fused and replay
+    dispatchers cannot diverge when a task axis is added."""
+    return {
+        "snc_configs": {spec.key: spec.to_config()
+                        for spec in task.snc_configs},
+        "snc_schemes": {spec.key: spec.scheme
+                        for spec in task.snc_configs},
+        "integrity_configs": {spec.key: spec.to_config()
+                              for spec in task.integrity},
+        "integrity_providers": {spec.key: spec.provider
+                                for spec in task.integrity},
+    }
+
+
 def execute_task(task: AnyTask) -> BenchmarkEvents:
     """Run one task's trace simulation (picklable: pool workers call it).
 
     Dispatches on the task kind: figure tasks run the single-benchmark
     fast path, scenario tasks build their workload source and run the
     switch-aware scenario loop."""
-    integrity_configs = {spec.key: spec.to_config()
-                         for spec in task.integrity}
-    integrity_providers = {spec.key: spec.provider
-                           for spec in task.integrity}
+    configs = _task_configs(task)
     if isinstance(task, ScenarioTask):
         return simulate_scenario(
             task.source.build(),
             scale=task.scale,
-            snc_configs={spec.key: spec.to_config()
-                         for spec in task.snc_configs},
-            snc_schemes={spec.key: spec.scheme
-                         for spec in task.snc_configs},
             switch_strategy=SwitchStrategy(task.strategy),
             seed=task.seed,
-            integrity_configs=integrity_configs,
-            integrity_providers=integrity_providers,
+            **configs,
         )
     return simulate_benchmark(
         BY_NAME[task.workload],
         scale=task.scale,
-        snc_configs={spec.key: spec.to_config()
-                     for spec in task.snc_configs},
-        snc_schemes={spec.key: spec.scheme for spec in task.snc_configs},
         seed=task.seed,
         simulate_alt_l2=task.alt_l2,
-        integrity_configs=integrity_configs,
-        integrity_providers=integrity_providers,
+        **configs,
     )

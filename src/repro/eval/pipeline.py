@@ -13,13 +13,20 @@ One pass per workload source drives:
   scheme variants like ``otp_split`` ride the same pipeline.
 
 Two entry points share the methodology: :func:`simulate_benchmark` is the
-single-benchmark figure path (its fused hot loop is the sweep's
-wall-clock), and :func:`simulate_scenario` runs any
+single-benchmark figure path, and :func:`simulate_scenario` runs any
 :class:`~repro.workloads.sources.WorkloadSource` — including the §4.3
 multi-task interleaver, whose explicit switch events it routes to every
 SNC state machine under a chosen
 :class:`~repro.secure.snc_policy.SwitchStrategy`.  A single-task scenario
 reproduces the figure path's events exactly (the tests pin this).
+
+These fused single-pass loops are the evaluation's **reference
+implementation** (``backend="fused"``).  The production path is the
+record/replay engine in :mod:`repro.eval.record`, which runs the
+workload + L2 part of this pass once per (source, scale, seed) and
+replays the compacted event stream through any configuration set,
+producing identical :class:`BenchmarkEvents` — the differential suite
+and the golden-master fixtures pin the two against each other.
 
 Counters reset at the warmup boundary while all cache/SNC *state* stays
 warm, mirroring the paper's fast-forward methodology (10B instructions of
@@ -218,6 +225,8 @@ def simulate_benchmark(bench: BenchmarkModel,
                        integrity_configs: dict[str, IntegrityConfig]
                        | None = None,
                        integrity_providers: dict[str, str] | None = None,
+                       l2_lines: int = L2_BASE_LINES,
+                       l2_assoc: int = L2_BASE_ASSOC,
                        ) -> BenchmarkEvents:
     """Run one benchmark through the L2s and the given SNC configurations.
 
@@ -240,7 +249,7 @@ def simulate_benchmark(bench: BenchmarkModel,
     # The benchmark is the single-task WorkloadSource: same references,
     # no switch events — the fused loop below never needs to check.
     generator = SingleBenchmark(bench).stream(seed)
-    l2 = TagOnlyCache(L2_BASE_LINES, L2_BASE_ASSOC)
+    l2 = TagOnlyCache(l2_lines, l2_assoc)
     sims = _build_sims(snc_configs, snc_schemes)
     integrity_models = _build_integrity_models(
         integrity_configs, integrity_providers
@@ -337,6 +346,8 @@ def simulate_scenario(source: WorkloadSource,
                       integrity_configs: dict[str, IntegrityConfig]
                       | None = None,
                       integrity_providers: dict[str, str] | None = None,
+                      l2_lines: int = L2_BASE_LINES,
+                      l2_assoc: int = L2_BASE_ASSOC,
                       ) -> BenchmarkEvents:
     """Run any workload source — including multi-task — through the L2
     and the given SNC configurations under one §4.3 switch strategy.
@@ -365,7 +376,7 @@ def simulate_scenario(source: WorkloadSource,
     first_task = tasks[0].xom_id
     for sim in sims.values():
         sim.begin_task(first_task)
-    l2 = TagOnlyCache(L2_BASE_LINES, L2_BASE_ASSOC)
+    l2 = TagOnlyCache(l2_lines, l2_assoc)
     events = BenchmarkEvents(source.name, 0.0)
 
     measuring = False

@@ -1,0 +1,350 @@
+"""Phase 1 + phase 2 of the record/replay trace engine.
+
+The fused pipeline (:mod:`repro.eval.pipeline`) regenerates the workload
+stream and re-simulates the L2 for every simulation task, yet that work is
+*configuration-independent*: every SNC geometry, protection scheme,
+integrity model and §4.3 switch strategy consumes the exact same L2
+miss/writeback stream.  This module splits the pass in two:
+
+* :func:`record_source` — run the workload source and the L2(s) **once**
+  per (source, scale, seed, L2 geometry) and keep only the compacted
+  events: read/allocate misses, writebacks (with their owner), context
+  switches, and the warmup boundary, plus the measured aggregate counters.
+  The result is a :class:`Recording`, persisted by
+  :mod:`repro.eval.trace_store`.
+* :func:`replay_benchmark` / :func:`replay_scenario` — phase 2: feed a
+  recording through any set of SNC timing state machines and integrity
+  models.  The per-reference loop is gone entirely — replay touches only
+  the recorded events (:meth:`~repro.timing.model.SNCTimingSim.
+  replay_events` is the batch hot loop) — and the resulting
+  :class:`~repro.eval.pipeline.BenchmarkEvents` are **identical** to the
+  fused path's, field for field (``tests/eval/test_replay_differential.
+  py`` pins this; the paper tables come out byte-identical from both
+  backends).
+
+Event vocabulary: ``(kind, line, aux)`` triples using the ``EVENT_*``
+constants from :mod:`repro.timing.model`.  The stream covers warmup too
+(it warms the SNC/integrity state); :data:`~repro.timing.model.
+EVENT_RESET` marks where every counter zeroes while state stays warm,
+mirroring the fused loops' boundary handling exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import TagOnlyCache
+from repro.secure.integrity import IntegrityConfig
+from repro.secure.snc import SNCConfig
+from repro.secure.snc_policy import SwitchStrategy
+from repro.timing.model import (
+    EVENT_ALLOC,
+    EVENT_READ,
+    EVENT_RESET,
+    EVENT_SWITCH,
+    EVENT_WRITEBACK,
+    calibrate_compute_cycles,
+)
+from repro.eval.pipeline import (
+    L2_BASE_ASSOC,
+    L2_BASE_LINES,
+    L2_BIG_ASSOC,
+    L2_BIG_LINES,
+    BenchmarkEvents,
+    SimulationScale,
+    _build_integrity_models,
+    _build_sims,
+)
+from repro.workloads.sources import Switch, WorkloadSource
+
+#: One recorded event: ``(kind, line_index, aux)``.
+Event = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class RecordedTask:
+    """One task of a recording: enough to rebuild the per-task compute
+    calibration without the original :class:`~repro.workloads.sources.
+    WorkloadSource` (same fields as its
+    :class:`~repro.workloads.sources.TaskBinding`)."""
+
+    xom_id: int
+    label: str
+    xom_slowdown_pct: float
+
+
+@dataclass
+class Recording:
+    """Everything phase 2 needs: the compacted event stream plus the
+    measured aggregates phase 1 already counted.
+
+    ``events`` holds *all* events, warmup included (they warm SNC and
+    integrity state); the aggregate counters cover only the measurement
+    window, exactly as the fused loops count them.  The alternate-L2
+    counters are ``None`` when the recording skipped the Figure 8 cache
+    (non-benchmark sources never record it)."""
+
+    name: str
+    tasks: tuple[RecordedTask, ...]
+    warmup_refs: int
+    measure_refs: int
+    seed: int
+    l2_lines: int
+    l2_assoc: int
+    read_misses: int
+    allocate_misses: int
+    writebacks: int
+    read_misses_big_l2: int | None
+    allocate_misses_big_l2: int | None
+    task_read_misses: dict[int, int]
+    events: list[Event]
+
+    @property
+    def total_refs(self) -> int:
+        return self.warmup_refs + self.measure_refs
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+
+def record_source(source: WorkloadSource,
+                  scale: SimulationScale | None = None,
+                  seed: int = 1,
+                  include_alt_l2: bool = True,
+                  l2_lines: int = L2_BASE_LINES,
+                  l2_assoc: int = L2_BASE_ASSOC) -> Recording:
+    """Phase 1: one pass over the source and the L2(s), events out.
+
+    Mirrors the fused loops' reference handling exactly — same L2, same
+    warmup-boundary placement, same owner resolution for dirty evictions
+    of a shared L2 — so a replay of the result is indistinguishable from
+    the fused simulation.  ``include_alt_l2`` additionally runs the
+    Figure 8 384KB L2 and records its measured miss counts (aggregates
+    only; no SNC consumes its stream); benchmark-source recordings always
+    include it so one recording serves every figure.
+    """
+    scale = scale or SimulationScale()
+    tasks = source.tasks
+    first_task = tasks[0].xom_id
+    l2 = TagOnlyCache(l2_lines, l2_assoc)
+    l2_access = l2.access
+    big_access = None
+    if include_alt_l2:
+        big_access = TagOnlyCache(L2_BIG_LINES, L2_BIG_ASSOC).access
+
+    events: list[Event] = []
+    append = events.append
+    measuring = False
+    warmup = scale.warmup_refs
+    total = scale.total_refs
+    read_misses = allocate_misses = writebacks = 0
+    read_misses_big = allocate_misses_big = 0
+    task_read_misses = {task.xom_id: 0 for task in tasks}
+    # Which task fetched each resident line: a dirty eviction is recorded
+    # under the *owner's* tag, resolved here once so replays never need
+    # the ownership map (same rule as the fused scenario loop).
+    line_owner: dict[int, int] = {}
+    current_task = first_task
+    position = 0
+
+    for item in source.stream(seed):
+        if type(item) is Switch:
+            append((EVENT_SWITCH, 0, item.next_task))
+            current_task = item.next_task
+            continue
+        if position == warmup:
+            measuring = True
+        line, is_write = item
+
+        hit, victim = l2_access(line, is_write)
+        if not hit:
+            line_owner[line] = current_task
+            if is_write:
+                if measuring:
+                    allocate_misses += 1
+                append((EVENT_ALLOC, line, 0))
+            else:
+                if measuring:
+                    read_misses += 1
+                    task_read_misses[current_task] += 1
+                append((EVENT_READ, line, 0))
+        if victim is not None:
+            owner = line_owner.pop(victim, current_task)
+            if measuring:
+                writebacks += 1
+            append((EVENT_WRITEBACK, victim, owner))
+        if not measuring and position + 1 == warmup:
+            append((EVENT_RESET, 0, 0))
+
+        if big_access is not None:
+            big_hit, _ = big_access(line, is_write)
+            if not big_hit and measuring:
+                if is_write:
+                    allocate_misses_big += 1
+                else:
+                    read_misses_big += 1
+
+        position += 1
+        if position >= total:
+            break
+
+    if read_misses == 0:
+        raise ConfigurationError(
+            f"{source.name}: the measurement window saw no load misses — "
+            "the trace scale is too small to get past the workload's "
+            "initialization phase (use at least the QUICK_SCALE lengths)"
+        )
+    return Recording(
+        name=source.name,
+        tasks=tuple(
+            RecordedTask(task.xom_id, task.label, task.xom_slowdown_pct)
+            for task in tasks
+        ),
+        warmup_refs=scale.warmup_refs,
+        measure_refs=scale.measure_refs,
+        seed=seed,
+        l2_lines=l2_lines,
+        l2_assoc=l2_assoc,
+        read_misses=read_misses,
+        allocate_misses=allocate_misses,
+        writebacks=writebacks,
+        read_misses_big_l2=read_misses_big if include_alt_l2 else None,
+        allocate_misses_big_l2=(
+            allocate_misses_big if include_alt_l2 else None
+        ),
+        task_read_misses=task_read_misses,
+        events=events,
+    )
+
+
+def _apply_to_integrity(model, events: list[Event]) -> None:
+    """Feed one integrity timing model the recorded stream — verify on
+    misses, update on writebacks, reset at the boundary, exactly the
+    calls the fused loops make (switches never reach integrity models:
+    their metadata is keyed by line, not by task)."""
+    verify = model.verify
+    update = model.update
+    for kind, line, _aux in events:
+        if kind == EVENT_READ:
+            verify(line, critical=True)
+        elif kind == EVENT_ALLOC:
+            verify(line, critical=False)
+        elif kind == EVENT_WRITEBACK:
+            update(line)
+        elif kind == EVENT_RESET:
+            model.reset_counts()
+
+
+def replay_benchmark(recording: Recording,
+                     snc_configs: dict[str, SNCConfig],
+                     snc_schemes: dict[str, str] | None = None,
+                     simulate_alt_l2: bool = False,
+                     integrity_configs: dict[str, IntegrityConfig]
+                     | None = None,
+                     integrity_providers: dict[str, str] | None = None,
+                     ) -> BenchmarkEvents:
+    """Phase 2, figure flavor: the replay twin of
+    :func:`~repro.eval.pipeline.simulate_benchmark`.
+
+    Builds the same state machines the fused path would (scheme-default
+    switch handling, no task bookkeeping) and batch-applies the recorded
+    stream to each; aggregates come straight from the recording.
+    """
+    if simulate_alt_l2 and recording.read_misses_big_l2 is None:
+        raise ConfigurationError(
+            f"{recording.name}: this recording carries no alternate-L2 "
+            "counts — re-record with include_alt_l2=True"
+        )
+    sims = _build_sims(snc_configs, snc_schemes)
+    integrity_models = _build_integrity_models(
+        integrity_configs, integrity_providers
+    )
+    events_stream = recording.events
+    for sim in sims.values():
+        sim.replay_events(events_stream)
+    for model in integrity_models.values():
+        _apply_to_integrity(model, events_stream)
+
+    events = BenchmarkEvents(
+        recording.name, recording.tasks[0].xom_slowdown_pct
+    )
+    events.read_misses = recording.read_misses
+    events.allocate_misses = recording.allocate_misses
+    events.writebacks = recording.writebacks
+    if simulate_alt_l2:
+        events.read_misses_big_l2 = recording.read_misses_big_l2
+        events.allocate_misses_big_l2 = recording.allocate_misses_big_l2
+    else:
+        events.read_misses_big_l2 = None
+        events.allocate_misses_big_l2 = None
+    events.snc = {name: sim.counts for name, sim in sims.items()}
+    events.integrity = {
+        name: model.counts for name, model in integrity_models.items()
+    }
+    events.compute_cycles = calibrate_compute_cycles(
+        events.read_misses, recording.tasks[0].xom_slowdown_pct
+    )
+    return events
+
+
+def replay_scenario(recording: Recording,
+                    snc_configs: dict[str, SNCConfig],
+                    snc_schemes: dict[str, str] | None = None,
+                    switch_strategy: SwitchStrategy = SwitchStrategy.TAG,
+                    integrity_configs: dict[str, IntegrityConfig]
+                    | None = None,
+                    integrity_providers: dict[str, str] | None = None,
+                    ) -> BenchmarkEvents:
+    """Phase 2, §4.3 flavor: the replay twin of
+    :func:`~repro.eval.pipeline.simulate_scenario`.
+
+    One recording serves *every* switch strategy and scheme: the L2
+    stream does not depend on them, only the SNC state machines do —
+    which is why a FLUSH task and a TAG task share a single record pass.
+    """
+    sims = _build_sims(snc_configs, snc_schemes, switch_strategy)
+    integrity_models = _build_integrity_models(
+        integrity_configs, integrity_providers
+    )
+    tasks = recording.tasks
+    first_task = tasks[0].xom_id
+    events_stream = recording.events
+    for sim in sims.values():
+        sim.begin_task(first_task)
+        sim.replay_events(events_stream)
+    for model in integrity_models.values():
+        _apply_to_integrity(model, events_stream)
+
+    events = BenchmarkEvents(recording.name, 0.0)
+    events.read_misses = recording.read_misses
+    events.allocate_misses = recording.allocate_misses
+    events.writebacks = recording.writebacks
+    events.read_misses_big_l2 = None
+    events.allocate_misses_big_l2 = None
+    events.snc = {name: sim.counts for name, sim in sims.items()}
+    events.integrity = {
+        name: model.counts for name, model in integrity_models.items()
+    }
+    task_read_misses = recording.task_read_misses
+    compute = 0
+    for task in tasks:
+        misses = task_read_misses[task.xom_id]
+        if misses:
+            compute += calibrate_compute_cycles(
+                misses, task.xom_slowdown_pct
+            )
+    events.compute_cycles = compute
+    if len(tasks) == 1:
+        events.xom_slowdown_target = tasks[0].xom_slowdown_pct
+    else:
+        events.xom_slowdown_target = sum(
+            task.xom_slowdown_pct * task_read_misses[task.xom_id]
+            for task in tasks
+        ) / events.read_misses
+    events.task_read_misses = {
+        f"{task.xom_id}:{task.label}": task_read_misses[task.xom_id]
+        for task in tasks
+    }
+    return events

@@ -7,6 +7,8 @@ Examples::
     python -m repro.eval --scale quick        # fast smoke (short traces)
     python -m repro.eval --scale quick --jobs 4   # fan out 4 processes
     python -m repro.eval --no-cache           # force re-simulation
+    python -m repro.eval --backend fused      # the reference single-pass
+    python -m repro.eval --no-trace-cache     # re-record event streams
     python -m repro.eval --scale 100000:150000 --charts
 """
 
@@ -26,7 +28,8 @@ from repro.eval.experiments import (
 from repro.eval.jobs import merge_jobs
 from repro.eval.pipeline import QUICK_SCALE, SimulationScale
 from repro.eval.report import format_figure, format_run_stats, format_summary
-from repro.eval.scheduler import run_tasks
+from repro.eval.scheduler import BACKENDS, run_tasks
+from repro.eval.trace_store import TraceStore, default_trace_dir
 
 _FIGURES_BY_NUMBER = {
     figure_id.removeprefix("figure"): figure
@@ -81,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"result cache location (default {default_cache_dir()})",
     )
     parser.add_argument(
+        "--backend", choices=BACKENDS, default="replay",
+        help="how events are produced: 'replay' (default) records each "
+             "workload's L2 event stream once and replays it through "
+             "every configuration; 'fused' is the reference single-pass "
+             "path (both produce byte-identical tables)",
+    )
+    parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="ignore the on-disk recorded-stream store and re-record "
+             "(replay backend only)",
+    )
+    parser.add_argument(
+        "--trace-cache-dir", type=Path, default=None, metavar="DIR",
+        help=f"recorded-stream store location "
+             f"(default {default_trace_dir()})",
+    )
+    parser.add_argument(
         "--charts", action="store_true",
         help="render ASCII bar charts in addition to the tables",
     )
@@ -102,18 +122,22 @@ def main(argv: list[str] | None = None) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
+    trace_store = None
+    if args.backend == "replay" and not args.no_trace_cache:
+        trace_store = TraceStore(args.trace_cache_dir)
 
     started = time.time()
     print(
         f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
         f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
         f"measured refs each, {args.jobs} worker"
-        f"{'s' if args.jobs != 1 else ''})...",
+        f"{'s' if args.jobs != 1 else ''}, {args.backend} backend)...",
         file=sys.stderr,
     )
     task_results = run_tasks(
         tasks, n_jobs=args.jobs, cache=cache,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
+        backend=args.backend, trace_store=trace_store,
     )
     events = {result.task.workload: result.events
               for result in task_results}

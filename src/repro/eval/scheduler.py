@@ -13,6 +13,20 @@ the executor is a straight fan-out:
   depend on parent-process state; each returns its events plus its own
   wall time.
 
+Two execution backends produce identical events (the differential suite
+and the byte-identical table checks in CI pin this):
+
+* ``backend="fused"`` — the reference implementation: each task runs the
+  single-pass loops in :mod:`repro.eval.pipeline`, regenerating the
+  workload and re-simulating the L2 every time.
+* ``backend="replay"`` — the record/replay engine
+  (:mod:`repro.eval.record`): pending tasks are first grouped by their
+  :class:`~repro.eval.jobs.RecordTask`, each distinct recording is
+  resolved once (from the :class:`~repro.eval.trace_store.TraceStore`
+  when one is given, else recorded fresh — in parallel when several are
+  missing), and then every task *replays* the shared stream, so ``--jobs
+  N`` parallelizes replays against one record pass.
+
 Either way the result list comes back **in task order** (completion order
 only affects progress lines), and every simulated result is written back
 to the :class:`~repro.eval.cache.ResultCache` when one is given.
@@ -29,12 +43,25 @@ from repro.eval.cache import ResultCache
 from repro.eval.jobs import (
     AnyTask,
     ExperimentJob,
+    RecordTask,
+    execute_record,
     execute_task,
+    execute_task_replay,
     merge_jobs,
+    record_task_for,
 )
 from repro.eval.pipeline import BenchmarkEvents
+from repro.eval.record import Recording
+from repro.eval.trace_store import (
+    TraceStore,
+    recording_from_bytes,
+    recording_to_bytes,
+)
 
 Progress = Callable[[str], None]
+
+#: The two ways a task's events can be produced.
+BACKENDS = ("fused", "replay")
 
 
 @dataclass(frozen=True)
@@ -54,25 +81,129 @@ def _run_indexed(item: tuple[int, AnyTask]):
     return index, events, time.perf_counter() - started
 
 
+def _record_indexed(item: tuple[int, RecordTask]):
+    """Phase 1 worker: returns the serialized recording (the compact
+    wire form the store persists and replay workers consume as-is)."""
+    index, record_task = item
+    started = time.perf_counter()
+    recording = execute_record(record_task)
+    payload = recording_to_bytes(recording)
+    return index, payload, time.perf_counter() - started
+
+
+def _replay_indexed(item: tuple[int, AnyTask, bytes]):
+    index, task, payload = item
+    started = time.perf_counter()
+    events = execute_task_replay(task, recording_from_bytes(payload))
+    return index, events, time.perf_counter() - started
+
+
+def _fan_out(items: list, worker, n_jobs: int, on_result) -> None:
+    """Run indexed work items serially (zero scheduling overhead) or
+    across a spawn-context pool, handing each worker's result tuple to
+    ``on_result`` as it completes.  The one fan-out used by every phase
+    — fused tasks, record passes, replays."""
+    if len(items) <= 1 or n_jobs == 1:
+        for item in items:
+            on_result(*worker(item))
+        return
+    context = multiprocessing.get_context("spawn")
+    workers = min(n_jobs, len(items))
+    with context.Pool(processes=workers) as pool:
+        for result in pool.imap_unordered(worker, items, chunksize=1):
+            on_result(*result)
+
+
+def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
+                        trace_store: TraceStore | None,
+                        progress: Progress | None,
+                        ) -> tuple[dict[RecordTask, bytes],
+                                   dict[RecordTask, Recording]]:
+    """Phase 1: one recording per distinct record task, as wire payloads.
+
+    Store hits are served first; the misses are recorded — across the
+    pool when there are several and ``n_jobs > 1`` — and written back to
+    the store.  Payloads travel as the bytes the store read or the
+    worker produced (never re-serialized); parsed :class:`Recording`
+    objects come back only where one already exists, callers parse the
+    rest on demand."""
+    payloads: dict[RecordTask, bytes] = {}
+    recordings: dict[RecordTask, Recording] = {}
+    pending: list[tuple[int, RecordTask]] = []
+    total = len(record_tasks)
+
+    def emit(index: int, record_task: RecordTask, how: str) -> None:
+        if progress is not None:
+            progress(f"[record {index + 1}/{total}] "
+                     f"{record_task.describe()}: {how}")
+
+    for index, record_task in enumerate(record_tasks):
+        entry = (trace_store.get_entry(record_task)
+                 if trace_store is not None else None)
+        if entry is not None:
+            recordings[record_task], payloads[record_task] = entry
+            emit(index, record_task, "trace cached")
+        else:
+            pending.append((index, record_task))
+
+    if len(pending) <= 1 or n_jobs == 1:
+        # In-process: keep the Recording object itself — serialization
+        # happens only if the store persists it (inside ``put``) or a
+        # pool of replay workers later needs the wire form.
+        for index, record_task in pending:
+            started = time.perf_counter()
+            recording = execute_record(record_task)
+            seconds = time.perf_counter() - started
+            recordings[record_task] = recording
+            if trace_store is not None:
+                # ``put`` returns the wire form it packed, so a later
+                # pool of replay workers reuses it instead of packing
+                # the same recording a second time.
+                payload = trace_store.put(record_task, recording)
+                if payload is not None:
+                    payloads[record_task] = payload
+            emit(index, record_task, f"recorded in {seconds:.1f}s")
+        return payloads, recordings
+
+    def on_recorded(index: int, payload: bytes, seconds: float) -> None:
+        record_task = record_tasks[index]
+        payloads[record_task] = payload
+        if trace_store is not None:
+            trace_store.put(record_task, payload=payload)
+        emit(index, record_task, f"recorded in {seconds:.1f}s")
+
+    _fan_out(pending, _record_indexed, n_jobs, on_recorded)
+    return payloads, recordings
+
+
 def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
               cache: ResultCache | None = None,
-              progress: Progress | None = None) -> list[TaskResult]:
+              progress: Progress | None = None,
+              backend: str = "fused",
+              trace_store: TraceStore | None = None) -> list[TaskResult]:
     """Execute tasks — figure and scenario alike — in task order.
 
     Cache hits are resolved first (and never occupy a worker); the
-    remainder runs inline (``n_jobs == 1``) or across a process pool.
+    remainder runs inline (``n_jobs == 1``) or across a process pool,
+    through the selected ``backend``.  ``trace_store`` persists replay
+    recordings across runs; it is only consulted by the replay backend.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {BACKENDS})"
+        )
     total = len(tasks)
     results: list[TaskResult | None] = [None] * total
     pending: list[tuple[int, AnyTask]] = []
 
-    def emit(index: int, result: TaskResult) -> None:
+    def emit(index: int, result: TaskResult, verb: str = "simulated"
+             ) -> None:
         results[index] = result
         if progress is not None:
             how = "cached" if result.cached else (
-                f"simulated in {result.seconds:.1f}s"
+                f"{verb} in {result.seconds:.1f}s"
             )
             progress(f"[{index + 1}/{total}] {result.task.describe()}: "
                      f"{how}")
@@ -84,32 +215,90 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
         else:
             pending.append((index, task))
 
-    if len(pending) <= 1 or n_jobs == 1:
-        for index, task in pending:
-            started = time.perf_counter()
-            events = execute_task(task)
-            seconds = time.perf_counter() - started
+    if backend == "replay" and pending:
+        _run_replay(tasks, pending, n_jobs, cache, emit, progress,
+                    trace_store)
+    else:
+        def on_simulated(index: int, events: BenchmarkEvents,
+                         seconds: float) -> None:
+            task = tasks[index]
             if cache is not None:
                 cache.put(task, events)
             emit(index, TaskResult(task, events, seconds, cached=False))
-    else:
-        context = multiprocessing.get_context("spawn")
-        workers = min(n_jobs, len(pending))
-        with context.Pool(processes=workers) as pool:
-            for index, events, seconds in pool.imap_unordered(
-                _run_indexed, pending, chunksize=1
-            ):
-                task = tasks[index]
-                if cache is not None:
-                    cache.put(task, events)
-                emit(index, TaskResult(task, events, seconds, cached=False))
+
+        _fan_out(pending, _run_indexed, n_jobs, on_simulated)
 
     return [result for result in results if result is not None]
 
 
+def _run_replay(tasks: list[AnyTask],
+                pending: list[tuple[int, AnyTask]], n_jobs: int,
+                cache: ResultCache | None, emit, progress,
+                trace_store: TraceStore | None) -> None:
+    """The replay backend's two phases over the non-cached tasks."""
+    # Group by record pass, preserving first-appearance order: distinct
+    # (source, scale, seed) triples record once each; everything else
+    # about a task is replay-side configuration.
+    record_tasks: list[RecordTask] = []
+    by_task: dict[int, RecordTask] = {}
+    seen: dict[RecordTask, None] = {}
+    for index, task in pending:
+        record_task = record_task_for(task)
+        by_task[index] = record_task
+        if record_task not in seen:
+            seen[record_task] = None
+            record_tasks.append(record_task)
+    payloads, recordings = _resolve_recordings(
+        record_tasks, n_jobs, trace_store, progress
+    )
+
+    if len(pending) <= 1 or n_jobs == 1:
+        # Inline: parse each payload at most once, memoized across the
+        # tasks sharing it (pool workers parse their own copy instead).
+        for index, task in pending:
+            record_task = by_task[index]
+            recording = recordings.get(record_task)
+            if recording is None:
+                recording = recording_from_bytes(payloads[record_task])
+                recordings[record_task] = recording
+            started = time.perf_counter()
+            events = execute_task_replay(task, recording)
+            seconds = time.perf_counter() - started
+            if cache is not None:
+                cache.put(task, events)
+            emit(index, TaskResult(task, events, seconds, cached=False),
+                 verb="replayed")
+        return
+
+    def payload_for(record_task: RecordTask) -> bytes:
+        """The wire form for a pool worker — serialized at most once,
+        and only here (a recording made in-process has no payload yet
+        unless the store already wrote one)."""
+        payload = payloads.get(record_task)
+        if payload is None:
+            payload = recording_to_bytes(recordings[record_task])
+            payloads[record_task] = payload
+        return payload
+
+    def on_replayed(index: int, events: BenchmarkEvents,
+                    seconds: float) -> None:
+        task = tasks[index]
+        if cache is not None:
+            cache.put(task, events)
+        emit(index, TaskResult(task, events, seconds, cached=False),
+             verb="replayed")
+
+    _fan_out([(index, task, payload_for(by_task[index]))
+              for index, task in pending],
+             _replay_indexed, n_jobs, on_replayed)
+
+
 def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,
              cache: ResultCache | None = None,
-             progress: Progress | None = None) -> dict[str, BenchmarkEvents]:
+             progress: Progress | None = None,
+             backend: str = "fused",
+             trace_store: TraceStore | None = None,
+             ) -> dict[str, BenchmarkEvents]:
     """Merge figure-level jobs, execute, and index events by workload.
 
     This is the one-call path for callers that declare jobs and want the
@@ -128,5 +317,7 @@ def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,
             "for one workload make the {workload: events} mapping "
             "ambiguous (use merge_jobs + run_tasks instead)"
         )
-    results = run_tasks(tasks, n_jobs=n_jobs, cache=cache, progress=progress)
+    results = run_tasks(tasks, n_jobs=n_jobs, cache=cache,
+                        progress=progress, backend=backend,
+                        trace_store=trace_store)
     return {result.task.workload: result.events for result in results}

@@ -1,0 +1,253 @@
+"""On-disk store for recorded event streams (phase 1 artifacts).
+
+The record/replay engine (:mod:`repro.eval.record`) pays the dominant
+per-reference cost — workload generation plus L2 simulation — once per
+(source, scale, seed, L2 geometry).  This store persists that work across
+runs, the way :mod:`repro.eval.cache` persists finished task results:
+
+* one file per recording under ``root``, named by a SHA-256 over the
+  record task's canonical configuration, the serialization format version
+  and a fingerprint of the *recording-relevant* modules only (workload
+  generators, the tag-only cache, the recorder itself).  SNC, scheme,
+  integrity and pricing code deliberately stay out of the fingerprint:
+  recordings are configuration-independent, so an edit to Algorithm 1
+  must invalidate cached *results* (:data:`repro.eval.cache.
+  _FINGERPRINT_MODULES` covers that) but may keep replaying the same
+  recorded stream — that reuse is the engine's whole point.
+* the payload is stdlib-only: a JSON header (identity + measured
+  aggregates) followed by the packed event stream (``struct``, 7 bytes
+  per event) compressed with ``gzip``.
+* **any** anomaly — truncated file, flipped bytes, wrong magic, a format
+  bump, a CRC mismatch, an event-count mismatch — degrades to a miss:
+  the corrupt file is discarded (best-effort unlink) and the caller
+  re-records.  A stale or garbled recording is never replayed
+  (``tests/eval/test_trace_store.py`` pins every one of these paths).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import struct
+import zlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.eval.cache import fingerprint_of
+from repro.eval.record import RecordedTask, Recording
+
+#: Bump when the on-disk layout changes; old recordings become misses.
+TRACE_FORMAT = 1
+
+_MAGIC = b"RPRT"
+#: kind (u8), line index (u32), aux (u16) — aux is the writeback owner
+#: or the incoming task's XOM id.
+_EVENT_STRUCT = struct.Struct("<BIH")
+_PREFIX_STRUCT = struct.Struct("<HI")  # format version, header length
+
+#: Modules whose source determines what gets *recorded* (not how it is
+#: priced or simulated downstream).
+_FINGERPRINT_MODULES = (
+    "repro.eval.record",
+    "repro.memory.cache",
+    "repro.workloads.patterns",
+    "repro.workloads.sources",
+    "repro.workloads.spec",
+    "repro.workloads.tracegen",
+)
+
+
+@lru_cache(maxsize=1)
+def record_fingerprint() -> str:
+    """SHA-256 over the source of every recording-relevant module."""
+    return fingerprint_of(_FINGERPRINT_MODULES)
+
+
+def default_trace_dir() -> Path:
+    """``$REPRO_TRACE_CACHE_DIR``, or ``~/.cache/repro-eval/traces``."""
+    override = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-eval" / "traces"
+
+
+def recording_to_bytes(recording: Recording) -> bytes:
+    """Serialize: magic, version, JSON header, gzip'd packed events."""
+    header = {
+        "name": recording.name,
+        "tasks": [[task.xom_id, task.label, task.xom_slowdown_pct]
+                  for task in recording.tasks],
+        "warmup_refs": recording.warmup_refs,
+        "measure_refs": recording.measure_refs,
+        "seed": recording.seed,
+        "l2_lines": recording.l2_lines,
+        "l2_assoc": recording.l2_assoc,
+        "read_misses": recording.read_misses,
+        "allocate_misses": recording.allocate_misses,
+        "writebacks": recording.writebacks,
+        "read_misses_big_l2": recording.read_misses_big_l2,
+        "allocate_misses_big_l2": recording.allocate_misses_big_l2,
+        "task_read_misses": {
+            str(xom_id): count
+            for xom_id, count in recording.task_read_misses.items()
+        },
+        "event_count": len(recording.events),
+    }
+    pack = _EVENT_STRUCT.pack
+    try:
+        packed = b"".join(
+            pack(kind, line, aux) for kind, line, aux in recording.events
+        )
+    except struct.error as err:
+        raise ConfigurationError(
+            f"{recording.name}: an event field exceeds the trace format's "
+            "range (line indices must fit 32 bits, owners/tasks 16)"
+        ) from err
+    header["crc32"] = zlib.crc32(packed)
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    return b"".join((
+        _MAGIC,
+        _PREFIX_STRUCT.pack(TRACE_FORMAT, len(header_bytes)),
+        header_bytes,
+        gzip.compress(packed, compresslevel=1),
+    ))
+
+
+def recording_from_bytes(data: bytes) -> Recording:
+    """Parse and *verify* a serialized recording.
+
+    Raises ``ValueError`` on any anomaly — wrong magic, version skew,
+    truncation, garbled header, CRC or event-count mismatch — so callers
+    (the store, a pool worker) can treat every failure mode uniformly.
+    """
+    prefix_end = len(_MAGIC) + _PREFIX_STRUCT.size
+    if data[:len(_MAGIC)] != _MAGIC:
+        raise ValueError("bad magic: not a recording")
+    if len(data) < prefix_end:
+        raise ValueError("truncated prefix")
+    version, header_len = _PREFIX_STRUCT.unpack(
+        data[len(_MAGIC):prefix_end]
+    )
+    if version != TRACE_FORMAT:
+        raise ValueError(f"format {version} != {TRACE_FORMAT}")
+    header_end = prefix_end + header_len
+    if len(data) < header_end:
+        raise ValueError("truncated header")
+    header = json.loads(data[prefix_end:header_end])
+    packed = gzip.decompress(data[header_end:])
+    event_count = header["event_count"]
+    if len(packed) != event_count * _EVENT_STRUCT.size:
+        raise ValueError(
+            f"event payload holds {len(packed)} bytes, expected "
+            f"{event_count} events"
+        )
+    if zlib.crc32(packed) != header["crc32"]:
+        raise ValueError("event payload CRC mismatch")
+    return Recording(
+        name=header["name"],
+        tasks=tuple(
+            RecordedTask(xom_id, label, slowdown)
+            for xom_id, label, slowdown in header["tasks"]
+        ),
+        warmup_refs=header["warmup_refs"],
+        measure_refs=header["measure_refs"],
+        seed=header["seed"],
+        l2_lines=header["l2_lines"],
+        l2_assoc=header["l2_assoc"],
+        read_misses=header["read_misses"],
+        allocate_misses=header["allocate_misses"],
+        writebacks=header["writebacks"],
+        read_misses_big_l2=header["read_misses_big_l2"],
+        allocate_misses_big_l2=header["allocate_misses_big_l2"],
+        task_read_misses={
+            int(xom_id): count
+            for xom_id, count in header["task_read_misses"].items()
+        },
+        events=list(_EVENT_STRUCT.iter_unpack(packed)),
+    )
+
+
+class TraceStore:
+    """One recording file per record task under ``root``.
+
+    Same discipline as :class:`~repro.eval.cache.ResultCache`: reads miss
+    on any anomaly (and discard the offending file), writes are atomic
+    (tmp + rename) and best-effort — an unwritable store must never abort
+    a run whose recording already succeeded.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_trace_dir()
+        self.hits = 0
+        self.misses = 0
+        self.put_errors = 0
+
+    def key_for(self, record_task) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"format:{TRACE_FORMAT}\n".encode())
+        digest.update(f"code:{record_fingerprint()}\n".encode())
+        digest.update(f"task:{record_task.config_hash()}\n".encode())
+        return digest.hexdigest()
+
+    def path_for(self, record_task) -> Path:
+        return self.root / f"{self.key_for(record_task)}.trace"
+
+    def get_entry(self, record_task) -> tuple[Recording, bytes] | None:
+        """The verified recording *and* its wire payload.
+
+        The payload comes back so callers shipping recordings to pool
+        workers (:mod:`repro.eval.scheduler`) never re-serialize what
+        the store just read and verified."""
+        path = self.path_for(record_task)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            recording = recording_from_bytes(data)
+        except Exception:
+            # Corrupt (truncated, garbled, version skew, bad gzip/CRC):
+            # discard so a stale file can never shadow the re-recorded
+            # stream, then report a miss — the caller re-records.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return recording, data
+
+    def get(self, record_task) -> Recording | None:
+        entry = self.get_entry(record_task)
+        return None if entry is None else entry[0]
+
+    def put(self, record_task, recording: Recording | None = None, *,
+            payload: bytes | None = None) -> bytes | None:
+        """Persist a recording, given as the object, its wire
+        ``payload``, or both (a caller that already serialized — a pool
+        worker's return value — should pass the payload so it is not
+        packed twice).
+
+        Returns the payload written so the caller can reuse the wire
+        form (e.g. to ship to replay workers) instead of serializing the
+        same recording again; ``None`` if serialization failed."""
+        if payload is None:
+            try:
+                payload = recording_to_bytes(recording)
+            except ConfigurationError:
+                self.put_errors += 1
+                return None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(record_task)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError:
+            self.put_errors += 1
+        return payload

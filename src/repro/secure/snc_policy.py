@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Callable
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 from repro.secure.snc import Evicted, SequenceNumberCache, SNCPolicy
@@ -73,19 +73,21 @@ class WriteClass(enum.Enum):
     REJECTED = "rejected"  # direct-encryption fallback
 
 
-@dataclass(frozen=True)
-class ReadDecision:
+class ReadDecision(NamedTuple):
     """Outcome of one read miss: the path taken and the pad version.
 
     ``seq`` is ``None`` exactly when ``kind`` is :attr:`ReadClass.DIRECT`
-    (a directly-encrypted line has no pad version)."""
+    (a directly-encrypted line has no pad version).  Both decision types
+    are named tuples rather than frozen dataclasses: one is allocated per
+    classified event in the evaluation hot loops, and tuple construction
+    is several hundred nanoseconds cheaper per call at the same field
+    API."""
 
     kind: ReadClass
     seq: int | None
 
 
-@dataclass(frozen=True)
-class WriteDecision:
+class WriteDecision(NamedTuple):
     """Outcome of one writeback: ``seq`` is the new pad version, or
     ``None`` when ``kind`` is :attr:`WriteClass.REJECTED`."""
 

@@ -1,0 +1,119 @@
+"""Golden-master regression: the rendered paper tables, byte for byte.
+
+The seven figure tables plus the §4.3 scenario table and the integrity
+table, rendered at quick scale, are checked into ``tests/golden/``.  Any
+refactor that silently drifts a single counter, calibration constant or
+formatting rule fails here with a diff — the complement of the
+differential suite, which only proves the two backends agree with *each
+other*.
+
+The fixtures are produced by the fused reference backend, while the test
+renders through the replay backend (the production default) — so one
+pass pins **both** engines to the same bytes: replay must match what
+fused wrote, and the randomized differential suite ties fused to replay
+everywhere else.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/eval/test_golden_master.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import (
+    FIGURES_BY_ID,
+    plan_jobs,
+    run_integrity_sweep,
+    run_scenarios,
+    scenario_jobs,
+)
+from repro.eval.pipeline import QUICK_SCALE
+from repro.eval.report import (
+    format_figure,
+    format_integrity_table,
+    format_scenario_table,
+)
+from repro.eval.scheduler import run_jobs
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: The scenario table's pinned configuration: one mix per arm of the
+#: §4.3 trade-off (fits / contends), both strategies each.
+SCENARIO_MIXES = (("art", "vpr"), ("equake", "mcf"))
+SCENARIO_QUANTUM = 2_000
+
+
+def _render_figures(backend: str) -> dict[str, str]:
+    events = run_jobs(plan_jobs(scale=QUICK_SCALE), backend=backend)
+    return {
+        figure_id: format_figure(figure(events)) + "\n"
+        for figure_id, figure in FIGURES_BY_ID.items()
+    }
+
+
+def _render_scenarios(backend: str) -> str:
+    results = {}
+    for mix in SCENARIO_MIXES:
+        results.update(run_scenarios(
+            scenario_jobs(mix, quantum=SCENARIO_QUANTUM,
+                          scale=QUICK_SCALE),
+            backend=backend,
+        ))
+    return format_scenario_table(results) + "\n"
+
+
+def _render_integrity(backend: str) -> str:
+    events = run_integrity_sweep(scale=QUICK_SCALE, backend=backend)
+    return format_integrity_table(events) + "\n"
+
+
+def render_all(backend: str) -> dict[str, str]:
+    tables = _render_figures(backend)
+    tables["scenarios"] = _render_scenarios(backend)
+    tables["integrity"] = _render_integrity(backend)
+    return tables
+
+
+def _assert_matches_golden(tables: dict[str, str]) -> None:
+    for name, rendered in tables.items():
+        path = GOLDEN_DIR / f"{name}.txt"
+        assert path.exists(), (
+            f"missing golden fixture {path}; regenerate with "
+            f"'PYTHONPATH=src python {__file__}'"
+        )
+        golden = path.read_text()
+        assert rendered == golden, (
+            f"{name} drifted from tests/golden/{name}.txt — if the "
+            "change is intentional, regenerate the fixtures and review "
+            "the diff"
+        )
+
+
+@pytest.fixture(scope="module")
+def rendered_tables():
+    return render_all("replay")
+
+
+def test_tables_match_golden_fixtures(rendered_tables):
+    """Figures 3-10 plus the scenario and integrity tables, rendered
+    through the replay backend, must be byte-identical to the fixtures
+    the fused reference wrote."""
+    _assert_matches_golden(rendered_tables)
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, rendered in render_all("fused").items():
+        path = GOLDEN_DIR / f"{name}.txt"
+        path.write_text(rendered)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()

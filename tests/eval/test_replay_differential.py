@@ -1,0 +1,240 @@
+"""Differential suite: the replay backend vs the fused reference.
+
+The record/replay engine (:mod:`repro.eval.record`) must be *count-exact*
+against the fused single-pass loops in :mod:`repro.eval.pipeline` — the
+paper tables are required to come out byte-identical from either backend.
+These tests pin that with randomized configurations: benchmarks, trace
+scales, L2 geometries, SNC geometries, registered schemes, integrity
+specs, multi-task mixes and both §4.3 switch strategies, asserting every
+:class:`~repro.timing.model.SNCEventCounts` and
+:class:`~repro.secure.integrity.IntegrityEventCounts` field (and every
+aggregate on :class:`~repro.eval.pipeline.BenchmarkEvents`) matches.
+
+Every replay goes through a serialize/deserialize round trip
+(:mod:`repro.eval.trace_store` wire format) first, so the differential
+also covers what a pool worker or a warm store actually replays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import fields
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.pipeline import (
+    SimulationScale,
+    simulate_benchmark,
+    simulate_scenario,
+    standard_snc_configs,
+)
+from repro.eval.record import record_source, replay_benchmark, replay_scenario
+from repro.eval.trace_store import recording_from_bytes, recording_to_bytes
+from repro.secure.integrity import IntegrityConfig
+from repro.secure.snc import SNCConfig, SNCPolicy
+from repro.secure.snc_policy import SwitchStrategy
+from repro.workloads.sources import MultiTaskInterleaver, SingleBenchmark
+from repro.workloads.spec import BY_NAME
+
+#: Valid baseline-L2 geometries (set count must be a power of two).
+L2_GEOMETRIES = ((2048, 4), (1024, 8), (512, 4), (1024, 2))
+
+SCALES = (
+    SimulationScale(warmup_refs=4_000, measure_refs=8_000),
+    SimulationScale(warmup_refs=0, measure_refs=10_000),  # no boundary
+    SimulationScale(warmup_refs=7_000, measure_refs=5_000),
+)
+
+#: SNC configuration pool: every policy/geometry/scheme axis the
+#: evaluation exercises, small enough that capacity effects trigger.
+SNC_POOL = (
+    ("lru_small", SNCConfig(size_bytes=8 * 1024), "otp"),
+    ("norepl", SNCConfig(size_bytes=8 * 1024,
+                         policy=SNCPolicy.NO_REPLACEMENT), "otp"),
+    ("lru_assoc", SNCConfig(size_bytes=16 * 1024, assoc=32), "otp"),
+    ("split", SNCConfig(size_bytes=8 * 1024), "otp_split"),
+    ("split_assoc", SNCConfig(size_bytes=16 * 1024, assoc=16),
+     "otp_split"),
+)
+
+INTEGRITY_POOL = (
+    ("mac", "mac", 0),
+    ("tree", "hash_tree", 0),
+    ("tree_nc", "hash_tree_cached", 128),
+)
+
+
+def _draw_snc(rng: random.Random):
+    picks = rng.sample(SNC_POOL, rng.randint(1, 3))
+    configs = {key: config for key, config, _scheme in picks}
+    schemes = {key: scheme for key, _config, scheme in picks}
+    return configs, schemes
+
+
+def _draw_integrity(rng: random.Random):
+    if rng.random() < 0.5:
+        return None, None
+    picks = rng.sample(INTEGRITY_POOL, rng.randint(1, 2))
+    configs = {
+        key: IntegrityConfig(base_addr=0, n_lines=1 << 19,
+                             node_cache_entries=entries)
+        for key, _provider, entries in picks
+    }
+    providers = {key: provider for key, provider, _entries in picks}
+    return configs, providers
+
+
+def assert_events_identical(fused, replayed):
+    """Field-for-field equality, reported per counter on failure."""
+    assert replayed.name == fused.name
+    for attr in ("read_misses", "allocate_misses", "writebacks",
+                 "read_misses_big_l2", "allocate_misses_big_l2",
+                 "compute_cycles", "xom_slowdown_target",
+                 "task_read_misses"):
+        assert getattr(replayed, attr) == getattr(fused, attr), attr
+    assert replayed.snc.keys() == fused.snc.keys()
+    for key, fused_counts in fused.snc.items():
+        replayed_counts = replayed.snc[key]
+        for field in fields(fused_counts):
+            assert (
+                getattr(replayed_counts, field.name)
+                == getattr(fused_counts, field.name)
+            ), f"snc[{key}].{field.name}"
+    assert replayed.integrity.keys() == fused.integrity.keys()
+    for key, fused_counts in fused.integrity.items():
+        replayed_counts = replayed.integrity[key]
+        for field in fields(fused_counts):
+            assert (
+                getattr(replayed_counts, field.name)
+                == getattr(fused_counts, field.name)
+            ), f"integrity[{key}].{field.name}"
+    assert replayed == fused  # and the dataclass as a whole
+
+
+def _round_trip(recording):
+    """Replay what a worker or a warm store would see, not the in-memory
+    object the recorder returned."""
+    return recording_from_bytes(recording_to_bytes(recording))
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_benchmark_differential(case):
+    """Randomized figure-path configurations: fused == replay."""
+    rng = random.Random(0xD1F + case)
+    recording = None
+    # Some (benchmark, scale, L2 geometry) draws see zero measured load
+    # misses — both paths reject those identically — so redraw until the
+    # cheap record pass accepts the combination.
+    for _attempt in range(20):
+        bench = BY_NAME[rng.choice(sorted(BY_NAME))]
+        scale = rng.choice(SCALES)
+        l2_lines, l2_assoc = rng.choice(L2_GEOMETRIES)
+        snc_configs, snc_schemes = _draw_snc(rng)
+        integrity_configs, integrity_providers = _draw_integrity(rng)
+        alt_l2 = rng.random() < 0.5
+        seed = rng.randint(1, 99)
+        try:
+            recording = _round_trip(record_source(
+                SingleBenchmark(bench), scale=scale, seed=seed,
+                include_alt_l2=alt_l2, l2_lines=l2_lines,
+                l2_assoc=l2_assoc,
+            ))
+            break
+        except ConfigurationError:
+            continue
+    assert recording is not None, "no valid draw in 20 attempts"
+
+    fused = simulate_benchmark(
+        bench, scale=scale, snc_configs=snc_configs, seed=seed,
+        snc_schemes=snc_schemes, simulate_alt_l2=alt_l2,
+        integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
+        l2_lines=l2_lines, l2_assoc=l2_assoc,
+    )
+    replayed = replay_benchmark(
+        recording, snc_configs, snc_schemes=snc_schemes,
+        simulate_alt_l2=alt_l2,
+        integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
+    )
+    assert_events_identical(fused, replayed)
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_scenario_differential(case):
+    """Randomized §4.3 configurations — multi-task mixes under FLUSH and
+    TAG — against one shared recording per mix."""
+    rng = random.Random(0x5CE + case)
+    recording = None
+    for _attempt in range(20):
+        n_tasks = rng.randint(2, 3)
+        names = rng.sample(sorted(BY_NAME), n_tasks)
+        quantum = rng.choice((500, 1_500, 3_000))
+        scale = rng.choice(SCALES)
+        l2_lines, l2_assoc = rng.choice(L2_GEOMETRIES)
+        # FLUSH spills through the in-memory table, which only LRU keeps.
+        snc_configs, snc_schemes = _draw_snc(rng)
+        while any(config.policy is SNCPolicy.NO_REPLACEMENT
+                  for config in snc_configs.values()):
+            snc_configs, snc_schemes = _draw_snc(rng)
+        integrity_configs, integrity_providers = _draw_integrity(rng)
+        seed = rng.randint(1, 99)
+        try:
+            recording = _round_trip(record_source(
+                MultiTaskInterleaver(names, quantum), scale=scale,
+                seed=seed, include_alt_l2=False, l2_lines=l2_lines,
+                l2_assoc=l2_assoc,
+            ))
+            break
+        except ConfigurationError:
+            continue
+    assert recording is not None, "no valid draw in 20 attempts"
+    for strategy in (SwitchStrategy.FLUSH, SwitchStrategy.TAG):
+        fused = simulate_scenario(
+            MultiTaskInterleaver(names, quantum), scale=scale,
+            snc_configs=snc_configs, snc_schemes=snc_schemes,
+            switch_strategy=strategy, seed=seed,
+            integrity_configs=integrity_configs,
+            integrity_providers=integrity_providers,
+            l2_lines=l2_lines, l2_assoc=l2_assoc,
+        )
+        replayed = replay_scenario(
+            recording, snc_configs, snc_schemes=snc_schemes,
+            switch_strategy=strategy,
+            integrity_configs=integrity_configs,
+            integrity_providers=integrity_providers,
+        )
+        assert_events_identical(fused, replayed)
+
+
+def test_single_task_scenario_matches_benchmark_recording():
+    """A single-benchmark scenario replays the *same* recording the
+    figure path records (the degenerate case the fused paths pin), so
+    one recording per benchmark serves both task kinds."""
+    scale = SimulationScale(warmup_refs=5_000, measure_refs=10_000)
+    configs = {"lru64": standard_snc_configs()["lru64"]}
+    recording = _round_trip(record_source(
+        SingleBenchmark(BY_NAME["art"]), scale=scale,
+    ))
+    fused = simulate_scenario(
+        SingleBenchmark(BY_NAME["art"]), scale=scale,
+        snc_configs=configs,
+    )
+    replayed = replay_scenario(recording, configs)
+    assert_events_identical(fused, replayed)
+
+
+def test_standard_configs_full_axis():
+    """The five standard SNC configurations — the exact figure-table
+    axis — replay identically, alternate L2 included."""
+    scale = SimulationScale(warmup_refs=25_000, measure_refs=25_000)
+    fused = simulate_benchmark(BY_NAME["mcf"], scale=scale,
+                               snc_configs=standard_snc_configs(),
+                               simulate_alt_l2=True)
+    recording = _round_trip(record_source(
+        SingleBenchmark(BY_NAME["mcf"]), scale=scale,
+    ))
+    replayed = replay_benchmark(recording, standard_snc_configs(),
+                                simulate_alt_l2=True)
+    assert_events_identical(fused, replayed)

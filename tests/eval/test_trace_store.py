@@ -1,0 +1,229 @@
+"""The recorded-stream store: round trips, corruption, cold vs warm.
+
+A recording that is truncated, garbled, version-skewed or CRC-broken must
+never be replayed: the store detects every anomaly, *discards* the bad
+file and reports a miss, and the scheduler transparently re-records —
+never crashing, never returning stale events.  The ``--no-trace-cache``
+path (``trace_store=None``) records fresh every run and writes nothing.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+
+import pytest
+
+from repro.eval.jobs import (
+    RecordTask,
+    SimulationTask,
+    SourceSpec,
+    execute_record,
+    execute_task,
+    record_task_for,
+    standard_snc_specs,
+)
+from repro.eval.pipeline import SimulationScale
+from repro.eval.scheduler import run_tasks
+from repro.eval.trace_store import (
+    TRACE_FORMAT,
+    TraceStore,
+    recording_from_bytes,
+    recording_to_bytes,
+)
+
+_SCALE = SimulationScale(warmup_refs=5_000, measure_refs=10_000)
+
+
+def _record_task(workload: str = "art") -> RecordTask:
+    return RecordTask(
+        source=SourceSpec(kind="benchmark", workloads=(workload,)),
+        scale=_SCALE,
+    )
+
+
+def _task(workload: str = "art") -> SimulationTask:
+    return SimulationTask(
+        workload=workload,
+        snc_configs=(standard_snc_specs()["lru64"],),
+        scale=_SCALE,
+    )
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return execute_record(_record_task())
+
+
+def test_round_trip_is_lossless(recording):
+    restored = recording_from_bytes(recording_to_bytes(recording))
+    assert restored == recording
+
+
+class TestCorruptionDetection:
+    """Every anomaly parses as an error, never as a recording."""
+
+    def test_wrong_magic(self, recording):
+        data = b"XXXX" + recording_to_bytes(recording)[4:]
+        with pytest.raises(ValueError, match="magic"):
+            recording_from_bytes(data)
+
+    def test_version_bump(self, recording):
+        data = bytearray(recording_to_bytes(recording))
+        struct.pack_into("<H", data, 4, TRACE_FORMAT + 1)
+        with pytest.raises(ValueError, match="format"):
+            recording_from_bytes(bytes(data))
+
+    def test_truncation_everywhere(self, recording):
+        """No prefix of a valid file parses — header cuts, payload cuts,
+        even a 0-byte file."""
+        data = recording_to_bytes(recording)
+        for cut in (0, 3, 5, 9, 40, len(data) // 2, len(data) - 7):
+            with pytest.raises(Exception):
+                recording_from_bytes(data[:cut])
+
+    def test_garbled_payload(self, recording):
+        data = bytearray(recording_to_bytes(recording))
+        # Stomp bytes in the compressed event stream.
+        for offset in range(len(data) - 30, len(data) - 10):
+            data[offset] ^= 0xFF
+        with pytest.raises(Exception):
+            recording_from_bytes(bytes(data))
+
+    def test_event_count_mismatch(self, recording):
+        data = recording_to_bytes(recording)
+        header_len = struct.unpack_from("<I", data, 6)[0]
+        header = json.loads(data[10:10 + header_len])
+        header["event_count"] += 1
+        new_header = json.dumps(header, sort_keys=True).encode()
+        rebuilt = (data[:4] + struct.pack("<HI", TRACE_FORMAT,
+                                          len(new_header))
+                   + new_header + data[10 + header_len:])
+        with pytest.raises(ValueError, match="events"):
+            recording_from_bytes(rebuilt)
+
+    def test_crc_mismatch(self, recording):
+        """Same length, different bytes: only the CRC catches it."""
+        data = recording_to_bytes(recording)
+        header_len = struct.unpack_from("<I", data, 6)[0]
+        body_start = 10 + header_len
+        packed = bytearray(gzip.decompress(data[body_start:]))
+        packed[10] ^= 0x01
+        rebuilt = data[:body_start] + gzip.compress(bytes(packed),
+                                                    compresslevel=1)
+        with pytest.raises(ValueError, match="CRC"):
+            recording_from_bytes(rebuilt)
+
+
+class TestStore:
+    def test_cold_get_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.get(_record_task()) is None
+        assert (store.hits, store.misses) == (0, 1)
+
+    def test_put_then_get(self, tmp_path, recording):
+        store = TraceStore(tmp_path)
+        record_task = _record_task()
+        store.put(record_task, recording)
+        assert store.get(record_task) == recording
+        assert store.hits == 1
+
+    def test_distinct_keys_per_source_scale_seed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        base = _record_task()
+        assert store.key_for(base) != store.key_for(_record_task("vpr"))
+        assert store.key_for(base) != store.key_for(RecordTask(
+            source=base.source, scale=base.scale, seed=2,
+        ))
+        assert store.key_for(base) != store.key_for(RecordTask(
+            source=base.source,
+            scale=SimulationScale(warmup_refs=5_000, measure_refs=10_001),
+        ))
+
+    @pytest.mark.parametrize("how", ["truncate", "garble", "version"])
+    def test_corrupt_file_discarded_and_missed(self, tmp_path, recording,
+                                               how):
+        store = TraceStore(tmp_path)
+        record_task = _record_task()
+        store.put(record_task, recording)
+        path = store.path_for(record_task)
+        data = bytearray(path.read_bytes())
+        if how == "truncate":
+            data = data[:len(data) // 3]
+        elif how == "garble":
+            for offset in range(20, 60):
+                data[offset] ^= 0xA5
+        else:
+            struct.pack_into("<H", data, 4, TRACE_FORMAT + 7)
+        path.write_bytes(bytes(data))
+
+        assert store.get(record_task) is None
+        assert not path.exists(), "corrupt recording must be discarded"
+
+    def test_unwritable_store_is_silent(self, tmp_path, recording):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        store = TraceStore(blocked)
+        store.put(_record_task(), recording)  # must not raise
+        assert store.put_errors == 1
+
+
+class TestSchedulerIntegration:
+    """Cold records, warm reuses, corruption re-records — transparently."""
+
+    def _progress(self):
+        lines = []
+        return lines, lines.append
+
+    def test_cold_then_warm(self, tmp_path):
+        store = TraceStore(tmp_path)
+        task = _task()
+        reference = execute_task(task)
+
+        lines, progress = self._progress()
+        [cold] = run_tasks([task], backend="replay", trace_store=store,
+                           progress=progress)
+        assert cold.events == reference
+        assert any("recorded in" in line for line in lines)
+
+        lines, progress = self._progress()
+        [warm] = run_tasks([task], backend="replay", trace_store=store,
+                           progress=progress)
+        assert warm.events == reference
+        assert any("trace cached" in line for line in lines)
+        assert not any("recorded in" in line for line in lines)
+
+    def test_corrupted_recording_rerecords_fresh_events(self, tmp_path):
+        store = TraceStore(tmp_path)
+        task = _task("vpr")
+        reference = execute_task(task)
+        [first] = run_tasks([task], backend="replay", trace_store=store)
+
+        # Garble the stored stream in place; a warm run must detect it,
+        # re-record, and still produce the reference events (stale or
+        # garbage counts must never surface).
+        path = store.path_for(record_task_for(task))
+        data = bytearray(path.read_bytes())
+        for offset in range(len(data) // 2, len(data) // 2 + 64):
+            data[offset % len(data)] ^= 0x3C
+        path.write_bytes(bytes(data))
+
+        lines, progress = self._progress()
+        [again] = run_tasks([task], backend="replay", trace_store=store,
+                            progress=progress)
+        assert again.events == reference == first.events
+        assert any("recorded in" in line for line in lines)
+
+    def test_no_trace_store_records_every_run(self, tmp_path):
+        """The --no-trace-cache path: no store, nothing persisted, and
+        each run records inline — results still match the fused path."""
+        task = _task()
+        reference = execute_task(task)
+        for _run in (1, 2):
+            lines, progress = self._progress()
+            [result] = run_tasks([task], backend="replay",
+                                 trace_store=None, progress=progress)
+            assert result.events == reference
+            assert any("recorded in" in line for line in lines)
+        assert list(tmp_path.iterdir()) == []
