@@ -28,20 +28,22 @@ import sys
 import time
 from pathlib import Path
 
-from repro.eval.cache import ResultCache, default_cache_dir
-from repro.eval.experiments import (
+from repro.eval.api import (
+    BACKENDS,
+    QUICK_SCALE,
+    ResultCache,
     SCENARIO_SCHEMES,
+    TraceStore,
+    default_cache_dir,
+    format_run_stats,
+    format_scenario_table,
     index_scenario_results,
+    parse_scale,
     run_scenario_tasks,
     scenario_jobs,
     scenario_slowdowns,
     scheme_config_key,
 )
-from repro.eval.pipeline import QUICK_SCALE
-from repro.eval.report import format_run_stats, format_scenario_table
-from repro.eval.runner import parse_scale
-from repro.eval.scheduler import BACKENDS
-from repro.eval.trace_store import TraceStore
 
 #: Two mixes, one per arm of the trade-off: art+vpr fit the 64KB SNC
 #: together (TAG keeps everything warm), equake+mcf overflow it (TAG

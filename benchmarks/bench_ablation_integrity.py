@@ -31,17 +31,18 @@ import sys
 import time
 from pathlib import Path
 
-from repro.eval.cache import ResultCache, default_cache_dir
-from repro.eval.experiments import (
+from repro.eval.api import (
     INTEGRITY_NODE_CACHE_SIZES,
     INTEGRITY_WORKLOADS,
+    QUICK_SCALE,
+    ResultCache,
+    default_cache_dir,
+    format_integrity_table,
     integrity_slowdowns,
     integrity_table_keys,
+    parse_scale,
     run_integrity_sweep,
 )
-from repro.eval.pipeline import QUICK_SCALE
-from repro.eval.report import format_integrity_table
-from repro.eval.runner import parse_scale
 from repro.secure.integrity import HashTreeIntegrity, MACIntegrity
 
 _LINE = bytes(range(128))

@@ -8,8 +8,11 @@ designer sizing an SNC actually wants.
 
 import pytest
 
-from repro.eval.experiments import PAPER_LATENCIES
-from repro.eval.pipeline import SimulationScale, simulate_benchmark
+from repro.eval.api import (
+    PAPER_LATENCIES,
+    SimulationScale,
+    simulate_benchmark,
+)
 from repro.secure.snc import SNCConfig
 from repro.timing.model import baseline_cycles, otp_cycles, slowdown_pct
 from repro.workloads.spec import BY_NAME

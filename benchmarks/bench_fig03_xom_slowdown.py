@@ -8,9 +8,12 @@ simulation at reduced scale: the cost of adding one workload to the sweep.
 
 import pytest
 
-from repro.eval.experiments import figure3
-from repro.eval.pipeline import QUICK_SCALE, simulate_benchmark
-from repro.eval.report import format_figure
+from repro.eval.api import (
+    QUICK_SCALE,
+    figure3,
+    format_figure,
+    simulate_benchmark,
+)
 from repro.workloads.spec import BY_NAME
 
 

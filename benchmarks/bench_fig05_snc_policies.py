@@ -9,8 +9,7 @@ event sets — the marginal cost of re-running the experiment.
 
 import pytest
 
-from repro.eval.experiments import figure5
-from repro.eval.report import format_figure
+from repro.eval.api import figure5, format_figure
 
 
 def test_figure5_shape(bench_events, record_figure, benchmark):

@@ -6,8 +6,7 @@ straddling benchmarks (equake, mcf), 128KB helps little beyond 64KB.
 
 import pytest
 
-from repro.eval.experiments import figure6
-from repro.eval.report import format_figure
+from repro.eval.api import figure6, format_figure
 
 
 def test_figure6_shape(bench_events, record_figure, benchmark):

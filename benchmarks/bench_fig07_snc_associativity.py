@@ -7,8 +7,7 @@ into a quarter of the sets.
 
 import pytest
 
-from repro.eval.experiments import figure7
-from repro.eval.report import format_figure
+from repro.eval.api import figure7, format_figure
 
 
 def test_figure7_shape(bench_events, record_figure, benchmark):

@@ -7,8 +7,7 @@ Also asserts the §5.4 area-equivalence claim itself via the area model.
 import pytest
 
 from repro.area.cacti import figure8_area_check
-from repro.eval.experiments import figure8
-from repro.eval.report import format_figure
+from repro.eval.api import figure8, format_figure
 
 
 def test_figure8_shape(bench_events, record_figure, benchmark):

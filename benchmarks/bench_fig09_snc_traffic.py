@@ -7,8 +7,7 @@ footprint fits the SNC.
 
 import pytest
 
-from repro.eval.experiments import figure9
-from repro.eval.report import format_figure
+from repro.eval.api import figure9, format_figure
 
 
 def test_figure9_shape(bench_events, record_figure, benchmark):

@@ -12,8 +12,7 @@ the paper's LRU numbers are nearly identical across both latencies.
 
 import pytest
 
-from repro.eval.experiments import figure5, figure10
-from repro.eval.report import format_figure
+from repro.eval.api import figure5, figure10, format_figure
 
 
 def test_figure10_shape(bench_events, record_figure, benchmark):

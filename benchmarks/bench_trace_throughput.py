@@ -14,7 +14,13 @@ trajectory has data (CI uploads the file as an artifact):
   workload generation + L2 simulation on every run, the replay backend
   (:mod:`repro.eval.record`) pays it once at record time and then
   replays only the compacted events.  ``speedup.warm`` is the headline —
-  what a sweep costs once the trace store is warm.
+  what a sweep costs once the trace store is warm;
+* batch-priced vs per-event replay of one warm recording across a wide
+  (>= 8 configuration) geometry sweep: the per-event reference loop
+  walks the columns once per configuration, the batch pricer
+  (:mod:`repro.timing.batch`) walks them once total.
+  ``batch_replay.batch_warm_speedup`` tracks that second-generation
+  speedup on top of ``record_replay.warm_speedup``.
 
 Under pytest it asserts the replay invariants: identical events, and
 strictly fewer simulated operations than the fused pass (replay skips
@@ -33,15 +39,17 @@ import platform
 import time
 from pathlib import Path
 
-from repro.eval.pipeline import (
+from repro.eval.api import (
     QUICK_SCALE,
+    ReplayRequest,
     SimulationScale,
+    parse_scale,
+    record_source,
     simulate_benchmark,
     standard_snc_configs,
 )
-from repro.eval.record import record_source, replay_benchmark
-from repro.eval.runner import parse_scale
 from repro.memory.cache import TagOnlyCache
+from repro.secure.snc import SNCConfig
 from repro.workloads.sources import SingleBenchmark
 from repro.workloads.spec import BY_NAME
 
@@ -49,6 +57,23 @@ DEFAULT_WORKLOADS = ("equake", "mcf", "gcc")
 
 #: The replay comparison's K-config sweep: Figure 6's geometry ladder.
 SWEEP_SNC_KEYS = ("lru32", "lru64", "lru128")
+
+#: The batch-vs-per-event sweep: the five standard configurations plus
+#: three more geometries, so the event-major pass is measured against
+#: a realistic wide (8-configuration) design-space sweep.
+_KB = 1024
+BATCH_SWEEP_EXTRA = {
+    "lru16": SNCConfig(size_bytes=16 * _KB),
+    "lru16_8way": SNCConfig(size_bytes=16 * _KB, assoc=8),
+    "lru64_8way": SNCConfig(size_bytes=64 * _KB, assoc=8),
+}
+
+
+def batch_sweep_snc_configs() -> dict:
+    """The >= 8 configurations the batch pricer comparison sweeps."""
+    configs = dict(standard_snc_configs())
+    configs.update(BATCH_SWEEP_EXTRA)
+    return configs
 
 
 def time_workload(name: str, scale: SimulationScale,
@@ -109,7 +134,7 @@ def time_record_replay(name: str, scale: SimulationScale,
     replay_best = float("inf")
     for _ in range(repeats):
         started = time.perf_counter()
-        replay_events = replay_benchmark(recording, configs)
+        replay_events = recording.replay(configs)
         replay_best = min(replay_best, time.perf_counter() - started)
 
     assert replay_events == fused_events, (
@@ -133,6 +158,48 @@ def time_record_replay(name: str, scale: SimulationScale,
             "warm": round(fused_best / replay_best, 3),
             "cold": round(fused_best / (record_best + replay_best), 3),
         },
+    }
+
+
+def time_batch_vs_perevent(name: str, scale: SimulationScale,
+                           repeats: int) -> dict:
+    """Batch-priced vs per-event replay of one recording across the
+    wide sweep.
+
+    Both replay the *same* recording through the *same* configurations;
+    the per-event side walks the columns once per configuration through
+    the reference loop, the batch side walks them once total while every
+    configuration's state machines consume events in lock-step.  Events
+    are asserted identical — this is a pure pricing-throughput race.
+    """
+    configs = batch_sweep_snc_configs()
+    recording = record_source(SingleBenchmark(BY_NAME[name]),
+                              scale=scale, include_alt_l2=False)
+
+    perevent_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        perevent_events = recording.replay(configs)
+        perevent_best = min(perevent_best,
+                            time.perf_counter() - started)
+
+    batch_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        batch_events = recording.replay_batch(
+            [ReplayRequest(snc_configs=configs)]
+        )[0]
+        batch_best = min(batch_best, time.perf_counter() - started)
+
+    assert batch_events == perevent_events, (
+        f"{name}: batch events diverged from the per-event reference"
+    )
+    return {
+        "perevent_seconds": round(perevent_best, 4),
+        "batch_seconds": round(batch_best, 4),
+        "event_count": recording.event_count,
+        "n_configs": len(configs),
+        "speedup": round(perevent_best / batch_best, 3),
     }
 
 
@@ -164,7 +231,7 @@ def test_replay_matches_and_skips_the_per_ref_loop():
         recording = record_source(SingleBenchmark(bench), scale=scale,
                                   include_alt_l2=False)
         calls["n"] = 0
-        replay_events = replay_benchmark(recording, configs)
+        replay_events = recording.replay(configs)
         replay_ref_ops = calls["n"]
     finally:
         TagOnlyCache.access = original_access
@@ -184,6 +251,17 @@ def test_recorded_stream_is_compact_for_cache_friendly_workloads():
     recording = record_source(SingleBenchmark(BY_NAME["gzip"]),
                               scale=scale)
     assert recording.event_count < scale.total_refs / 2
+
+
+def test_batch_replay_matches_perevent_and_wins_wide_sweeps():
+    """The batch pricer must price the 8-config sweep byte-identically
+    to the per-event reference (asserted inside the timing helper) and
+    faster — it sheds the per-configuration Python frames entirely, so
+    even one timing repeat on a short trace shows the win."""
+    scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
+    result = time_batch_vs_perevent("equake", scale, repeats=2)
+    assert result["n_configs"] >= 8
+    assert result["speedup"] > 1.0
 
 
 def test_bench_speedup_payload(benchmark):
@@ -251,6 +329,21 @@ def main() -> int:
               f"warm {result['speedup']['warm']:5.2f}x")
     warm_speedup = round(fused_total / replay_total, 3)
 
+    batch_keys = sorted(batch_sweep_snc_configs())
+    print(f"batch vs per-event replay "
+          f"({len(batch_keys)}-config sweep, warm recording):")
+    batch = {}
+    perevent_total = batch_total = 0.0
+    for name in args.workloads:
+        result = time_batch_vs_perevent(name, scale, args.repeats)
+        batch[name] = result
+        perevent_total += result["perevent_seconds"]
+        batch_total += result["batch_seconds"]
+        print(f"  {name:<10} per-event {result['perevent_seconds']:6.2f}s"
+              f"  batch {result['batch_seconds']:6.2f}s  "
+              f"{result['speedup']:5.2f}x")
+    batch_warm_speedup = round(perevent_total / batch_total, 3)
+
     payload = {
         "benchmark": "trace_throughput",
         "refs_per_sec": overall,
@@ -260,6 +353,11 @@ def main() -> int:
             "per_workload": replay,
             "warm_speedup": warm_speedup,
         },
+        "batch_replay": {
+            "sweep_snc_keys": batch_keys,
+            "per_workload": batch,
+            "batch_warm_speedup": batch_warm_speedup,
+        },
         "scale": {"warmup_refs": scale.warmup_refs,
                   "measure_refs": scale.measure_refs},
         "snc_configs": sorted(standard_snc_configs()),
@@ -268,7 +366,9 @@ def main() -> int:
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"overall: {overall:,.0f} refs/s; "
-          f"warm replay speedup {warm_speedup:.2f}x -> {args.output}")
+          f"warm replay speedup {warm_speedup:.2f}x; "
+          f"batch over per-event {batch_warm_speedup:.2f}x "
+          f"-> {args.output}")
     return 0
 
 

@@ -24,11 +24,14 @@ import pathlib
 
 import pytest
 
-from repro.eval.cache import ResultCache
-from repro.eval.experiments import plan_jobs
-from repro.eval.pipeline import SimulationScale
-from repro.eval.scheduler import BACKENDS, run_jobs
-from repro.eval.trace_store import TraceStore
+from repro.eval.api import (
+    BACKENDS,
+    ResultCache,
+    SimulationScale,
+    TraceStore,
+    plan_jobs,
+    run_jobs,
+)
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: dict[str, str] = {}

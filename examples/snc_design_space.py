@@ -25,20 +25,22 @@ Run:  python examples/snc_design_space.py [--jobs N] [--scenario]
 import argparse
 
 from repro.area import figure8_area_check
-from repro.eval.cache import ResultCache
-from repro.eval.experiments import (
+from repro.eval.api import (
+    ExperimentJob,
     PAPER_LATENCIES,
+    ResultCache,
     SCENARIO_SCHEMES,
     SCENARIO_STRATEGIES,
+    SimulationScale,
+    SNCSpec,
+    format_integrity_table,
     run_integrity_sweep,
+    run_jobs,
+    run_scenarios,
     scenario_jobs,
     scenario_slowdowns,
-    run_scenarios,
+    standard_snc_specs,
 )
-from repro.eval.jobs import ExperimentJob, SNCSpec, standard_snc_specs
-from repro.eval.pipeline import SimulationScale
-from repro.eval.report import format_integrity_table
-from repro.eval.scheduler import run_jobs
 from repro.secure.integrity import all_integrities
 from repro.secure.schemes import all_schemes, get_scheme
 from repro.timing.model import slowdown_pct

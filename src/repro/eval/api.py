@@ -1,0 +1,227 @@
+"""The stable public surface of the evaluation harness.
+
+Everything a benchmark, example, or downstream script needs lives here
+under one import::
+
+    from repro.eval.api import run_figures, format_figure
+
+The modules behind this facade (:mod:`~repro.eval.experiments`,
+:mod:`~repro.eval.jobs`, :mod:`~repro.eval.scheduler`, ...) are
+internals: their layout moves when the engine does — per-event replay
+became columnar batch pricing without this surface changing.  What the
+facade promises:
+
+**Recording** (phase 1 of the replay engine)
+    :func:`record` turns one (source, scale, seed) into a
+    :class:`Recording` of typed event columns; :class:`RecordTask` /
+    :func:`record_task_for` name the pass a task depends on, and
+    :class:`TraceStore` persists the wire form across runs.
+
+**Replay** (phase 2)
+    ``recording.replay(...)`` prices one configuration set through the
+    per-event reference loop; ``recording.replay_batch(...)`` prices
+    many :class:`ReplayRequest` sets in a single event-major pass.
+    :func:`price_batch` is the task-level spelling the scheduler uses.
+
+**Running experiments**
+    :func:`run_figures` (figures by number), :func:`run_scenarios` /
+    :func:`run_scenario_tasks` (§4.3 switch strategies),
+    :func:`run_integrity_sweep` (memory integrity),
+    :func:`run_all_benchmarks` / :func:`run_everything`, and the
+    lower-level :func:`run_tasks` / :func:`run_jobs`.  All take
+    ``backend=`` (one of :data:`BACKENDS`: ``"fused"``, ``"replay"``,
+    ``"replay-perevent"``) plus ``cache=`` / ``trace_store=`` and
+    produce byte-identical events either way.
+
+**Formatting**
+    :func:`format_figure`, :func:`format_summary`,
+    :func:`format_scenario_table`, :func:`format_integrity_table`,
+    :func:`format_run_stats`, :func:`format_trace_stats`.
+"""
+
+from __future__ import annotations
+
+from repro.eval.cache import ResultCache, default_cache_dir
+from repro.eval.experiments import (
+    ALL_FIGURES,
+    FIGURES_BY_ID,
+    FigureResult,
+    INTEGRITY_NODE_CACHE_SIZES,
+    INTEGRITY_SNC_KEY,
+    INTEGRITY_WORKLOADS,
+    PAPER_LATENCIES,
+    SCENARIO_SCHEMES,
+    SCENARIO_STRATEGIES,
+    SLOW_CRYPTO_LATENCIES,
+    Series,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    index_scenario_results,
+    integrity_slowdowns,
+    integrity_table_keys,
+    plan_jobs,
+    run_all_benchmarks,
+    run_everything,
+    run_integrity_sweep,
+    run_scenario_tasks,
+    run_scenarios,
+    scenario_jobs,
+    scenario_slowdowns,
+    scenario_snc_specs,
+    scheme_config_key,
+)
+from repro.eval.jobs import (
+    AnyTask,
+    ExperimentJob,
+    IntegrityModelSpec,
+    RecordTask,
+    ScenarioJob,
+    ScenarioTask,
+    SNCSpec,
+    SimulationTask,
+    SourceSpec,
+    execute_record as record,
+    merge_jobs,
+    merge_scenario_jobs,
+    price_batch,
+    record_task_for,
+    standard_snc_specs,
+)
+from repro.eval.pipeline import (
+    BenchmarkEvents,
+    QUICK_SCALE,
+    SimulationScale,
+    simulate_benchmark,
+    simulate_scenario,
+    standard_snc_configs,
+)
+from repro.eval.record import Recording, ReplayRequest, record_source
+from repro.eval.report import (
+    format_figure,
+    format_integrity_table,
+    format_run_stats,
+    format_scenario_table,
+    format_summary,
+    format_trace_stats,
+)
+from repro.eval.scheduler import (
+    BACKENDS,
+    TaskResult,
+    run_jobs,
+    run_tasks,
+)
+from repro.eval.trace_store import TraceStore, default_trace_dir
+from repro.eval.runner import parse_scale
+
+
+def run_figures(figure_ids=None, *, scale: SimulationScale | None = None,
+                seed: int = 1, n_jobs: int = 1,
+                cache: ResultCache | None = None,
+                progress=None, backend: str = "replay",
+                trace_store: TraceStore | None = None,
+                ) -> list[FigureResult]:
+    """Simulate and price the selected figures (default: all seven).
+
+    The one-call spelling of what ``python -m repro.eval`` does:
+    declare the figures' jobs, run them through ``backend``, and return
+    one :class:`FigureResult` per requested figure, in request order.
+    ``figure_ids`` accepts ``"figure5"`` / ``"5"`` / ``5`` spellings.
+    """
+    if figure_ids is None:
+        names = list(FIGURES_BY_ID)
+    else:
+        names = []
+        for figure_id in figure_ids:
+            name = str(figure_id)
+            if not name.startswith("figure"):
+                name = f"figure{name}"
+            if name not in FIGURES_BY_ID:
+                known = ", ".join(sorted(FIGURES_BY_ID))
+                raise KeyError(
+                    f"unknown figure {figure_id!r} (known: {known})"
+                )
+            names.append(name)
+    events = run_jobs(plan_jobs(names, scale=scale, seed=seed),
+                      n_jobs=n_jobs, cache=cache, progress=progress,
+                      backend=backend, trace_store=trace_store)
+    return [FIGURES_BY_ID[name](events) for name in names]
+
+
+__all__ = [
+    "ALL_FIGURES",
+    "AnyTask",
+    "BACKENDS",
+    "BenchmarkEvents",
+    "ExperimentJob",
+    "FIGURES_BY_ID",
+    "FigureResult",
+    "INTEGRITY_NODE_CACHE_SIZES",
+    "INTEGRITY_SNC_KEY",
+    "INTEGRITY_WORKLOADS",
+    "IntegrityModelSpec",
+    "PAPER_LATENCIES",
+    "QUICK_SCALE",
+    "RecordTask",
+    "Recording",
+    "ReplayRequest",
+    "ResultCache",
+    "SCENARIO_SCHEMES",
+    "SCENARIO_STRATEGIES",
+    "SLOW_CRYPTO_LATENCIES",
+    "SNCSpec",
+    "ScenarioJob",
+    "ScenarioTask",
+    "Series",
+    "SimulationScale",
+    "SimulationTask",
+    "SourceSpec",
+    "TaskResult",
+    "TraceStore",
+    "default_cache_dir",
+    "default_trace_dir",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "format_figure",
+    "format_integrity_table",
+    "format_run_stats",
+    "format_scenario_table",
+    "format_summary",
+    "format_trace_stats",
+    "index_scenario_results",
+    "integrity_slowdowns",
+    "integrity_table_keys",
+    "merge_jobs",
+    "merge_scenario_jobs",
+    "parse_scale",
+    "plan_jobs",
+    "price_batch",
+    "record",
+    "record_source",
+    "record_task_for",
+    "run_all_benchmarks",
+    "run_everything",
+    "run_figures",
+    "run_integrity_sweep",
+    "run_jobs",
+    "run_scenario_tasks",
+    "run_scenarios",
+    "run_tasks",
+    "scenario_jobs",
+    "scenario_slowdowns",
+    "scenario_snc_specs",
+    "scheme_config_key",
+    "simulate_benchmark",
+    "simulate_scenario",
+    "standard_snc_configs",
+    "standard_snc_specs",
+]

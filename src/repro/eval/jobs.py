@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -67,9 +68,8 @@ from repro.eval.pipeline import (
 )
 from repro.eval.record import (
     Recording,
+    ReplayRequest,
     record_source,
-    replay_benchmark,
-    replay_scenario,
 )
 from repro.secure.integrity import IntegrityConfig, get_integrity
 from repro.secure.schemes import get_scheme
@@ -584,23 +584,43 @@ def execute_record(record_task: RecordTask) -> Recording:
     )
 
 
-def execute_task_replay(task: AnyTask,
-                        recording: Recording) -> BenchmarkEvents:
-    """Run one task as phase 2: replay ``recording`` through the task's
-    SNC/integrity configurations.  Events are identical to
-    :func:`execute_task`'s — the differential suite pins it."""
+def replay_request_for(task: AnyTask) -> ReplayRequest:
+    """A task's replay-side configuration as the request object
+    :meth:`~repro.eval.record.Recording.replay_batch` consumes — the
+    phase 2 twin of :func:`_task_configs`."""
     configs = _task_configs(task)
     if isinstance(task, ScenarioTask):
-        return replay_scenario(
-            recording,
-            switch_strategy=SwitchStrategy(task.strategy),
-            **configs,
+        return ReplayRequest(
+            strategy=SwitchStrategy(task.strategy), **configs
         )
-    return replay_benchmark(
-        recording,
-        simulate_alt_l2=task.alt_l2,
-        **configs,
+    return ReplayRequest(alt_l2=task.alt_l2, **configs)
+
+
+def execute_task_replay(task: AnyTask,
+                        recording: Recording) -> BenchmarkEvents:
+    """Run one task as phase 2 through the per-event reference path:
+    replay ``recording`` through the task's SNC/integrity
+    configurations, one at a time.  Events are identical to
+    :func:`execute_task`'s — the differential suite pins it."""
+    request = replay_request_for(task)
+    return recording.replay(
+        request.snc_configs, request.snc_schemes,
+        strategy=request.strategy,
+        alt_l2=request.alt_l2,
+        integrity_configs=request.integrity_configs,
+        integrity_providers=request.integrity_providers,
     )
+
+
+def price_batch(tasks: Sequence[AnyTask],
+                recording: Recording) -> list[BenchmarkEvents]:
+    """Run many tasks of one recording as a single batch-priced pass:
+    the union of every task's state machines consumes the shared
+    columns event-major (:meth:`~repro.eval.record.Recording.
+    replay_batch`), and each task gets its events back in order —
+    byte-identical to calling :func:`execute_task_replay` per task."""
+    requests = [replay_request_for(task) for task in tasks]
+    return recording.replay_batch(requests)
 
 
 def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:

@@ -12,32 +12,44 @@ miss/writeback stream.  This module splits the pass in two:
   switches, and the warmup boundary, plus the measured aggregate counters.
   The result is a :class:`Recording`, persisted by
   :mod:`repro.eval.trace_store`.
-* :func:`replay_benchmark` / :func:`replay_scenario` — phase 2: feed a
-  recording through any set of SNC timing state machines and integrity
-  models.  The per-reference loop is gone entirely — replay touches only
-  the recorded events (:meth:`~repro.timing.model.SNCTimingSim.
-  replay_events` is the batch hot loop) — and the resulting
-  :class:`~repro.eval.pipeline.BenchmarkEvents` are **identical** to the
-  fused path's, field for field (``tests/eval/test_replay_differential.
-  py`` pins this; the paper tables come out byte-identical from both
-  backends).
+* :meth:`Recording.replay` / :meth:`Recording.replay_batch` — phase 2:
+  feed the recording through any set of SNC timing state machines and
+  integrity models.  ``replay`` walks the events once per configuration
+  through :meth:`~repro.timing.model.SNCTimingSim.replay_events` (the
+  per-event reference path); ``replay_batch`` prices many configuration
+  sets in **one** event-major pass
+  (:func:`repro.timing.batch.replay_events_batch`).  Either way the
+  resulting :class:`~repro.eval.pipeline.BenchmarkEvents` are
+  **identical** to the fused path's, field for field
+  (``tests/eval/test_replay_differential.py`` pins this; the paper
+  tables come out byte-identical from all backends).
 
-Event vocabulary: ``(kind, line, aux)`` triples using the ``EVENT_*``
-constants from :mod:`repro.timing.model`.  The stream covers warmup too
-(it warms the SNC/integrity state); :data:`~repro.timing.model.
-EVENT_RESET` marks where every counter zeroes while state stays warm,
-mirroring the fused loops' boundary handling exactly.
+Event vocabulary: parallel typed columns ``kinds`` / ``lines`` / ``aux``
+(:mod:`array`), one entry per event, using the ``EVENT_*`` constants from
+:mod:`repro.timing.model`.  The stream covers warmup too (it warms the
+SNC/integrity state); :data:`~repro.timing.model.EVENT_RESET` marks where
+every counter zeroes while state stays warm, mirroring the fused loops'
+boundary handling exactly.
+
+The free functions :func:`replay_benchmark` and :func:`replay_scenario`
+are deprecated thin wrappers over the :class:`Recording` methods, kept
+for one release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from array import array
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.errors import ConfigurationError
 from repro.memory.cache import TagOnlyCache
 from repro.secure.integrity import IntegrityConfig
 from repro.secure.snc import SNCConfig
 from repro.secure.snc_policy import SwitchStrategy
+from repro.timing.batch import replay_events_batch
 from repro.timing.model import (
     EVENT_ALLOC,
     EVENT_READ,
@@ -58,8 +70,16 @@ from repro.eval.pipeline import (
 )
 from repro.workloads.sources import Switch, WorkloadSource
 
-#: One recorded event: ``(kind, line_index, aux)``.
+#: One recorded event, as the compatibility view materializes it:
+#: ``(kind, line_index, aux)``.
 Event = tuple[int, int, int]
+
+#: In-memory column typecodes: value-exact (the wire format narrows to
+#: u8/u32/u16 and rejects what doesn't fit; see
+#: :mod:`repro.eval.trace_store`).
+KIND_TYPECODE = "B"
+LINE_TYPECODE = "Q"
+AUX_TYPECODE = "Q"
 
 
 @dataclass(frozen=True)
@@ -74,16 +94,37 @@ class RecordedTask:
     xom_slowdown_pct: float
 
 
+@dataclass(frozen=True)
+class ReplayRequest:
+    """One replay's configuration set — what distinguishes the tasks a
+    :meth:`Recording.replay_batch` pass prices together.
+
+    ``strategy`` selects the flavor: ``None`` is the figure path (no
+    task bookkeeping, scheme-default switch handling, optional
+    alternate-L2 aggregates), a :class:`~repro.secure.snc_policy.
+    SwitchStrategy` is the §4.3 scenario path (per-task cores, per-task
+    compute calibration)."""
+
+    snc_configs: Mapping[str, SNCConfig]
+    snc_schemes: Mapping[str, str] | None = None
+    strategy: SwitchStrategy | None = None
+    alt_l2: bool = False
+    integrity_configs: Mapping[str, IntegrityConfig] | None = None
+    integrity_providers: Mapping[str, str] | None = None
+
+
 @dataclass
 class Recording:
     """Everything phase 2 needs: the compacted event stream plus the
     measured aggregates phase 1 already counted.
 
-    ``events`` holds *all* events, warmup included (they warm SNC and
-    integrity state); the aggregate counters cover only the measurement
-    window, exactly as the fused loops count them.  The alternate-L2
-    counters are ``None`` when the recording skipped the Figure 8 cache
-    (non-benchmark sources never record it)."""
+    The stream lives in three parallel typed columns — ``kinds``,
+    ``lines``, ``aux`` (:mod:`array`; entry *i* of each is event *i*) —
+    covering warmup too (warmup events warm SNC and integrity state);
+    the aggregate counters cover only the measurement window, exactly as
+    the fused loops count them.  The alternate-L2 counters are ``None``
+    when the recording skipped the Figure 8 cache (non-benchmark sources
+    never record it)."""
 
     name: str
     tasks: tuple[RecordedTask, ...]
@@ -98,7 +139,9 @@ class Recording:
     read_misses_big_l2: int | None
     allocate_misses_big_l2: int | None
     task_read_misses: dict[int, int]
-    events: list[Event]
+    kinds: array = field(default_factory=lambda: array(KIND_TYPECODE))
+    lines: array = field(default_factory=lambda: array(LINE_TYPECODE))
+    aux: array = field(default_factory=lambda: array(AUX_TYPECODE))
 
     @property
     def total_refs(self) -> int:
@@ -106,7 +149,158 @@ class Recording:
 
     @property
     def event_count(self) -> int:
-        return len(self.events)
+        return len(self.kinds)
+
+    def iter_events(self):
+        """The per-event view of the columns: ``(kind, line, aux)``
+        triples in stream order — what the per-event reference loops
+        consume."""
+        return zip(self.kinds, self.lines, self.aux)
+
+    @property
+    def events(self) -> list[Event]:
+        """The stream materialized as tuples (tests and debugging; the
+        replay paths iterate the columns directly)."""
+        return list(self.iter_events())
+
+    # -- phase 2 -------------------------------------------------------
+
+    def replay(self, snc_configs: Mapping[str, SNCConfig],
+               snc_schemes: Mapping[str, str] | None = None,
+               *,
+               strategy: SwitchStrategy | None = None,
+               alt_l2: bool = False,
+               integrity_configs: Mapping[str, IntegrityConfig]
+               | None = None,
+               integrity_providers: Mapping[str, str] | None = None,
+               ) -> BenchmarkEvents:
+        """Phase 2, per-event reference path: the replay twin of
+        :func:`~repro.eval.pipeline.simulate_benchmark` (``strategy=
+        None``) or :func:`~repro.eval.pipeline.simulate_scenario` (a
+        :class:`~repro.secure.snc_policy.SwitchStrategy`).
+
+        Builds the same state machines the fused path would and walks
+        the recorded columns through each, one configuration at a time
+        — the reference backend :meth:`replay_batch` must match.
+        """
+        request = ReplayRequest(
+            snc_configs=snc_configs,
+            snc_schemes=snc_schemes,
+            strategy=strategy,
+            alt_l2=alt_l2,
+            integrity_configs=integrity_configs,
+            integrity_providers=integrity_providers,
+        )
+        sims, models = self._build(request)
+        events_stream = self.iter_events
+        for sim in sims.values():
+            sim.replay_events(events_stream())
+        for model in models.values():
+            _apply_to_integrity(model, events_stream())
+        return self._assemble(request, sims, models)
+
+    def replay_batch(self, requests: Sequence[ReplayRequest],
+                     ) -> list[BenchmarkEvents]:
+        """Phase 2, batched: price every request in **one** event-major
+        pass over the columns (outer loop over events, inner loop over
+        the union of all requests' state machines), byte-identical to
+        calling :meth:`replay` per request.
+
+        One recording often serves many configuration sets — a FLUSH
+        task and a TAG task, or several SNC geometry sweeps — and the
+        shared pass amortizes the per-event decode across all of them
+        (:func:`repro.timing.batch.replay_events_batch` is the loop).
+        """
+        built = [self._build(request) for request in requests]
+        all_sims = [sim for sims, _models in built
+                    for sim in sims.values()]
+        all_models = [model for _sims, models in built
+                      for model in models.values()]
+        replay_events_batch(all_sims, all_models,
+                            self.kinds, self.lines, self.aux)
+        return [
+            self._assemble(request, sims, models)
+            for request, (sims, models) in zip(requests, built)
+        ]
+
+    def _build(self, request: ReplayRequest) -> tuple[dict, dict]:
+        """The state machines one request needs, validated against the
+        recording (same builders as the fused path)."""
+        if request.alt_l2 and self.read_misses_big_l2 is None:
+            raise ConfigurationError(
+                f"{self.name}: this recording carries no alternate-L2 "
+                "counts — re-record with include_alt_l2=True"
+            )
+        sims = _build_sims(dict(request.snc_configs),
+                           dict(request.snc_schemes)
+                           if request.snc_schemes else None,
+                           request.strategy)
+        models = _build_integrity_models(
+            dict(request.integrity_configs)
+            if request.integrity_configs else None,
+            dict(request.integrity_providers)
+            if request.integrity_providers else None,
+        )
+        if request.strategy is not None:
+            first_task = self.tasks[0].xom_id
+            for sim in sims.values():
+                sim.begin_task(first_task)
+        return sims, models
+
+    def _assemble(self, request: ReplayRequest, sims: dict,
+                  models: dict) -> BenchmarkEvents:
+        """One request's :class:`BenchmarkEvents` from its replayed
+        state machines plus the recorded aggregates — the same assembly
+        for the per-event and batch paths, so they cannot diverge."""
+        if request.strategy is None:
+            events = BenchmarkEvents(
+                self.name, self.tasks[0].xom_slowdown_pct
+            )
+            if request.alt_l2:
+                events.read_misses_big_l2 = self.read_misses_big_l2
+                events.allocate_misses_big_l2 = (
+                    self.allocate_misses_big_l2
+                )
+            else:
+                events.read_misses_big_l2 = None
+                events.allocate_misses_big_l2 = None
+            events.compute_cycles = calibrate_compute_cycles(
+                self.read_misses, self.tasks[0].xom_slowdown_pct
+            )
+        else:
+            events = BenchmarkEvents(self.name, 0.0)
+            events.read_misses_big_l2 = None
+            events.allocate_misses_big_l2 = None
+            tasks = self.tasks
+            task_read_misses = self.task_read_misses
+            compute = 0
+            for task in tasks:
+                misses = task_read_misses[task.xom_id]
+                if misses:
+                    compute += calibrate_compute_cycles(
+                        misses, task.xom_slowdown_pct
+                    )
+            events.compute_cycles = compute
+            if len(tasks) == 1:
+                events.xom_slowdown_target = tasks[0].xom_slowdown_pct
+            else:
+                events.xom_slowdown_target = sum(
+                    task.xom_slowdown_pct * task_read_misses[task.xom_id]
+                    for task in tasks
+                ) / self.read_misses
+            events.task_read_misses = {
+                f"{task.xom_id}:{task.label}":
+                    task_read_misses[task.xom_id]
+                for task in tasks
+            }
+        events.read_misses = self.read_misses
+        events.allocate_misses = self.allocate_misses
+        events.writebacks = self.writebacks
+        events.snc = {name: sim.counts for name, sim in sims.items()}
+        events.integrity = {
+            name: model.counts for name, model in models.items()
+        }
+        return events
 
 
 def record_source(source: WorkloadSource,
@@ -115,7 +309,7 @@ def record_source(source: WorkloadSource,
                   include_alt_l2: bool = True,
                   l2_lines: int = L2_BASE_LINES,
                   l2_assoc: int = L2_BASE_ASSOC) -> Recording:
-    """Phase 1: one pass over the source and the L2(s), events out.
+    """Phase 1: one pass over the source and the L2(s), columns out.
 
     Mirrors the fused loops' reference handling exactly — same L2, same
     warmup-boundary placement, same owner resolution for dirty evictions
@@ -215,11 +409,15 @@ def record_source(source: WorkloadSource,
             allocate_misses_big if include_alt_l2 else None
         ),
         task_read_misses=task_read_misses,
-        events=events,
+        # Columnarize once, after the hot loop: three typed columns from
+        # one list of triples.
+        kinds=array(KIND_TYPECODE, map(itemgetter(0), events)),
+        lines=array(LINE_TYPECODE, map(itemgetter(1), events)),
+        aux=array(AUX_TYPECODE, map(itemgetter(2), events)),
     )
 
 
-def _apply_to_integrity(model, events: list[Event]) -> None:
+def _apply_to_integrity(model, events) -> None:
     """Feed one integrity timing model the recorded stream — verify on
     misses, update on writebacks, reset at the boundary, exactly the
     calls the fused loops make (switches never reach integrity models:
@@ -237,6 +435,14 @@ def _apply_to_integrity(model, events: list[Event]) -> None:
             model.reset_counts()
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def replay_benchmark(recording: Recording,
                      snc_configs: dict[str, SNCConfig],
                      snc_schemes: dict[str, str] | None = None,
@@ -245,48 +451,14 @@ def replay_benchmark(recording: Recording,
                      | None = None,
                      integrity_providers: dict[str, str] | None = None,
                      ) -> BenchmarkEvents:
-    """Phase 2, figure flavor: the replay twin of
-    :func:`~repro.eval.pipeline.simulate_benchmark`.
-
-    Builds the same state machines the fused path would (scheme-default
-    switch handling, no task bookkeeping) and batch-applies the recorded
-    stream to each; aggregates come straight from the recording.
-    """
-    if simulate_alt_l2 and recording.read_misses_big_l2 is None:
-        raise ConfigurationError(
-            f"{recording.name}: this recording carries no alternate-L2 "
-            "counts — re-record with include_alt_l2=True"
-        )
-    sims = _build_sims(snc_configs, snc_schemes)
-    integrity_models = _build_integrity_models(
-        integrity_configs, integrity_providers
+    """Deprecated: use :meth:`Recording.replay` (``strategy=None``)."""
+    _deprecated("replay_benchmark()", "Recording.replay()")
+    return recording.replay(
+        snc_configs, snc_schemes,
+        alt_l2=simulate_alt_l2,
+        integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
     )
-    events_stream = recording.events
-    for sim in sims.values():
-        sim.replay_events(events_stream)
-    for model in integrity_models.values():
-        _apply_to_integrity(model, events_stream)
-
-    events = BenchmarkEvents(
-        recording.name, recording.tasks[0].xom_slowdown_pct
-    )
-    events.read_misses = recording.read_misses
-    events.allocate_misses = recording.allocate_misses
-    events.writebacks = recording.writebacks
-    if simulate_alt_l2:
-        events.read_misses_big_l2 = recording.read_misses_big_l2
-        events.allocate_misses_big_l2 = recording.allocate_misses_big_l2
-    else:
-        events.read_misses_big_l2 = None
-        events.allocate_misses_big_l2 = None
-    events.snc = {name: sim.counts for name, sim in sims.items()}
-    events.integrity = {
-        name: model.counts for name, model in integrity_models.items()
-    }
-    events.compute_cycles = calibrate_compute_cycles(
-        events.read_misses, recording.tasks[0].xom_slowdown_pct
-    )
-    return events
 
 
 def replay_scenario(recording: Recording,
@@ -297,54 +469,11 @@ def replay_scenario(recording: Recording,
                     | None = None,
                     integrity_providers: dict[str, str] | None = None,
                     ) -> BenchmarkEvents:
-    """Phase 2, §4.3 flavor: the replay twin of
-    :func:`~repro.eval.pipeline.simulate_scenario`.
-
-    One recording serves *every* switch strategy and scheme: the L2
-    stream does not depend on them, only the SNC state machines do —
-    which is why a FLUSH task and a TAG task share a single record pass.
-    """
-    sims = _build_sims(snc_configs, snc_schemes, switch_strategy)
-    integrity_models = _build_integrity_models(
-        integrity_configs, integrity_providers
+    """Deprecated: use :meth:`Recording.replay` with a ``strategy``."""
+    _deprecated("replay_scenario()", "Recording.replay(strategy=...)")
+    return recording.replay(
+        snc_configs, snc_schemes,
+        strategy=switch_strategy,
+        integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
     )
-    tasks = recording.tasks
-    first_task = tasks[0].xom_id
-    events_stream = recording.events
-    for sim in sims.values():
-        sim.begin_task(first_task)
-        sim.replay_events(events_stream)
-    for model in integrity_models.values():
-        _apply_to_integrity(model, events_stream)
-
-    events = BenchmarkEvents(recording.name, 0.0)
-    events.read_misses = recording.read_misses
-    events.allocate_misses = recording.allocate_misses
-    events.writebacks = recording.writebacks
-    events.read_misses_big_l2 = None
-    events.allocate_misses_big_l2 = None
-    events.snc = {name: sim.counts for name, sim in sims.items()}
-    events.integrity = {
-        name: model.counts for name, model in integrity_models.items()
-    }
-    task_read_misses = recording.task_read_misses
-    compute = 0
-    for task in tasks:
-        misses = task_read_misses[task.xom_id]
-        if misses:
-            compute += calibrate_compute_cycles(
-                misses, task.xom_slowdown_pct
-            )
-    events.compute_cycles = compute
-    if len(tasks) == 1:
-        events.xom_slowdown_target = tasks[0].xom_slowdown_pct
-    else:
-        events.xom_slowdown_target = sum(
-            task.xom_slowdown_pct * task_read_misses[task.xom_id]
-            for task in tasks
-        ) / events.read_misses
-    events.task_read_misses = {
-        f"{task.xom_id}:{task.label}": task_read_misses[task.xom_id]
-        for task in tasks
-    }
-    return events

@@ -175,6 +175,25 @@ def format_integrity_table(
     return "\n".join(lines)
 
 
+def format_trace_stats(store) -> str:
+    """One line about a :class:`~repro.eval.trace_store.TraceStore`
+    pass: how recordings were resolved, and — crucially after a
+    ``TRACE_FORMAT`` bump — how many old files were silently discarded
+    and re-recorded (``format upgrades``) versus plain bit rot
+    (``corrupt``).  The runner prints this after every replay run."""
+    parts = [
+        f"trace store: {store.hits} hit{'s' if store.hits != 1 else ''}",
+        f"{store.misses} miss{'es' if store.misses != 1 else ''}",
+    ]
+    if store.corrupt_discards:
+        parts.append(f"{store.corrupt_discards} corrupt discarded")
+    if store.format_upgrades:
+        parts.append(f"{store.format_upgrades} format upgrades")
+    if store.put_errors:
+        parts.append(f"{store.put_errors} write errors")
+    return ", ".join(parts)
+
+
 def format_run_stats(results: list[TaskResult]) -> str:
     """One line about a scheduler pass: cache hits and simulation time."""
     simulated = [result for result in results if not result.cached]

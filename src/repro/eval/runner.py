@@ -27,7 +27,12 @@ from repro.eval.experiments import (
 )
 from repro.eval.jobs import merge_jobs
 from repro.eval.pipeline import QUICK_SCALE, SimulationScale
-from repro.eval.report import format_figure, format_run_stats, format_summary
+from repro.eval.report import (
+    format_figure,
+    format_run_stats,
+    format_summary,
+    format_trace_stats,
+)
 from repro.eval.scheduler import BACKENDS, run_tasks
 from repro.eval.trace_store import TraceStore, default_trace_dir
 
@@ -49,6 +54,29 @@ def parse_scale(text: str) -> SimulationScale:
         raise argparse.ArgumentTypeError(
             f"scale must be 'full', 'quick' or 'warmup:measure', got {text!r}"
         ) from None
+
+
+#: What each backend does, for the ``--backend`` error message.
+_BACKEND_SUMMARIES = {
+    "fused": "reference single-pass simulation",
+    "replay": "record once, batch-price all configs event-major",
+    "replay-perevent": "record once, replay each task one event at "
+                       "a time",
+}
+
+
+def parse_backend(text: str) -> str:
+    """A ``--backend`` value, rejected with a menu rather than a bare
+    'invalid choice' when it names no backend."""
+    if text in BACKENDS:
+        return text
+    menu = "; ".join(
+        f"'{name}' ({_BACKEND_SUMMARIES[name]})" for name in BACKENDS
+    )
+    raise argparse.ArgumentTypeError(
+        f"unknown backend {text!r} — pick one of {menu}; all three "
+        "produce byte-identical tables"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,16 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"result cache location (default {default_cache_dir()})",
     )
     parser.add_argument(
-        "--backend", choices=BACKENDS, default="replay",
+        "--backend", type=parse_backend, default="replay",
+        metavar="|".join(BACKENDS),
         help="how events are produced: 'replay' (default) records each "
-             "workload's L2 event stream once and replays it through "
-             "every configuration; 'fused' is the reference single-pass "
-             "path (both produce byte-identical tables)",
+             "workload's L2 event stream once and batch-prices every "
+             "configuration in one event-major pass; 'replay-perevent' "
+             "replays the stream per task through the reference "
+             "per-event loop; 'fused' is the reference single-pass "
+             "path (all three produce byte-identical tables)",
     )
     parser.add_argument(
         "--no-trace-cache", action="store_true",
         help="ignore the on-disk recorded-stream store and re-record "
-             "(replay backend only)",
+             "(replay backends only)",
     )
     parser.add_argument(
         "--trace-cache-dir", type=Path, default=None, metavar="DIR",
@@ -123,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
     trace_store = None
-    if args.backend == "replay" and not args.no_trace_cache:
+    if args.backend.startswith("replay") and not args.no_trace_cache:
         trace_store = TraceStore(args.trace_cache_dir)
 
     started = time.time()
@@ -143,9 +174,12 @@ def main(argv: list[str] | None = None) -> int:
               for result in task_results}
     print(
         f"{format_run_stats(task_results)} "
-        f"(wall {time.time() - started:.1f}s)\n",
+        f"(wall {time.time() - started:.1f}s)",
         file=sys.stderr,
     )
+    if trace_store is not None:
+        print(format_trace_stats(trace_store), file=sys.stderr)
+    print(file=sys.stderr)
 
     results = []
     for number in args.figures:

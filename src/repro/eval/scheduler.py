@@ -13,19 +13,26 @@ the executor is a straight fan-out:
   depend on parent-process state; each returns its events plus its own
   wall time.
 
-Two execution backends produce identical events (the differential suite
-and the byte-identical table checks in CI pin this):
+Three execution backends produce identical events (the differential
+suite and the byte-identical table checks in CI pin this):
 
 * ``backend="fused"`` — the reference implementation: each task runs the
   single-pass loops in :mod:`repro.eval.pipeline`, regenerating the
   workload and re-simulating the L2 every time.
-* ``backend="replay"`` — the record/replay engine
+* ``backend="replay"`` (the default) — the record/replay engine
   (:mod:`repro.eval.record`): pending tasks are first grouped by their
   :class:`~repro.eval.jobs.RecordTask`, each distinct recording is
   resolved once (from the :class:`~repro.eval.trace_store.TraceStore`
   when one is given, else recorded fresh — in parallel when several are
-  missing), and then every task *replays* the shared stream, so ``--jobs
-  N`` parallelizes replays against one record pass.
+  missing), and then each group is **batch-priced**: one event-major
+  pass (:func:`repro.eval.jobs.price_batch`) walks the shared columns
+  once while every task's state machines consume them in lock-step.
+  ``--jobs N`` parallelizes across recordings (config-major fan-out
+  between groups, event-major vectorization within one).
+* ``backend="replay-perevent"`` — the same two phases, but each task
+  replays the stream on its own through the per-event reference loop
+  (:meth:`~repro.timing.model.SNCTimingSim.replay_events`).  This is
+  the bisection backend batch pricing is pinned against.
 
 Either way the result list comes back **in task order** (completion order
 only affects progress lines), and every simulated result is written back
@@ -48,6 +55,7 @@ from repro.eval.jobs import (
     execute_task,
     execute_task_replay,
     merge_jobs,
+    price_batch,
     record_task_for,
 )
 from repro.eval.pipeline import BenchmarkEvents
@@ -60,8 +68,8 @@ from repro.eval.trace_store import (
 
 Progress = Callable[[str], None]
 
-#: The two ways a task's events can be produced.
-BACKENDS = ("fused", "replay")
+#: The three ways a task's events can be produced.
+BACKENDS = ("fused", "replay", "replay-perevent")
 
 
 @dataclass(frozen=True)
@@ -96,6 +104,15 @@ def _replay_indexed(item: tuple[int, AnyTask, bytes]):
     started = time.perf_counter()
     events = execute_task_replay(task, recording_from_bytes(payload))
     return index, events, time.perf_counter() - started
+
+
+def _batch_indexed(item: tuple[int, tuple[AnyTask, ...], bytes]):
+    """Batch worker: prices one recording's whole task group in a
+    single event-major pass and returns the per-task event lists."""
+    group_index, group_tasks, payload = item
+    started = time.perf_counter()
+    events = price_batch(list(group_tasks), recording_from_bytes(payload))
+    return group_index, events, time.perf_counter() - started
 
 
 def _fan_out(items: list, worker, n_jobs: int, on_result) -> None:
@@ -215,9 +232,9 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
         else:
             pending.append((index, task))
 
-    if backend == "replay" and pending:
+    if backend in ("replay", "replay-perevent") and pending:
         _run_replay(tasks, pending, n_jobs, cache, emit, progress,
-                    trace_store)
+                    trace_store, batch=backend == "replay")
     else:
         def on_simulated(index: int, events: BenchmarkEvents,
                          seconds: float) -> None:
@@ -234,23 +251,38 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
 def _run_replay(tasks: list[AnyTask],
                 pending: list[tuple[int, AnyTask]], n_jobs: int,
                 cache: ResultCache | None, emit, progress,
-                trace_store: TraceStore | None) -> None:
+                trace_store: TraceStore | None, batch: bool) -> None:
     """The replay backend's two phases over the non-cached tasks."""
     # Group by record pass, preserving first-appearance order: distinct
     # (source, scale, seed) triples record once each; everything else
     # about a task is replay-side configuration.
     record_tasks: list[RecordTask] = []
     by_task: dict[int, RecordTask] = {}
-    seen: dict[RecordTask, None] = {}
+    groups: dict[RecordTask, list[tuple[int, AnyTask]]] = {}
     for index, task in pending:
         record_task = record_task_for(task)
         by_task[index] = record_task
-        if record_task not in seen:
-            seen[record_task] = None
+        if record_task not in groups:
             record_tasks.append(record_task)
+        groups.setdefault(record_task, []).append((index, task))
     payloads, recordings = _resolve_recordings(
         record_tasks, n_jobs, trace_store, progress
     )
+
+    def payload_for(record_task: RecordTask) -> bytes:
+        """The wire form for a pool worker — serialized at most once,
+        and only here (a recording made in-process has no payload yet
+        unless the store already wrote one)."""
+        payload = payloads.get(record_task)
+        if payload is None:
+            payload = recording_to_bytes(recordings[record_task])
+            payloads[record_task] = payload
+        return payload
+
+    if batch:
+        _price_groups(record_tasks, groups, payloads, recordings,
+                      payload_for, n_jobs, cache, emit, progress)
+        return
 
     if len(pending) <= 1 or n_jobs == 1:
         # Inline: parse each payload at most once, memoized across the
@@ -270,16 +302,6 @@ def _run_replay(tasks: list[AnyTask],
                  verb="replayed")
         return
 
-    def payload_for(record_task: RecordTask) -> bytes:
-        """The wire form for a pool worker — serialized at most once,
-        and only here (a recording made in-process has no payload yet
-        unless the store already wrote one)."""
-        payload = payloads.get(record_task)
-        if payload is None:
-            payload = recording_to_bytes(recordings[record_task])
-            payloads[record_task] = payload
-        return payload
-
     def on_replayed(index: int, events: BenchmarkEvents,
                     seconds: float) -> None:
         task = tasks[index]
@@ -291,6 +313,66 @@ def _run_replay(tasks: list[AnyTask],
     _fan_out([(index, task, payload_for(by_task[index]))
               for index, task in pending],
              _replay_indexed, n_jobs, on_replayed)
+
+
+def _price_groups(record_tasks: list[RecordTask],
+                  groups: dict[RecordTask, list[tuple[int, AnyTask]]],
+                  payloads: dict[RecordTask, bytes],
+                  recordings: dict[RecordTask, Recording],
+                  payload_for, n_jobs: int,
+                  cache: ResultCache | None, emit, progress) -> None:
+    """Phase 2, batch mode: one event-major pass per recording.
+
+    Each group's tasks are priced together by
+    :func:`~repro.eval.jobs.price_batch`; parallelism is *between*
+    groups (one pool item per recording), never within one — the whole
+    point is that a recording's columns are walked exactly once.  The
+    group's wall time is apportioned evenly across its tasks so run
+    stats still sum to the real simulated time.
+    """
+    n_groups = len(record_tasks)
+
+    def finish(group_index: int, events_list: list[BenchmarkEvents],
+               seconds: float) -> None:
+        record_task = record_tasks[group_index]
+        members = groups[record_task]
+        if progress is not None:
+            progress(
+                f"[batch {group_index + 1}/{n_groups}] "
+                f"{record_task.describe()}: {len(members)} task"
+                f"{'s' if len(members) != 1 else ''} batch-priced "
+                f"in {seconds:.1f}s"
+            )
+        share = seconds / len(members)
+        for (index, task), events in zip(members, events_list):
+            if cache is not None:
+                cache.put(task, events)
+            emit(index, TaskResult(task, events, share, cached=False),
+                 verb="batch-priced")
+
+    if n_groups <= 1 or n_jobs == 1:
+        # Inline: parse each payload at most once (store hits arrive
+        # parsed already; fresh pool recordings arrive as wire bytes).
+        for group_index, record_task in enumerate(record_tasks):
+            recording = recordings.get(record_task)
+            if recording is None:
+                recording = recording_from_bytes(payloads[record_task])
+                recordings[record_task] = recording
+            started = time.perf_counter()
+            events_list = price_batch(
+                [task for _, task in groups[record_task]], recording
+            )
+            finish(group_index, events_list,
+                   time.perf_counter() - started)
+        return
+
+    _fan_out(
+        [(group_index,
+          tuple(task for _, task in groups[record_task]),
+          payload_for(record_task))
+         for group_index, record_task in enumerate(record_tasks)],
+        _batch_indexed, n_jobs, finish,
+    )
 
 
 def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,

@@ -6,22 +6,32 @@ per-reference cost — workload generation plus L2 simulation — once per
 runs, the way :mod:`repro.eval.cache` persists finished task results:
 
 * one file per recording under ``root``, named by a SHA-256 over the
-  record task's canonical configuration, the serialization format version
-  and a fingerprint of the *recording-relevant* modules only (workload
-  generators, the tag-only cache, the recorder itself).  SNC, scheme,
-  integrity and pricing code deliberately stay out of the fingerprint:
-  recordings are configuration-independent, so an edit to Algorithm 1
-  must invalidate cached *results* (:data:`repro.eval.cache.
-  _FINGERPRINT_MODULES` covers that) but may keep replaying the same
-  recorded stream — that reuse is the engine's whole point.
+  record task's canonical configuration and a fingerprint of the
+  *recording-relevant* modules only (workload generators, the tag-only
+  cache, the recorder itself).  SNC, scheme, integrity and pricing code
+  deliberately stay out of the fingerprint: recordings are
+  configuration-independent, so an edit to Algorithm 1 must invalidate
+  cached *results* (:data:`repro.eval.cache._FINGERPRINT_MODULES` covers
+  that) but may keep replaying the same recorded stream — that reuse is
+  the engine's whole point.  The serialization format version is *not*
+  part of the key: a format bump maps the same record task to the same
+  path, so the version check below detects the old file, discards it,
+  and counts a **format upgrade** instead of a silent cold miss.
 * the payload is stdlib-only: a JSON header (identity + measured
-  aggregates) followed by the packed event stream (``struct``, 7 bytes
-  per event) compressed with ``gzip``.
+  aggregates) followed by the event stream as three concatenated typed
+  columns — kinds (u8), line indices (u32 LE), aux (u16 LE) — compressed
+  with ``gzip``.  The columnar planes mirror the in-memory
+  :class:`~repro.eval.record.Recording` columns, decode straight into
+  :mod:`array` buffers, and compress better than interleaved
+  per-event records.
 * **any** anomaly — truncated file, flipped bytes, wrong magic, a format
   bump, a CRC mismatch, an event-count mismatch — degrades to a miss:
   the corrupt file is discarded (best-effort unlink) and the caller
   re-records.  A stale or garbled recording is never replayed
   (``tests/eval/test_trace_store.py`` pins every one of these paths).
+  The store counts what happened (``hits`` / ``misses`` /
+  ``corrupt_discards`` / ``format_upgrades`` / ``put_errors``) so the
+  runner summary can surface silent re-records.
 """
 
 from __future__ import annotations
@@ -31,22 +41,49 @@ import hashlib
 import json
 import os
 import struct
+import sys
 import zlib
+from array import array
 from functools import lru_cache
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.eval.cache import fingerprint_of
-from repro.eval.record import RecordedTask, Recording
+from repro.eval.record import (
+    AUX_TYPECODE,
+    KIND_TYPECODE,
+    LINE_TYPECODE,
+    RecordedTask,
+    Recording,
+)
 
-#: Bump when the on-disk layout changes; old recordings become misses.
-TRACE_FORMAT = 1
+#: Bump when the on-disk layout changes; old recordings are discarded on
+#: first touch and transparently re-recorded (a *format upgrade*).
+#: Format 2: columnar event planes (v1 interleaved 7-byte records).
+TRACE_FORMAT = 2
 
 _MAGIC = b"RPRT"
-#: kind (u8), line index (u32), aux (u16) — aux is the writeback owner
-#: or the incoming task's XOM id.
-_EVENT_STRUCT = struct.Struct("<BIH")
 _PREFIX_STRUCT = struct.Struct("<HI")  # format version, header length
+
+#: Wire typecodes: exact u32/u16 element widths for the line and aux
+#: planes (kinds are single bytes).
+_U32_TYPECODE = next(tc for tc in "ILQ" if array(tc).itemsize == 4)
+_U16_TYPECODE = next(tc for tc in "HIL" if array(tc).itemsize == 2)
+#: Bytes per event across the three planes: 1 (kind) + 4 (line) + 2 (aux).
+_EVENT_BYTES = 7
+
+
+class TraceFormatError(ValueError):
+    """A recording serialized under a different ``TRACE_FORMAT``.
+
+    Distinguished from plain corruption so the store can count format
+    upgrades (old recordings discarded after a version bump) separately
+    from bit rot."""
+
+    def __init__(self, found: int) -> None:
+        super().__init__(f"format {found} != {TRACE_FORMAT}")
+        self.found = found
+
 
 #: Modules whose source determines what gets *recorded* (not how it is
 #: priced or simulated downstream).
@@ -74,8 +111,43 @@ def default_trace_dir() -> Path:
     return Path.home() / ".cache" / "repro-eval" / "traces"
 
 
+def _pack_columns(recording: Recording) -> bytes:
+    """The three event planes, narrowed to their wire widths and
+    concatenated (kinds ‖ lines ‖ aux), little-endian."""
+    try:
+        lines = array(_U32_TYPECODE, recording.lines)
+        aux = array(_U16_TYPECODE, recording.aux)
+    except OverflowError as err:
+        raise ConfigurationError(
+            f"{recording.name}: an event field exceeds the trace format's "
+            "range (line indices must fit 32 bits, owners/tasks 16)"
+        ) from err
+    if sys.byteorder == "big":
+        lines.byteswap()
+        aux.byteswap()
+    return b"".join((
+        recording.kinds.tobytes(), lines.tobytes(), aux.tobytes()
+    ))
+
+
+def _unpack_columns(packed: bytes, event_count: int,
+                    ) -> tuple[array, array, array]:
+    """The wire planes back as the in-memory column types."""
+    kinds = array(KIND_TYPECODE)
+    kinds.frombytes(packed[:event_count])
+    lines_wire = array(_U32_TYPECODE)
+    lines_wire.frombytes(packed[event_count:event_count * 5])
+    aux_wire = array(_U16_TYPECODE)
+    aux_wire.frombytes(packed[event_count * 5:])
+    if sys.byteorder == "big":
+        lines_wire.byteswap()
+        aux_wire.byteswap()
+    return (kinds, array(LINE_TYPECODE, lines_wire),
+            array(AUX_TYPECODE, aux_wire))
+
+
 def recording_to_bytes(recording: Recording) -> bytes:
-    """Serialize: magic, version, JSON header, gzip'd packed events."""
+    """Serialize: magic, version, JSON header, gzip'd column planes."""
     header = {
         "name": recording.name,
         "tasks": [[task.xom_id, task.label, task.xom_slowdown_pct]
@@ -94,18 +166,9 @@ def recording_to_bytes(recording: Recording) -> bytes:
             str(xom_id): count
             for xom_id, count in recording.task_read_misses.items()
         },
-        "event_count": len(recording.events),
+        "event_count": recording.event_count,
     }
-    pack = _EVENT_STRUCT.pack
-    try:
-        packed = b"".join(
-            pack(kind, line, aux) for kind, line, aux in recording.events
-        )
-    except struct.error as err:
-        raise ConfigurationError(
-            f"{recording.name}: an event field exceeds the trace format's "
-            "range (line indices must fit 32 bits, owners/tasks 16)"
-        ) from err
+    packed = _pack_columns(recording)
     header["crc32"] = zlib.crc32(packed)
     header_bytes = json.dumps(header, sort_keys=True).encode()
     return b"".join((
@@ -119,9 +182,10 @@ def recording_to_bytes(recording: Recording) -> bytes:
 def recording_from_bytes(data: bytes) -> Recording:
     """Parse and *verify* a serialized recording.
 
-    Raises ``ValueError`` on any anomaly — wrong magic, version skew,
-    truncation, garbled header, CRC or event-count mismatch — so callers
-    (the store, a pool worker) can treat every failure mode uniformly.
+    Raises ``ValueError`` on any anomaly — wrong magic, version skew
+    (:class:`TraceFormatError`), truncation, garbled header, CRC or
+    event-count mismatch — so callers (the store, a pool worker) can
+    treat every failure mode uniformly.
     """
     prefix_end = len(_MAGIC) + _PREFIX_STRUCT.size
     if data[:len(_MAGIC)] != _MAGIC:
@@ -132,20 +196,21 @@ def recording_from_bytes(data: bytes) -> Recording:
         data[len(_MAGIC):prefix_end]
     )
     if version != TRACE_FORMAT:
-        raise ValueError(f"format {version} != {TRACE_FORMAT}")
+        raise TraceFormatError(version)
     header_end = prefix_end + header_len
     if len(data) < header_end:
         raise ValueError("truncated header")
     header = json.loads(data[prefix_end:header_end])
     packed = gzip.decompress(data[header_end:])
     event_count = header["event_count"]
-    if len(packed) != event_count * _EVENT_STRUCT.size:
+    if len(packed) != event_count * _EVENT_BYTES:
         raise ValueError(
             f"event payload holds {len(packed)} bytes, expected "
             f"{event_count} events"
         )
     if zlib.crc32(packed) != header["crc32"]:
         raise ValueError("event payload CRC mismatch")
+    kinds, lines, aux = _unpack_columns(packed, event_count)
     return Recording(
         name=header["name"],
         tasks=tuple(
@@ -166,7 +231,9 @@ def recording_from_bytes(data: bytes) -> Recording:
             int(xom_id): count
             for xom_id, count in header["task_read_misses"].items()
         },
-        events=list(_EVENT_STRUCT.iter_unpack(packed)),
+        kinds=kinds,
+        lines=lines,
+        aux=aux,
     )
 
 
@@ -177,17 +244,25 @@ class TraceStore:
     on any anomaly (and discard the offending file), writes are atomic
     (tmp + rename) and best-effort — an unwritable store must never abort
     a run whose recording already succeeded.
+
+    Every outcome is counted: ``hits``, ``misses`` (every way a get can
+    fail), ``corrupt_discards`` (a file existed but did not verify),
+    ``format_upgrades`` (the subset of discards caused by a
+    ``TRACE_FORMAT`` skew — old recordings after a bump) and
+    ``put_errors``.  :func:`repro.eval.report.format_trace_stats`
+    renders them in the runner summary.
     """
 
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_trace_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt_discards = 0
+        self.format_upgrades = 0
         self.put_errors = 0
 
     def key_for(self, record_task) -> str:
         digest = hashlib.sha256()
-        digest.update(f"format:{TRACE_FORMAT}\n".encode())
         digest.update(f"code:{record_fingerprint()}\n".encode())
         digest.update(f"task:{record_task.config_hash()}\n".encode())
         return digest.hexdigest()
@@ -209,11 +284,14 @@ class TraceStore:
             return None
         try:
             recording = recording_from_bytes(data)
-        except Exception:
+        except Exception as err:
             # Corrupt (truncated, garbled, version skew, bad gzip/CRC):
             # discard so a stale file can never shadow the re-recorded
             # stream, then report a miss — the caller re-records.
             self.misses += 1
+            self.corrupt_discards += 1
+            if isinstance(err, TraceFormatError):
+                self.format_upgrades += 1
             try:
                 path.unlink()
             except OSError:

@@ -1,0 +1,67 @@
+"""The stable ``repro.eval.api`` facade: exports, figure selection, and
+the rule that benchmarks/examples consume the harness only through it.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.eval import api
+from repro.eval.pipeline import SimulationScale
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_every_advertised_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_run_figures_accepts_all_id_spellings():
+    """'figure5', '5' and 5 select the same figure (no simulation here —
+    only the id-normalization path, via the rejection branch)."""
+    for bad in ("figure99", "99", 99, "fig5"):
+        with pytest.raises(KeyError, match="unknown figure"):
+            api.run_figures([bad], scale=SimulationScale(1, 1))
+
+
+def test_record_and_price_batch_compose(tmp_path):
+    """The facade's phase-1/phase-2 pieces fit together: record a task's
+    stream, batch-price it, and match the per-event reference method."""
+    scale = SimulationScale(warmup_refs=12_000, measure_refs=16_000)
+    task = api.SimulationTask(
+        workload="art",
+        snc_configs=(api.standard_snc_specs()["lru64"],),
+        scale=scale,
+    )
+    recording = api.record(api.record_task_for(task))
+    store = api.TraceStore(tmp_path)
+    store.put(api.record_task_for(task), recording)
+    restored = store.get(api.record_task_for(task))
+    [batched] = api.price_batch([task], restored)
+    configs = {"lru64": api.standard_snc_specs()["lru64"].to_config()}
+    assert batched == restored.replay(configs)
+
+
+def _eval_imports(path: pathlib.Path) -> set[str]:
+    modules = set()
+    for node in ast.walk(ast.parse(path.read_text())):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            modules.add(node.module)
+        elif isinstance(node, ast.Import):
+            modules.update(alias.name for alias in node.names)
+    return {m for m in modules if m.startswith("repro.eval")}
+
+
+@pytest.mark.parametrize("path", sorted(
+    list(REPO.glob("benchmarks/*.py"))
+    + [REPO / "examples" / "snc_design_space.py"],
+), ids=lambda path: path.name)
+def test_benchmarks_and_examples_import_only_the_facade(path):
+    """Deep imports of eval internals from benchmarks/examples are what
+    the facade exists to end; only ``repro.eval.api`` is allowed."""
+    deep = _eval_imports(path) - {"repro.eval.api"}
+    assert not deep, f"{path.name} imports eval internals: {sorted(deep)}"

@@ -29,7 +29,12 @@ from repro.eval.pipeline import (
     simulate_scenario,
     standard_snc_configs,
 )
-from repro.eval.record import record_source, replay_benchmark, replay_scenario
+from repro.eval.record import (
+    ReplayRequest,
+    record_source,
+    replay_benchmark,
+    replay_scenario,
+)
 from repro.eval.trace_store import recording_from_bytes, recording_to_bytes
 from repro.secure.integrity import IntegrityConfig
 from repro.secure.snc import SNCConfig, SNCPolicy
@@ -152,13 +157,18 @@ def test_benchmark_differential(case):
         integrity_providers=integrity_providers,
         l2_lines=l2_lines, l2_assoc=l2_assoc,
     )
-    replayed = replay_benchmark(
-        recording, snc_configs, snc_schemes=snc_schemes,
-        simulate_alt_l2=alt_l2,
+    replayed = recording.replay(
+        snc_configs, snc_schemes, alt_l2=alt_l2,
         integrity_configs=integrity_configs,
         integrity_providers=integrity_providers,
     )
     assert_events_identical(fused, replayed)
+    batched = recording.replay_batch([ReplayRequest(
+        snc_configs=snc_configs, snc_schemes=snc_schemes,
+        alt_l2=alt_l2, integrity_configs=integrity_configs,
+        integrity_providers=integrity_providers,
+    )])[0]
+    assert_events_identical(fused, batched)
 
 
 @pytest.mark.parametrize("case", range(4))
@@ -190,7 +200,18 @@ def test_scenario_differential(case):
         except ConfigurationError:
             continue
     assert recording is not None, "no valid draw in 20 attempts"
-    for strategy in (SwitchStrategy.FLUSH, SwitchStrategy.TAG):
+    strategies = (SwitchStrategy.FLUSH, SwitchStrategy.TAG)
+    # Both strategies priced in ONE batch pass: the hardest sharing case
+    # (same recording, different switch semantics per request).
+    batched = recording.replay_batch([
+        ReplayRequest(
+            snc_configs=snc_configs, snc_schemes=snc_schemes,
+            strategy=strategy, integrity_configs=integrity_configs,
+            integrity_providers=integrity_providers,
+        )
+        for strategy in strategies
+    ])
+    for strategy, batch_events in zip(strategies, batched):
         fused = simulate_scenario(
             MultiTaskInterleaver(names, quantum), scale=scale,
             snc_configs=snc_configs, snc_schemes=snc_schemes,
@@ -199,13 +220,13 @@ def test_scenario_differential(case):
             integrity_providers=integrity_providers,
             l2_lines=l2_lines, l2_assoc=l2_assoc,
         )
-        replayed = replay_scenario(
-            recording, snc_configs, snc_schemes=snc_schemes,
-            switch_strategy=strategy,
+        replayed = recording.replay(
+            snc_configs, snc_schemes, strategy=strategy,
             integrity_configs=integrity_configs,
             integrity_providers=integrity_providers,
         )
         assert_events_identical(fused, replayed)
+        assert_events_identical(fused, batch_events)
 
 
 def test_single_task_scenario_matches_benchmark_recording():
@@ -221,8 +242,12 @@ def test_single_task_scenario_matches_benchmark_recording():
         SingleBenchmark(BY_NAME["art"]), scale=scale,
         snc_configs=configs,
     )
-    replayed = replay_scenario(recording, configs)
+    replayed = recording.replay(configs, strategy=SwitchStrategy.TAG)
     assert_events_identical(fused, replayed)
+    batched = recording.replay_batch([ReplayRequest(
+        snc_configs=configs, strategy=SwitchStrategy.TAG,
+    )])[0]
+    assert_events_identical(fused, batched)
 
 
 def test_standard_configs_full_axis():
@@ -235,6 +260,28 @@ def test_standard_configs_full_axis():
     recording = _round_trip(record_source(
         SingleBenchmark(BY_NAME["mcf"]), scale=scale,
     ))
-    replayed = replay_benchmark(recording, standard_snc_configs(),
-                                simulate_alt_l2=True)
+    replayed = recording.replay(standard_snc_configs(), alt_l2=True)
     assert_events_identical(fused, replayed)
+    batched = recording.replay_batch([ReplayRequest(
+        snc_configs=standard_snc_configs(), alt_l2=True,
+    )])[0]
+    assert_events_identical(fused, batched)
+
+
+def test_deprecated_free_functions_warn_and_delegate():
+    """``replay_benchmark``/``replay_scenario`` stay for one release as
+    thin shims over the :class:`Recording` methods: same events, plus a
+    :class:`DeprecationWarning` naming the replacement."""
+    scale = SimulationScale(warmup_refs=3_000, measure_refs=6_000)
+    configs = {"lru64": standard_snc_configs()["lru64"]}
+    recording = _round_trip(record_source(
+        SingleBenchmark(BY_NAME["gzip"]), scale=scale,
+    ))
+    with pytest.warns(DeprecationWarning, match="Recording.replay"):
+        wrapped = replay_benchmark(recording, configs)
+    assert wrapped == recording.replay(configs)
+    with pytest.warns(DeprecationWarning, match="Recording.replay"):
+        wrapped = replay_scenario(recording, configs,
+                                  switch_strategy=SwitchStrategy.TAG)
+    assert wrapped == recording.replay(configs,
+                                       strategy=SwitchStrategy.TAG)

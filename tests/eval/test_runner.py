@@ -90,3 +90,37 @@ class TestMain:
     def test_rejects_bad_jobs(self, capsys):
         assert main(["--jobs", "0", "--no-cache"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestBackendSelection:
+    def test_valid_backends_accepted(self):
+        parser = build_parser()
+        for name in ("fused", "replay", "replay-perevent"):
+            assert parser.parse_args(["--backend", name]).backend == name
+
+    def test_unknown_backend_gets_a_menu(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--backend", "vectorized"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'vectorized'" in err
+        assert "'replay' (record once, batch-price" in err
+        assert "'replay-perevent'" in err
+        assert "'fused'" in err
+
+    def test_replay_run_reports_trace_store_stats(self, capsys,
+                                                  tmp_path):
+        code = main(["--figures", "5", "--scale", "50000:30000",
+                     "--no-cache",
+                     "--trace-cache-dir", str(tmp_path / "traces")])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace store:" in err
+        # Cold first run: every distinct recording misses once.
+        assert "0 hits" in err
+
+    def test_fused_run_reports_no_trace_stats(self, capsys, tmp_path):
+        code = main(["--figures", "5", "--scale", "50000:30000",
+                     "--backend", "fused", "--no-cache"])
+        assert code == 0
+        assert "trace store:" not in capsys.readouterr().err

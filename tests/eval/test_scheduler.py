@@ -5,7 +5,8 @@ import pytest
 from repro.eval.cache import ResultCache
 from repro.eval.jobs import ExperimentJob, standard_snc_specs
 from repro.eval.pipeline import SimulationScale
-from repro.eval.scheduler import run_jobs, run_tasks
+from repro.eval.scheduler import BACKENDS, run_jobs, run_tasks
+from repro.eval.trace_store import TraceStore
 from repro.eval.jobs import merge_jobs
 
 _SCALE = SimulationScale(warmup_refs=20_000, measure_refs=20_000)
@@ -103,3 +104,56 @@ class TestProgress:
     def test_rejects_nonpositive_n_jobs(self):
         with pytest.raises(ValueError, match="n_jobs"):
             run_tasks([], n_jobs=0)
+
+
+class TestReplayBackends:
+    """The batch-priced default and the per-event bisection backend."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_tasks([], backend="repla")
+
+    def test_backends_tuple_names_all_three(self):
+        assert BACKENDS == ("fused", "replay", "replay-perevent")
+
+    def test_batch_backend_matches_fused(self, serial_results):
+        results = run_tasks(merge_jobs(_jobs()), n_jobs=1,
+                            backend="replay")
+        assert [r.events for r in results] == [
+            r.events for r in serial_results
+        ]
+
+    def test_perevent_backend_matches_fused(self, serial_results):
+        results = run_tasks(merge_jobs(_jobs()), n_jobs=1,
+                            backend="replay-perevent")
+        assert [r.events for r in results] == [
+            r.events for r in serial_results
+        ]
+
+    def test_one_batch_pass_per_recording(self, tmp_path):
+        """A multi-config sweep sharing one workload must price as ONE
+        batch group — the progress log shows exactly one '[batch'
+        line per distinct recording, tasks fan out within it."""
+        specs = standard_snc_specs()
+        jobs = []
+        for keys in (("lru32", "lru64"), ("lru128", "norepl64")):
+            jobs.extend(
+                ExperimentJob(figure="figure6", schemes=("otp",),
+                              workload=name,
+                              snc_configs=tuple(specs[k] for k in keys),
+                              scale=_SCALE)
+                for name in ("art", "vpr")
+            )
+        tasks = merge_jobs(jobs)
+        assert len(tasks) == 2  # one merged task per workload
+        lines: list[str] = []
+        results = run_tasks(tasks, backend="replay",
+                            trace_store=TraceStore(tmp_path),
+                            progress=lines.append)
+        batch_lines = [line for line in lines if "[batch" in line]
+        assert len(batch_lines) == 2  # one per recording, not per task
+        assert all("batch-priced" in line for line in batch_lines)
+        fused = run_tasks(tasks, backend="fused")
+        assert [r.events for r in results] == [
+            r.events for r in fused
+        ]

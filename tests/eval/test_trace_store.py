@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import gzip
 import json
+import random
 import struct
+from array import array
+from dataclasses import replace
 
 import pytest
 
@@ -25,12 +28,27 @@ from repro.eval.jobs import (
     standard_snc_specs,
 )
 from repro.eval.pipeline import SimulationScale
+from repro.eval.record import (
+    AUX_TYPECODE,
+    KIND_TYPECODE,
+    LINE_TYPECODE,
+    RecordedTask,
+    Recording,
+)
+from repro.eval.report import format_trace_stats
 from repro.eval.scheduler import run_tasks
 from repro.eval.trace_store import (
     TRACE_FORMAT,
     TraceStore,
     recording_from_bytes,
     recording_to_bytes,
+)
+from repro.timing.model import (
+    EVENT_ALLOC,
+    EVENT_READ,
+    EVENT_RESET,
+    EVENT_SWITCH,
+    EVENT_WRITEBACK,
 )
 
 _SCALE = SimulationScale(warmup_refs=5_000, measure_refs=10_000)
@@ -59,6 +77,93 @@ def recording():
 def test_round_trip_is_lossless(recording):
     restored = recording_from_bytes(recording_to_bytes(recording))
     assert restored == recording
+
+
+def _random_recording(rng: "random.Random") -> Recording:
+    """A synthetic recording with randomized columns over the *whole*
+    event vocabulary — kinds, 32-bit line indices, owner aux on
+    writebacks, incoming-task aux on switches, RESET boundaries —
+    independent of what any real workload happens to emit."""
+    tasks = tuple(
+        RecordedTask(xom_id, f"task{xom_id}",
+                     rng.choice((25.0, 50.0, 80.0)))
+        for xom_id in range(rng.randint(1, 3))
+    )
+    xom_ids = [task.xom_id for task in tasks]
+    kinds, lines, aux = [], [], []
+
+    def emit(kind, line=0, extra=0):
+        kinds.append(kind)
+        lines.append(line)
+        aux.append(extra)
+
+    n_events = rng.randint(0, 400)
+    reset_at = rng.randrange(n_events) if n_events else None
+    for i in range(n_events):
+        if i == reset_at:
+            emit(EVENT_RESET)
+            continue
+        kind = rng.choice((EVENT_READ, EVENT_ALLOC, EVENT_WRITEBACK,
+                           EVENT_SWITCH))
+        line = rng.randint(0, (1 << 32) - 1)
+        if kind == EVENT_WRITEBACK:
+            emit(kind, line, rng.choice(xom_ids))
+        elif kind == EVENT_SWITCH:
+            emit(kind, 0, rng.choice(xom_ids))
+        else:
+            emit(kind, line)
+    big_l2 = rng.random() < 0.5
+    return Recording(
+        name=rng.choice(("synthetic", "mix(a+b)@q500")),
+        tasks=tasks,
+        warmup_refs=rng.randint(0, 10_000),
+        measure_refs=rng.randint(1, 10_000),
+        seed=rng.randint(1, 999),
+        l2_lines=rng.choice((512, 1024, 2048)),
+        l2_assoc=rng.choice((2, 4, 8)),
+        read_misses=rng.randint(0, 50_000),
+        allocate_misses=rng.randint(0, 50_000),
+        writebacks=rng.randint(0, 50_000),
+        read_misses_big_l2=rng.randint(0, 50_000) if big_l2 else None,
+        allocate_misses_big_l2=(
+            rng.randint(0, 50_000) if big_l2 else None
+        ),
+        task_read_misses={xom: rng.randint(0, 9_999)
+                          for xom in xom_ids},
+        kinds=array(KIND_TYPECODE, kinds),
+        lines=array(LINE_TYPECODE, lines),
+        aux=array(AUX_TYPECODE, aux),
+    )
+
+
+@pytest.mark.parametrize("case", range(20))
+def test_random_streams_round_trip_lossless(case):
+    """Property-style: any well-formed column triple survives the wire
+    format bit-for-bit, whatever mix of kinds, aux values and RESET
+    boundaries it holds — including the empty stream."""
+    rng = random.Random(0xC01 + case)
+    recording = _random_recording(rng)
+    restored = recording_from_bytes(recording_to_bytes(recording))
+    assert restored == recording
+    assert restored.kinds.tolist() == recording.kinds.tolist()
+    assert restored.lines.tolist() == recording.lines.tolist()
+    assert restored.aux.tolist() == recording.aux.tolist()
+
+
+def test_out_of_range_fields_are_rejected_at_put_time():
+    """A line index past 32 bits (or an owner past 16) cannot be
+    narrowed to the wire width; serialization must fail loudly, and the
+    store must count it as a put error rather than persist garbage."""
+    rng = random.Random(7)
+    recording = _random_recording(rng)
+    oversized = replace(
+        recording,
+        kinds=array(KIND_TYPECODE, [EVENT_READ]),
+        lines=array(LINE_TYPECODE, [1 << 32]),
+        aux=array(AUX_TYPECODE, [0]),
+    )
+    with pytest.raises(Exception):
+        recording_to_bytes(oversized)
 
 
 class TestCorruptionDetection:
@@ -161,6 +266,27 @@ class TestStore:
         assert store.get(record_task) is None
         assert not path.exists(), "corrupt recording must be discarded"
 
+    def test_format_upgrade_counted_separately(self, tmp_path,
+                                               recording):
+        """An old-format file is discarded like corruption but counted
+        as a *format upgrade*, so a version bump's silent re-records
+        are visible in the runner summary."""
+        store = TraceStore(tmp_path)
+        record_task = _record_task()
+        store.put(record_task, recording)
+        path = store.path_for(record_task)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, TRACE_FORMAT - 1)
+        path.write_bytes(bytes(data))
+
+        assert store.get(record_task) is None
+        assert not path.exists()
+        assert store.corrupt_discards == 1
+        assert store.format_upgrades == 1
+        stats = format_trace_stats(store)
+        assert "1 format upgrades" in stats
+        assert "1 corrupt discarded" in stats
+
     def test_unwritable_store_is_silent(self, tmp_path, recording):
         blocked = tmp_path / "blocked"
         blocked.write_text("a file, not a directory")
@@ -193,6 +319,35 @@ class TestSchedulerIntegration:
         assert warm.events == reference
         assert any("trace cached" in line for line in lines)
         assert not any("recorded in" in line for line in lines)
+
+    def test_old_format_recording_rerecorded_transparently(
+            self, tmp_path):
+        """The full bump story: a pre-bump file is discarded on first
+        touch, the stream is re-recorded, events still match the fused
+        reference, and the warm run after that hits the fresh file."""
+        store = TraceStore(tmp_path)
+        task = _task("gzip")
+        reference = execute_task(task)
+        [first] = run_tasks([task], backend="replay", trace_store=store)
+        assert first.events == reference
+
+        path = store.path_for(record_task_for(task))
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, TRACE_FORMAT + 3)
+        path.write_bytes(bytes(data))
+
+        lines, progress = self._progress()
+        [again] = run_tasks([task], backend="replay", trace_store=store,
+                            progress=progress)
+        assert again.events == reference
+        assert any("recorded in" in line for line in lines)
+        assert store.format_upgrades == 1
+
+        lines, progress = self._progress()
+        [warm] = run_tasks([task], backend="replay", trace_store=store,
+                           progress=progress)
+        assert warm.events == reference
+        assert any("trace cached" in line for line in lines)
 
     def test_corrupted_recording_rerecords_fresh_events(self, tmp_path):
         store = TraceStore(tmp_path)
