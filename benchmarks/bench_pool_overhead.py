@@ -1,0 +1,256 @@
+"""Benchmark the persistent worker pool against per-run spawn pools.
+
+Three questions, answered with wall-clock numbers in ``BENCH_pool.json``:
+
+* **Cold vs warm pool** — a multi-figure sweep run as F separate
+  invocations at ``--jobs 4`` (the shape of F CLI runs, or F requests
+  to the future eval service).  ``pool="spawn"`` pays pool creation and
+  a cold :mod:`repro` import per worker *per invocation*;
+  ``pool="persistent"`` pays them once, on the first invocation.  The
+  headline field is ``warm_pool_speedup`` (spawn sweep seconds over
+  warm-persistent sweep seconds); CI asserts it stays ≥ 1.2x.
+* **Shm vs pipe shipping** — the same sweep with shared-memory
+  shipping on (default) and forced off (``REPRO_POOL_NO_SHM=1``):
+  how many recording bytes crossed each transport, and the wall time
+  of each mode.  CI asserts shm moves at least the recording payload
+  bytes out of the pickle pipe.
+* **Recordings stay warm** — all runs share one pre-warmed trace
+  store, so the numbers isolate execution-engine overhead, not
+  recording time.
+
+Run as a script to (re)produce ``BENCH_pool.json``::
+
+    PYTHONPATH=src python benchmarks/bench_pool_overhead.py
+    PYTHONPATH=src python benchmarks/bench_pool_overhead.py \\
+        --refs 30000:50000 --figures 5 10 --jobs 4
+
+or under pytest (with the repo's benchmark config) for the invariant
+checks and a tracked timing::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pool_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.eval.api import (
+    QUICK_SCALE,
+    SimulationScale,
+    TraceStore,
+    parse_scale,
+    pool_stats,
+    reset_pool_stats,
+    run_figures,
+    shutdown_worker_pool,
+)
+
+DEFAULT_FIGURES = ("5", "10")
+DEFAULT_JOBS = 4
+
+
+# ------------------------------------------------------------------ timing
+
+
+def _sweep(figures, scale: SimulationScale, n_jobs: int, pool: str,
+           trace_store: TraceStore) -> float:
+    """One multi-figure sweep as len(figures) separate invocations —
+    the per-run pool cost is exactly what's being measured — returning
+    total wall seconds.  No result cache: every run replays for real."""
+    started = time.perf_counter()
+    for figure in figures:
+        run_figures([figure], scale=scale, n_jobs=n_jobs,
+                    backend="replay", trace_store=trace_store, pool=pool)
+    return time.perf_counter() - started
+
+
+def warm_trace_store(figures, scale: SimulationScale,
+                     root: Path) -> TraceStore:
+    """Record every stream the sweep needs, once, inline — the bench
+    then measures pure execution-engine overhead on warm recordings."""
+    store = TraceStore(root)
+    run_figures(figures, scale=scale, n_jobs=1, backend="replay",
+                trace_store=store)
+    return store
+
+
+def time_pool_modes(figures, scale: SimulationScale, n_jobs: int,
+                    trace_store: TraceStore, repeats: int = 3) -> dict:
+    """Spawn-per-run vs persistent cold vs persistent warm, same sweep.
+
+    ``warm_pool_speedup`` is the tentpole number: how much faster the
+    multi-figure sweep runs once the workers already exist and have
+    imported :mod:`repro`.  Spawn and warm repeats are *interleaved*
+    and reduced to medians, so a box-wide load blip hits both modes
+    instead of biasing whichever ran during it."""
+    shutdown_worker_pool()  # the first persistent run is the cold one
+    cold_seconds = _sweep(figures, scale, n_jobs, "persistent",
+                          trace_store)
+    spawn_runs, warm_runs = [], []
+    for _ in range(repeats):
+        spawn_runs.append(
+            _sweep(figures, scale, n_jobs, "spawn", trace_store))
+        warm_runs.append(
+            _sweep(figures, scale, n_jobs, "persistent", trace_store))
+    spawn_seconds = statistics.median(spawn_runs)
+    warm_seconds = statistics.median(warm_runs)
+    return {
+        "figures": list(figures),
+        "n_jobs": n_jobs,
+        "repeats": repeats,
+        "spawn_seconds": round(spawn_seconds, 3),
+        "persistent_cold_seconds": round(cold_seconds, 3),
+        "persistent_warm_seconds": round(warm_seconds, 3),
+        "warm_pool_speedup": round(spawn_seconds / warm_seconds, 3),
+        "cold_start_seconds": round(cold_seconds - warm_seconds, 3),
+        "spawn_runs": [round(s, 3) for s in spawn_runs],
+        "warm_runs": [round(s, 3) for s in warm_runs],
+    }
+
+
+def time_shipping_modes(figures, scale: SimulationScale, n_jobs: int,
+                        trace_store: TraceStore) -> dict:
+    """One warm sweep with shm shipping, one with the pipe fallback
+    forced — bytes moved over each transport plus wall time, and the
+    gzip payload bytes the pipe would otherwise carry."""
+    payload_bytes = sum(
+        path.stat().st_size
+        for path in Path(trace_store.root).glob("*.trace")
+    )
+    shutdown_worker_pool()
+    reset_pool_stats()
+    shm_seconds = _sweep(figures, scale, n_jobs, "persistent",
+                         trace_store)
+    stats = pool_stats()
+    shm = {"seconds": round(shm_seconds, 3),
+           "shipments": stats.shm_shipments,
+           "bytes": stats.shm_bytes,
+           "pipe_bytes": stats.pipe_bytes}
+    shutdown_worker_pool()  # workers must spawn with the override set
+    os.environ["REPRO_POOL_NO_SHM"] = "1"
+    try:
+        reset_pool_stats()
+        pipe_seconds = _sweep(figures, scale, n_jobs, "persistent",
+                              trace_store)
+        stats = pool_stats()
+        pipe = {"seconds": round(pipe_seconds, 3),
+                "shipments": stats.pipe_shipments,
+                "bytes": stats.pipe_bytes,
+                "shm_bytes": stats.shm_bytes}
+    finally:
+        del os.environ["REPRO_POOL_NO_SHM"]
+        shutdown_worker_pool()
+    return {"payload_bytes": payload_bytes, "shm": shm, "pipe": pipe}
+
+
+def bench_pool(figures=DEFAULT_FIGURES, scale: SimulationScale = None,
+               n_jobs: int = DEFAULT_JOBS, trace_dir: Path = None,
+               ) -> dict:
+    """The whole payload: warm the store, time the pool modes, time the
+    shipping modes."""
+    scale = scale or QUICK_SCALE
+    if trace_dir is None:
+        with tempfile.TemporaryDirectory(prefix="bench-pool-") as tmp:
+            return bench_pool(figures, scale, n_jobs, Path(tmp))
+    store = warm_trace_store(figures, scale, trace_dir)
+    modes = time_pool_modes(figures, scale, n_jobs, store)
+    shipping = time_shipping_modes(figures, scale, n_jobs, store)
+    shutdown_worker_pool()
+    return {**modes, "shipping": shipping}
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_warm_pool_beats_spawn_per_run(tmp_path):
+    """The acceptance bar: reusing warm workers across a multi-figure
+    --jobs 4 sweep must beat building a spawn pool per run by ≥ 1.2x
+    (the avoided cost is pool creation + per-worker repro imports)."""
+    scale = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
+    result = bench_pool(DEFAULT_FIGURES, scale, DEFAULT_JOBS, tmp_path)
+    assert result["warm_pool_speedup"] >= 1.2
+    assert result["persistent_warm_seconds"] < result["spawn_seconds"]
+
+
+def test_shm_shipping_moves_the_payload_out_of_the_pipe(tmp_path):
+    """Zero-copy accounting: with shm on, the segments must carry at
+    least the recording payload bytes and the pipe must carry none of
+    them; with shm forced off, the payloads ride the pipe instead."""
+    scale = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
+    figures = DEFAULT_FIGURES[:1]
+    store = warm_trace_store(figures, scale, tmp_path)
+    shipping = time_shipping_modes(figures, scale, DEFAULT_JOBS, store)
+    assert shipping["payload_bytes"] > 0
+    assert shipping["shm"]["bytes"] >= shipping["payload_bytes"]
+    assert shipping["shm"]["pipe_bytes"] == 0
+    assert shipping["pipe"]["shm_bytes"] == 0
+    assert shipping["pipe"]["bytes"] >= shipping["payload_bytes"]
+
+
+def test_bench_payload_shape(tmp_path):
+    """The JSON fields CI's asserts and the perf ledger rely on."""
+    scale = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
+    result = bench_pool(("5",), scale, 2, tmp_path)
+    for field in ("spawn_seconds", "persistent_cold_seconds",
+                  "persistent_warm_seconds", "warm_pool_speedup",
+                  "cold_start_seconds", "shipping"):
+        assert field in result
+    assert result["shipping"]["shm"]["shipments"] >= 1
+
+
+# ------------------------------------------------------------------ script
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refs", type=parse_scale, default=QUICK_SCALE,
+                        help="'full', 'quick' (default) or "
+                             "'warmup:measure' reference counts")
+    parser.add_argument("--figures", nargs="+", default=list(DEFAULT_FIGURES),
+                        help=f"figures to sweep (default "
+                             f"{' '.join(DEFAULT_FIGURES)})")
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                        help=f"workers per run (default {DEFAULT_JOBS})")
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_pool.json"),
+                        help="result file (default ./BENCH_pool.json)")
+    args = parser.parse_args()
+
+    print(f"pool overhead: figures {' '.join(args.figures)} at "
+          f"{args.refs.warmup_refs}+{args.refs.measure_refs} refs, "
+          f"--jobs {args.jobs}, warm trace store")
+    result = bench_pool(tuple(args.figures), args.refs, args.jobs)
+    print(f"  spawn-per-run   {result['spawn_seconds']:7.2f}s")
+    print(f"  persistent cold {result['persistent_cold_seconds']:7.2f}s")
+    print(f"  persistent warm {result['persistent_warm_seconds']:7.2f}s "
+          f"({result['warm_pool_speedup']:.2f}x over spawn)")
+    shipping = result["shipping"]
+    print(f"  shipping: {shipping['shm']['shipments']} shm shipments "
+          f"{shipping['shm']['bytes'] / 1e6:.1f} MB "
+          f"({shipping['shm']['seconds']:.2f}s sweep) vs pipe "
+          f"{shipping['pipe']['bytes'] / 1e6:.1f} MB "
+          f"({shipping['pipe']['seconds']:.2f}s sweep)")
+
+    payload = {
+        "benchmark": "pool_overhead",
+        **result,
+        "scale": {"warmup_refs": args.refs.warmup_refs,
+                  "measure_refs": args.refs.measure_refs},
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"warm pool speedup {result['warm_pool_speedup']:.2f}x "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

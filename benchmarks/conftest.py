@@ -8,13 +8,15 @@ also written to ``benchmarks/results/`` so a plain file records the run.
 
 Scale control: set ``REPRO_BENCH_REFS=warmup:measure`` (e.g. ``30000:50000``)
 to shrink the trace for a quick pass; the default is the full scale used
-for EXPERIMENTS.md.  Set ``REPRO_BENCH_JOBS=N`` to fan the per-benchmark
-simulations over N worker processes (the same scheduler ``python -m
-repro.eval --jobs N`` uses), ``REPRO_BENCH_CACHE=1`` to reuse the
-on-disk result cache across benchmark sessions, and
-``REPRO_BENCH_BACKEND=replay`` to produce the events through the
-record/replay engine (with the on-disk trace store; results are
-byte-identical to the default fused path).
+for EXPERIMENTS.md.  Set ``REPRO_BENCH_JOBS=N`` (or ``auto`` for one
+worker per CPU) to fan the per-benchmark simulations over N worker
+processes (the same scheduler ``python -m repro.eval --jobs N`` uses),
+``REPRO_BENCH_POOL=persistent|spawn`` to pick how those workers are
+hosted (default persistent — the warm process-wide pool),
+``REPRO_BENCH_CACHE=1`` to reuse the on-disk result cache across
+benchmark sessions, and ``REPRO_BENCH_BACKEND=replay`` to produce the
+events through the record/replay engine (with the on-disk trace store;
+results are byte-identical to the default fused path).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import pytest
 
 from repro.eval.api import (
     BACKENDS,
+    POOLS,
     ResultCache,
     SimulationScale,
     TraceStore,
@@ -54,14 +57,18 @@ def bench_events():
     """
     jobs = plan_jobs(scale=_scale_from_env())
     raw_jobs = os.environ.get("REPRO_BENCH_JOBS", "1")
-    try:
-        n_jobs = int(raw_jobs)
-        if n_jobs < 1:
-            raise ValueError
-    except ValueError:
-        raise pytest.UsageError(
-            f"REPRO_BENCH_JOBS must be a positive integer, got {raw_jobs!r}"
-        ) from None
+    if raw_jobs == "auto":
+        n_jobs = os.cpu_count() or 1
+    else:
+        try:
+            n_jobs = int(raw_jobs)
+            if n_jobs < 1:
+                raise ValueError
+        except ValueError:
+            raise pytest.UsageError(
+                "REPRO_BENCH_JOBS must be a positive integer or "
+                f"'auto', got {raw_jobs!r}"
+            ) from None
     cache = None
     if os.environ.get("REPRO_BENCH_CACHE") == "1":
         cache = ResultCache()
@@ -71,9 +78,14 @@ def bench_events():
             f"REPRO_BENCH_BACKEND must be one of {BACKENDS}, "
             f"got {backend!r}"
         )
+    pool = os.environ.get("REPRO_BENCH_POOL", "persistent")
+    if pool not in POOLS:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_POOL must be one of {POOLS}, got {pool!r}"
+        )
     trace_store = TraceStore() if backend == "replay" else None
     return run_jobs(jobs, n_jobs=n_jobs, cache=cache, backend=backend,
-                    trace_store=trace_store)
+                    trace_store=trace_store, pool=pool)
 
 
 @pytest.fixture(scope="session")

@@ -33,6 +33,17 @@ facade promises:
     ``"replay-perevent"``) plus ``cache=`` / ``trace_store=`` and
     produce byte-identical events either way.
 
+**The execution engine**
+    Parallel runs (``n_jobs > 1``) are hosted by one of :data:`POOLS`:
+    ``pool="persistent"`` (default) reuses the process-wide warm
+    :class:`WorkerPool` (:func:`get_worker_pool` /
+    :func:`shutdown_worker_pool`) with shared-memory recording
+    shipping; ``pool="spawn"`` builds a fresh pool per call.
+    :func:`pool_stats` exposes the engine's counters and
+    :func:`format_pool_stats` renders them as the runner's summary
+    line.  Both modes are byte-identical to each other and to
+    ``n_jobs=1``.
+
 **Formatting**
     :func:`format_figure`, :func:`format_summary`,
     :func:`format_scenario_table`, :func:`format_integrity_table`,
@@ -100,10 +111,19 @@ from repro.eval.pipeline import (
     simulate_scenario,
     standard_snc_configs,
 )
+from repro.eval.pool import (
+    PoolStats,
+    WorkerPool,
+    get_worker_pool,
+    pool_stats,
+    reset_pool_stats,
+    shutdown_worker_pool,
+)
 from repro.eval.record import Recording, ReplayRequest, record_source
 from repro.eval.report import (
     format_figure,
     format_integrity_table,
+    format_pool_stats,
     format_run_stats,
     format_scenario_table,
     format_summary,
@@ -111,6 +131,7 @@ from repro.eval.report import (
 )
 from repro.eval.scheduler import (
     BACKENDS,
+    POOLS,
     TaskResult,
     run_jobs,
     run_tasks,
@@ -124,6 +145,7 @@ def run_figures(figure_ids=None, *, scale: SimulationScale | None = None,
                 cache: ResultCache | None = None,
                 progress=None, backend: str = "replay",
                 trace_store: TraceStore | None = None,
+                pool: str = "persistent",
                 ) -> list[FigureResult]:
     """Simulate and price the selected figures (default: all seven).
 
@@ -148,7 +170,8 @@ def run_figures(figure_ids=None, *, scale: SimulationScale | None = None,
             names.append(name)
     events = run_jobs(plan_jobs(names, scale=scale, seed=seed),
                       n_jobs=n_jobs, cache=cache, progress=progress,
-                      backend=backend, trace_store=trace_store)
+                      backend=backend, trace_store=trace_store,
+                      pool=pool)
     return [FIGURES_BY_ID[name](events) for name in names]
 
 
@@ -165,6 +188,8 @@ __all__ = [
     "INTEGRITY_WORKLOADS",
     "IntegrityModelSpec",
     "PAPER_LATENCIES",
+    "POOLS",
+    "PoolStats",
     "QUICK_SCALE",
     "RecordTask",
     "Recording",
@@ -182,6 +207,7 @@ __all__ = [
     "SourceSpec",
     "TaskResult",
     "TraceStore",
+    "WorkerPool",
     "default_cache_dir",
     "default_trace_dir",
     "figure3",
@@ -193,10 +219,12 @@ __all__ = [
     "figure10",
     "format_figure",
     "format_integrity_table",
+    "format_pool_stats",
     "format_run_stats",
     "format_scenario_table",
     "format_summary",
     "format_trace_stats",
+    "get_worker_pool",
     "index_scenario_results",
     "integrity_slowdowns",
     "integrity_table_keys",
@@ -204,10 +232,12 @@ __all__ = [
     "merge_scenario_jobs",
     "parse_scale",
     "plan_jobs",
+    "pool_stats",
     "price_batch",
     "record",
     "record_source",
     "record_task_for",
+    "reset_pool_stats",
     "run_all_benchmarks",
     "run_everything",
     "run_figures",
@@ -220,6 +250,7 @@ __all__ = [
     "scenario_slowdowns",
     "scenario_snc_specs",
     "scheme_config_key",
+    "shutdown_worker_pool",
     "simulate_benchmark",
     "simulate_scenario",
     "standard_snc_configs",

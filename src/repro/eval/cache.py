@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+import itertools
 import json
 import os
 from dataclasses import asdict
@@ -90,6 +91,35 @@ def code_fingerprint() -> str:
     return fingerprint_of(_fingerprint_module_names())
 
 
+#: Disambiguates temp names within one process (pid alone is not enough:
+#: concurrent threads, or a pool worker writing two entries back-to-back,
+#: must never collide on the scratch file).
+_TMP_SEQ = itertools.count()
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write-to-temp + rename with a *writer-unique* temp name.
+
+    Both on-disk stores use this; a shared temp name (``path`` with a
+    ``.tmp`` suffix) races under concurrent writers — two processes
+    writing the same key interleave their bytes in one scratch file and
+    one of them renames a torn hybrid into place.  A per-writer name
+    (pid + sequence) keeps every rename atomic and whole-file.  The
+    scratch file is removed on failure so crashed writers do not litter
+    the store; any exception propagates for the caller to count.
+    """
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_EVAL_CACHE_DIR``, or ``~/.cache/repro-eval``."""
     override = os.environ.get("REPRO_EVAL_CACHE_DIR")
@@ -150,9 +180,9 @@ class ResultCache:
         }
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            path = self.path_for(task)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-            os.replace(tmp, path)
+            atomic_write_bytes(
+                self.path_for(task),
+                json.dumps(payload, sort_keys=True, indent=1).encode(),
+            )
         except OSError:
             self.put_errors += 1

@@ -126,17 +126,19 @@ def run_all_benchmarks(scale: SimulationScale | None = None,
                        progress: Progress | None = None,
                        backend: str = "fused",
                        trace_store: TraceStore | None = None,
+                       pool: str = "persistent",
                        ) -> dict[str, BenchmarkEvents]:
     """Simulate all 11 benchmarks once; every figure prices these events.
 
     Declares the union of every figure's jobs and hands them to the
-    scheduler, so callers get parallelism (``n_jobs``), result caching
-    and the record/replay backend (``backend``/``trace_store``) for free
-    while ``n_jobs=1`` stays bit-identical to the historical serial loop.
+    scheduler, so callers get parallelism (``n_jobs``/``pool``), result
+    caching and the record/replay backend (``backend``/``trace_store``)
+    for free while ``n_jobs=1`` stays bit-identical to the historical
+    serial loop.
     """
     return run_jobs(plan_jobs(scale=scale, seed=seed), n_jobs=n_jobs,
                     cache=cache, progress=progress, backend=backend,
-                    trace_store=trace_store)
+                    trace_store=trace_store, pool=pool)
 
 
 @dataclass
@@ -433,7 +435,8 @@ def run_scenario_tasks(jobs: list[ScenarioJob], n_jobs: int = 1,
                        cache: ResultCache | None = None,
                        progress: Progress | None = None,
                        backend: str = "fused",
-                       trace_store: TraceStore | None = None) -> list:
+                       trace_store: TraceStore | None = None,
+                       pool: str = "persistent") -> list:
     """Merge and schedule scenario jobs, returning the raw
     :class:`~repro.eval.scheduler.TaskResult` list (for run stats);
     :func:`run_scenarios` is the indexed convenience wrapper."""
@@ -447,7 +450,7 @@ def run_scenario_tasks(jobs: list[ScenarioJob], n_jobs: int = 1,
         )
     return run_tasks(tasks, n_jobs=n_jobs, cache=cache,
                      progress=progress, backend=backend,
-                     trace_store=trace_store)
+                     trace_store=trace_store, pool=pool)
 
 
 def index_scenario_results(results: list,
@@ -465,6 +468,7 @@ def run_scenarios(jobs: list[ScenarioJob], n_jobs: int = 1,
                   progress: Progress | None = None,
                   backend: str = "fused",
                   trace_store: TraceStore | None = None,
+                  pool: str = "persistent",
                   ) -> dict[tuple[str, str], BenchmarkEvents]:
     """Merge, schedule and index scenario jobs: the scenario analogue of
     :func:`run_all_benchmarks`, returning events keyed by
@@ -472,7 +476,7 @@ def run_scenarios(jobs: list[ScenarioJob], n_jobs: int = 1,
     return index_scenario_results(
         run_scenario_tasks(jobs, n_jobs=n_jobs, cache=cache,
                            progress=progress, backend=backend,
-                           trace_store=trace_store)
+                           trace_store=trace_store, pool=pool)
     )
 
 
@@ -567,13 +571,14 @@ def run_integrity_sweep(workloads: Sequence[str] = INTEGRITY_WORKLOADS,
                         progress: Progress | None = None,
                         backend: str = "fused",
                         trace_store: TraceStore | None = None,
+                        pool: str = "persistent",
                         ) -> dict[str, BenchmarkEvents]:
     """Declare, schedule and index the integrity experiment's events."""
     return run_jobs(
         integrity_jobs(workloads, node_cache_sizes, scale=scale,
                        seed=seed),
         n_jobs=n_jobs, cache=cache, progress=progress, backend=backend,
-        trace_store=trace_store,
+        trace_store=trace_store, pool=pool,
     )
 
 
@@ -608,9 +613,10 @@ def run_everything(scale: SimulationScale | None = None,
                    cache: ResultCache | None = None,
                    backend: str = "fused",
                    trace_store: TraceStore | None = None,
+                   pool: str = "persistent",
                    ) -> list[FigureResult]:
     """Simulate once, regenerate every figure."""
     events = run_all_benchmarks(scale=scale, seed=seed, n_jobs=n_jobs,
                                 cache=cache, backend=backend,
-                                trace_store=trace_store)
+                                trace_store=trace_store, pool=pool)
     return [figure(events) for figure in ALL_FIGURES]

@@ -194,6 +194,46 @@ def format_trace_stats(store) -> str:
     return ", ".join(parts)
 
 
+def format_pool_stats(stats) -> str:
+    """One line about the persistent pool
+    (:func:`repro.eval.pool.pool_stats`): whether the warm workers were
+    reused or respawned, how recordings reached them (shared memory vs
+    the pickle pipe), and what duplicate work was avoided.  The runner
+    prints this after every ``--pool persistent`` run with ``--jobs``
+    > 1; CI greps it to pin "workers spawned once" and "shm" on the
+    smoke sweeps."""
+    if stats.workers_respawned:
+        workers = (f"pool: {stats.workers_spawned} workers "
+                   f"({stats.workers_respawned} respawned after death)")
+    else:
+        workers = (f"pool: {stats.workers_spawned} worker"
+                   f"{'s' if stats.workers_spawned != 1 else ''} "
+                   "spawned once")
+    parts = [
+        workers,
+        f"{stats.tasks_dispatched} task"
+        f"{'s' if stats.tasks_dispatched != 1 else ''} dispatched",
+        f"{stats.shm_shipments} shm shipment"
+        f"{'s' if stats.shm_shipments != 1 else ''} "
+        f"({stats.shm_bytes / 1e6:.1f} MB zero-copy)",
+    ]
+    if stats.pipe_shipments:
+        parts.append(
+            f"{stats.pipe_shipments} pipe shipment"
+            f"{'s' if stats.pipe_shipments != 1 else ''} "
+            f"({stats.pipe_bytes / 1e6:.1f} MB pickled)"
+        )
+    if stats.tasks_retried:
+        parts.append(f"{stats.tasks_retried} retried inline")
+    if stats.records_deduped:
+        parts.append(
+            f"{stats.records_deduped} record pass"
+            f"{'es' if stats.records_deduped != 1 else ''} "
+            "deduped in flight"
+        )
+    return ", ".join(parts)
+
+
 def format_run_stats(results: list[TaskResult]) -> str:
     """One line about a scheduler pass: cache hits and simulation time."""
     simulated = [result for result in results if not result.cached]

@@ -6,6 +6,8 @@ Examples::
     python -m repro.eval --figures 5 10       # just Figures 5 and 10
     python -m repro.eval --scale quick        # fast smoke (short traces)
     python -m repro.eval --scale quick --jobs 4   # fan out 4 processes
+    python -m repro.eval --jobs auto          # one worker per CPU
+    python -m repro.eval --pool spawn         # fresh pool per run
     python -m repro.eval --no-cache           # force re-simulation
     python -m repro.eval --backend fused      # the reference single-pass
     python -m repro.eval --no-trace-cache     # re-record event streams
@@ -15,6 +17,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -27,13 +30,15 @@ from repro.eval.experiments import (
 )
 from repro.eval.jobs import merge_jobs
 from repro.eval.pipeline import QUICK_SCALE, SimulationScale
+from repro.eval.pool import pool_stats
 from repro.eval.report import (
     format_figure,
+    format_pool_stats,
     format_run_stats,
     format_summary,
     format_trace_stats,
 )
-from repro.eval.scheduler import BACKENDS, run_tasks
+from repro.eval.scheduler import BACKENDS, POOLS, run_tasks
 from repro.eval.trace_store import TraceStore, default_trace_dir
 
 _FIGURES_BY_NUMBER = {
@@ -79,6 +84,45 @@ def parse_backend(text: str) -> str:
     )
 
 
+def parse_jobs(text: str) -> int:
+    """A ``--jobs`` value: a worker count, or ``auto`` for one worker
+    per CPU — rejected with a menu rather than a bare 'invalid int'."""
+    if text == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(text)
+    except ValueError:
+        jobs = 0
+    if jobs >= 1:
+        return jobs
+    raise argparse.ArgumentTypeError(
+        f"invalid --jobs value {text!r} — pick a worker count >= 1, or "
+        f"'auto' (one worker per CPU: {os.cpu_count() or 1} here)"
+    )
+
+
+#: What each pool mode does, for the ``--pool`` error message.
+_POOL_SUMMARIES = {
+    "persistent": "warm process-wide workers reused across runs, "
+                  "shared-memory recording shipping",
+    "spawn": "a fresh pool per run (the historical baseline)",
+}
+
+
+def parse_pool(text: str) -> str:
+    """A ``--pool`` value, rejected with a menu rather than a bare
+    'invalid choice' when it names no pool mode."""
+    if text in POOLS:
+        return text
+    menu = "; ".join(
+        f"'{name}' ({_POOL_SUMMARIES[name]})" for name in POOLS
+    )
+    raise argparse.ArgumentTypeError(
+        f"unknown pool {text!r} — pick one of {menu}; both produce "
+        "byte-identical tables"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
@@ -99,9 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
              "counts",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=parse_jobs, default=1, metavar="N|auto",
         help="worker processes for the simulation fan-out (default 1: "
-             "serial, bit-identical to the historical path)",
+             "serial, bit-identical to the historical path; 'auto' "
+             "uses one worker per CPU)",
+    )
+    parser.add_argument(
+        "--pool", type=parse_pool, default="persistent",
+        metavar="|".join(POOLS),
+        help="how parallel workers are hosted: 'persistent' (default) "
+             "reuses warm process-wide workers and ships recordings "
+             "through shared memory; 'spawn' builds a fresh pool per "
+             "run (both byte-identical; ignored when --jobs is 1)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -143,9 +196,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
 
     figure_ids = [f"figure{number}" for number in args.figures]
     jobs = plan_jobs(figure_ids, scale=args.scale, seed=args.seed)
@@ -162,13 +212,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
         f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
         f"measured refs each, {args.jobs} worker"
-        f"{'s' if args.jobs != 1 else ''}, {args.backend} backend)...",
+        f"{'s' if args.jobs != 1 else ''}, {args.backend} backend"
+        f"{f', {args.pool} pool' if args.jobs > 1 else ''})...",
         file=sys.stderr,
     )
     task_results = run_tasks(
         tasks, n_jobs=args.jobs, cache=cache,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
-        backend=args.backend, trace_store=trace_store,
+        backend=args.backend, trace_store=trace_store, pool=args.pool,
     )
     events = {result.task.workload: result.events
               for result in task_results}
@@ -179,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if trace_store is not None:
         print(format_trace_stats(trace_store), file=sys.stderr)
+    if args.pool == "persistent" and args.jobs > 1:
+        print(format_pool_stats(pool_stats()), file=sys.stderr)
     print(file=sys.stderr)
 
     results = []

@@ -8,10 +8,25 @@ the executor is a straight fan-out:
 * ``n_jobs == 1`` (the default) runs everything inline in this process:
   zero scheduling overhead, and results bit-identical to the historical
   serial path.
-* ``n_jobs > 1`` fans the non-cached tasks over a ``spawn``-context
-  process pool.  Workers re-import :mod:`repro` fresh, so results cannot
+* ``n_jobs > 1`` fans the non-cached tasks over worker processes, in
+  one of two pool modes (:data:`POOLS`):
+
+  - ``pool="persistent"`` (the default) — the process-wide warm
+    :class:`~repro.eval.pool.WorkerPool`: workers are spawned once per
+    process and reused across every ``run_tasks``/``run_jobs`` call, so
+    a multi-figure sweep pays one pool cold-start instead of one per
+    figure.  Recordings ship to workers through shared memory
+    (zero-copy; pipe fallback) and the shipments stay cached on the
+    pool across runs, identical record passes are deduped in flight,
+    and a crashed worker is respawned with its task retried once
+    inline.
+  - ``pool="spawn"`` — the historical per-call ``spawn``-context
+    ``multiprocessing.Pool``, kept as the bisection baseline (and for
+    embedders that must not hold processes between calls).
+
+  Workers re-import :mod:`repro` fresh in both modes, so results cannot
   depend on parent-process state; each returns its events plus its own
-  wall time.
+  wall time, and both modes are byte-identical to the inline path.
 
 Three execution backends produce identical events (the differential
 suite and the byte-identical table checks in CI pin this):
@@ -59,6 +74,12 @@ from repro.eval.jobs import (
     record_task_for,
 )
 from repro.eval.pipeline import BenchmarkEvents
+from repro.eval.pool import (
+    claim_record,
+    get_worker_pool,
+    remember_recording,
+    resolve_recording_ref,
+)
 from repro.eval.record import Recording
 from repro.eval.trace_store import (
     TraceStore,
@@ -70,6 +91,9 @@ Progress = Callable[[str], None]
 
 #: The three ways a task's events can be produced.
 BACKENDS = ("fused", "replay", "replay-perevent")
+
+#: The two ways parallel work is hosted (``n_jobs == 1`` ignores both).
+POOLS = ("persistent", "spawn")
 
 
 @dataclass(frozen=True)
@@ -91,62 +115,92 @@ def _run_indexed(item: tuple[int, AnyTask]):
 
 def _record_indexed(item: tuple[int, RecordTask]):
     """Phase 1 worker: returns the serialized recording (the compact
-    wire form the store persists and replay workers consume as-is)."""
+    wire form the store persists and replay workers consume as-is).
+    A persistent-pool worker also keeps the decoded recording in its
+    LRU, so its own phase-2 tasks on this recording skip the decode."""
     index, record_task = item
     started = time.perf_counter()
     recording = execute_record(record_task)
+    remember_recording(record_task.config_hash(), recording)
     payload = recording_to_bytes(recording)
     return index, payload, time.perf_counter() - started
 
 
-def _replay_indexed(item: tuple[int, AnyTask, bytes]):
-    index, task, payload = item
+def _replay_indexed(item: tuple[int, AnyTask, dict]):
+    index, task, ref = item
     started = time.perf_counter()
-    events = execute_task_replay(task, recording_from_bytes(payload))
+    events = execute_task_replay(task, resolve_recording_ref(ref))
     return index, events, time.perf_counter() - started
 
 
-def _batch_indexed(item: tuple[int, tuple[AnyTask, ...], bytes]):
+def _batch_indexed(item: tuple[int, tuple[AnyTask, ...], dict]):
     """Batch worker: prices one recording's whole task group in a
     single event-major pass and returns the per-task event lists."""
-    group_index, group_tasks, payload = item
+    group_index, group_tasks, ref = item
     started = time.perf_counter()
-    events = price_batch(list(group_tasks), recording_from_bytes(payload))
+    events = price_batch(list(group_tasks), resolve_recording_ref(ref))
     return group_index, events, time.perf_counter() - started
 
 
-def _fan_out(items: list, worker, n_jobs: int, on_result) -> None:
-    """Run indexed work items serially (zero scheduling overhead) or
-    across a spawn-context pool, handing each worker's result tuple to
-    ``on_result`` as it completes.  The one fan-out used by every phase
-    — fused tasks, record passes, replays."""
+def _spawn_chunksize(n_items: int, workers: int) -> int:
+    """Chunk so each worker sees ~4 batches — enough slack to balance
+    uneven task costs, but far from the per-item pickle round-trips
+    ``chunksize=1`` pays on many tiny replay tasks."""
+    return max(1, n_items // (workers * 4))
+
+
+def _fan_out(items: list, worker, n_jobs: int, on_result,
+             pool: str = "spawn") -> None:
+    """Run indexed work items serially (zero scheduling overhead), on
+    the process-wide persistent pool, or across a fresh spawn-context
+    pool, handing each worker's result tuple to ``on_result`` as it
+    completes.  The one fan-out used by every phase — fused tasks,
+    record passes, replays."""
     if len(items) <= 1 or n_jobs == 1:
         for item in items:
             on_result(*worker(item))
         return
-    context = multiprocessing.get_context("spawn")
     workers = min(n_jobs, len(items))
-    with context.Pool(processes=workers) as pool:
-        for result in pool.imap_unordered(worker, items, chunksize=1):
+    if pool == "persistent":
+        get_worker_pool(workers).run(worker, items, on_result,
+                                     max_workers=workers)
+        return
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=workers) as mp_pool:
+        for result in mp_pool.imap_unordered(
+            worker, items,
+            chunksize=_spawn_chunksize(len(items), workers),
+        ):
             on_result(*result)
 
 
 def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
                         trace_store: TraceStore | None,
                         progress: Progress | None,
+                        pool: str = "spawn",
+                        want_recordings: bool = True,
                         ) -> tuple[dict[RecordTask, bytes],
                                    dict[RecordTask, Recording]]:
     """Phase 1: one recording per distinct record task, as wire payloads.
 
-    Store hits are served first; the misses are recorded — across the
-    pool when there are several and ``n_jobs > 1`` — and written back to
-    the store.  Payloads travel as the bytes the store read or the
-    worker produced (never re-serialized); parsed :class:`Recording`
-    objects come back only where one already exists, callers parse the
-    rest on demand."""
+    Store hits are served first.  Of the misses, record passes already
+    in flight elsewhere in this process (a concurrent ``run_tasks`` on
+    another thread) are *joined* rather than repeated — this call
+    records only the passes it claimed first, then collects the rest
+    from their owners.  Claimed passes are recorded across the pool
+    when there are several and ``n_jobs > 1``, and written back to the
+    store.  Payloads travel as the bytes the store read or the worker
+    produced (never re-serialized); parsed :class:`Recording` objects
+    come back only where one already exists, callers parse the rest on
+    demand.  A caller that will fan phase 2 out (the payloads ship to
+    workers as-is) passes ``want_recordings=False``: store hits are
+    then read verify-only (:meth:`TraceStore.get_payload`) and the
+    parent never pays the column decode."""
     payloads: dict[RecordTask, bytes] = {}
     recordings: dict[RecordTask, Recording] = {}
     pending: list[tuple[int, RecordTask]] = []
+    claims: dict[RecordTask, object] = {}
+    joined: list[tuple[int, RecordTask, object]] = []
     total = len(record_tasks)
 
     def emit(index: int, record_task: RecordTask, how: str) -> None:
@@ -155,41 +209,89 @@ def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
                      f"{record_task.describe()}: {how}")
 
     for index, record_task in enumerate(record_tasks):
-        entry = (trace_store.get_entry(record_task)
-                 if trace_store is not None else None)
-        if entry is not None:
-            recordings[record_task], payloads[record_task] = entry
-            emit(index, record_task, "trace cached")
-        else:
-            pending.append((index, record_task))
-
-    if len(pending) <= 1 or n_jobs == 1:
-        # In-process: keep the Recording object itself — serialization
-        # happens only if the store persists it (inside ``put``) or a
-        # pool of replay workers later needs the wire form.
-        for index, record_task in pending:
-            started = time.perf_counter()
-            recording = execute_record(record_task)
-            seconds = time.perf_counter() - started
-            recordings[record_task] = recording
-            if trace_store is not None:
-                # ``put`` returns the wire form it packed, so a later
-                # pool of replay workers reuses it instead of packing
-                # the same recording a second time.
-                payload = trace_store.put(record_task, recording)
+        if trace_store is not None:
+            if want_recordings:
+                entry = trace_store.get_entry(record_task)
+                if entry is not None:
+                    recordings[record_task] = entry[0]
+                    payloads[record_task] = entry[1]
+                    emit(index, record_task, "trace cached")
+                    continue
+            else:
+                payload = trace_store.get_payload(record_task)
                 if payload is not None:
                     payloads[record_task] = payload
-            emit(index, record_task, f"recorded in {seconds:.1f}s")
-        return payloads, recordings
+                    emit(index, record_task, "trace cached")
+                    continue
+        claim, is_owner = claim_record(record_task.config_hash())
+        if is_owner:
+            claims[record_task] = claim
+            pending.append((index, record_task))
+        else:
+            joined.append((index, record_task, claim))
 
-    def on_recorded(index: int, payload: bytes, seconds: float) -> None:
-        record_task = record_tasks[index]
-        payloads[record_task] = payload
+    try:
+        if len(pending) <= 1 or n_jobs == 1:
+            # In-process: keep the Recording object itself —
+            # serialization happens only if the store persists it
+            # (inside ``put``) or a pool of replay workers later needs
+            # the wire form.
+            for index, record_task in pending:
+                started = time.perf_counter()
+                recording = execute_record(record_task)
+                seconds = time.perf_counter() - started
+                recordings[record_task] = recording
+                if trace_store is not None:
+                    # ``put`` returns the wire form it packed, so a
+                    # later pool of replay workers reuses it instead of
+                    # packing the same recording a second time.
+                    payload = trace_store.put(record_task, recording)
+                    if payload is not None:
+                        payloads[record_task] = payload
+                claims.pop(record_task).publish(
+                    payloads.get(record_task), recording
+                )
+                emit(index, record_task, f"recorded in {seconds:.1f}s")
+        else:
+            def on_recorded(index: int, payload: bytes,
+                            seconds: float) -> None:
+                record_task = record_tasks[index]
+                payloads[record_task] = payload
+                if trace_store is not None:
+                    trace_store.put(record_task, payload=payload)
+                claims.pop(record_task).publish(payload, None)
+                emit(index, record_task, f"recorded in {seconds:.1f}s")
+
+            _fan_out(pending, _record_indexed, n_jobs, on_recorded,
+                     pool=pool)
+    finally:
+        # A record pass that died must not strand its waiters — they
+        # fall back to recording for themselves.
+        for claim in claims.values():
+            claim.fail()
+
+    for index, record_task, claim in joined:
+        shared = claim.wait()
+        if shared is not None:
+            payload, recording = shared
+            if payload is not None:
+                payloads[record_task] = payload
+                if trace_store is not None:
+                    trace_store.put(record_task, payload=payload)
+            if recording is not None:
+                recordings[record_task] = recording
+            emit(index, record_task, "deduped (record in flight)")
+            continue
+        # Owner failed or timed out: record it ourselves after all.
+        started = time.perf_counter()
+        recording = execute_record(record_task)
+        seconds = time.perf_counter() - started
+        recordings[record_task] = recording
         if trace_store is not None:
-            trace_store.put(record_task, payload=payload)
+            payload = trace_store.put(record_task, recording)
+            if payload is not None:
+                payloads[record_task] = payload
         emit(index, record_task, f"recorded in {seconds:.1f}s")
-
-    _fan_out(pending, _record_indexed, n_jobs, on_recorded)
     return payloads, recordings
 
 
@@ -197,19 +299,26 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
               cache: ResultCache | None = None,
               progress: Progress | None = None,
               backend: str = "fused",
-              trace_store: TraceStore | None = None) -> list[TaskResult]:
+              trace_store: TraceStore | None = None,
+              pool: str = "persistent") -> list[TaskResult]:
     """Execute tasks — figure and scenario alike — in task order.
 
     Cache hits are resolved first (and never occupy a worker); the
     remainder runs inline (``n_jobs == 1``) or across a process pool,
     through the selected ``backend``.  ``trace_store`` persists replay
     recordings across runs; it is only consulted by the replay backend.
+    ``pool`` picks how parallel work is hosted (:data:`POOLS`) and is
+    ignored when everything runs inline.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r} (expected one of {BACKENDS})"
+        )
+    if pool not in POOLS:
+        raise ValueError(
+            f"unknown pool {pool!r} (expected one of {POOLS})"
         )
     total = len(tasks)
     results: list[TaskResult | None] = [None] * total
@@ -234,7 +343,7 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
 
     if backend in ("replay", "replay-perevent") and pending:
         _run_replay(tasks, pending, n_jobs, cache, emit, progress,
-                    trace_store, batch=backend == "replay")
+                    trace_store, batch=backend == "replay", pool=pool)
     else:
         def on_simulated(index: int, events: BenchmarkEvents,
                          seconds: float) -> None:
@@ -243,7 +352,7 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
                 cache.put(task, events)
             emit(index, TaskResult(task, events, seconds, cached=False))
 
-        _fan_out(pending, _run_indexed, n_jobs, on_simulated)
+        _fan_out(pending, _run_indexed, n_jobs, on_simulated, pool=pool)
 
     return [result for result in results if result is not None]
 
@@ -251,7 +360,8 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
 def _run_replay(tasks: list[AnyTask],
                 pending: list[tuple[int, AnyTask]], n_jobs: int,
                 cache: ResultCache | None, emit, progress,
-                trace_store: TraceStore | None, batch: bool) -> None:
+                trace_store: TraceStore | None, batch: bool,
+                pool: str = "spawn") -> None:
     """The replay backend's two phases over the non-cached tasks."""
     # Group by record pass, preserving first-appearance order: distinct
     # (source, scale, seed) triples record once each; everything else
@@ -265,8 +375,14 @@ def _run_replay(tasks: list[AnyTask],
         if record_task not in groups:
             record_tasks.append(record_task)
         groups.setdefault(record_task, []).append((index, task))
+    fanning_out = n_jobs > 1 and (
+        len(pending) > 1 if not batch else len(record_tasks) > 1
+    )
     payloads, recordings = _resolve_recordings(
-        record_tasks, n_jobs, trace_store, progress
+        record_tasks, n_jobs, trace_store, progress, pool=pool,
+        # Phase 2 in the workers consumes the wire payloads as-is, so
+        # the parent skips the column decode for store hits entirely.
+        want_recordings=not fanning_out,
     )
 
     def payload_for(record_task: RecordTask) -> bytes:
@@ -279,26 +395,48 @@ def _run_replay(tasks: list[AnyTask],
             payloads[record_task] = payload
         return payload
 
+    worker_pool = (get_worker_pool(min(n_jobs, max(len(pending), 1)))
+                   if pool == "persistent" and fanning_out else None)
+
+    def ref_for(record_task: RecordTask) -> dict:
+        """The recording reference a phase-2 pool item carries: a
+        shared-memory shipment on the persistent pool (zero-copy; pipe
+        fallback inside ``ship_recording``; shipments are cached on the
+        pool across runs and unlinked by its budget or shutdown), the
+        wire payload itself on the spawn pool."""
+        key = record_task.config_hash()
+        if worker_pool is not None:
+            return worker_pool.ship_recording(
+                key, recording=recordings.get(record_task),
+                payload=payloads.get(record_task),
+            )
+        return {"key": key, "payload": payload_for(record_task)}
+
     if batch:
         _price_groups(record_tasks, groups, payloads, recordings,
-                      payload_for, n_jobs, cache, emit, progress)
+                      ref_for, n_jobs, cache, emit, progress,
+                      pool=pool)
         return
 
     if len(pending) <= 1 or n_jobs == 1:
-        # Inline: parse each payload at most once, memoized across the
-        # tasks sharing it (pool workers parse their own copy instead).
+        # Inline: parse each payload at most once, memoized across
+        # the tasks sharing it (pool workers parse their own copy
+        # instead).
         for index, task in pending:
             record_task = by_task[index]
             recording = recordings.get(record_task)
             if recording is None:
-                recording = recording_from_bytes(payloads[record_task])
+                recording = recording_from_bytes(
+                    payloads[record_task]
+                )
                 recordings[record_task] = recording
             started = time.perf_counter()
             events = execute_task_replay(task, recording)
             seconds = time.perf_counter() - started
             if cache is not None:
                 cache.put(task, events)
-            emit(index, TaskResult(task, events, seconds, cached=False),
+            emit(index,
+                 TaskResult(task, events, seconds, cached=False),
                  verb="replayed")
         return
 
@@ -310,17 +448,18 @@ def _run_replay(tasks: list[AnyTask],
         emit(index, TaskResult(task, events, seconds, cached=False),
              verb="replayed")
 
-    _fan_out([(index, task, payload_for(by_task[index]))
+    _fan_out([(index, task, ref_for(by_task[index]))
               for index, task in pending],
-             _replay_indexed, n_jobs, on_replayed)
+             _replay_indexed, n_jobs, on_replayed, pool=pool)
 
 
 def _price_groups(record_tasks: list[RecordTask],
                   groups: dict[RecordTask, list[tuple[int, AnyTask]]],
                   payloads: dict[RecordTask, bytes],
                   recordings: dict[RecordTask, Recording],
-                  payload_for, n_jobs: int,
-                  cache: ResultCache | None, emit, progress) -> None:
+                  ref_for, n_jobs: int,
+                  cache: ResultCache | None, emit, progress,
+                  pool: str = "spawn") -> None:
     """Phase 2, batch mode: one event-major pass per recording.
 
     Each group's tasks are priced together by
@@ -369,9 +508,9 @@ def _price_groups(record_tasks: list[RecordTask],
     _fan_out(
         [(group_index,
           tuple(task for _, task in groups[record_task]),
-          payload_for(record_task))
+          ref_for(record_task))
          for group_index, record_task in enumerate(record_tasks)],
-        _batch_indexed, n_jobs, finish,
+        _batch_indexed, n_jobs, finish, pool=pool,
     )
 
 
@@ -380,6 +519,7 @@ def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,
              progress: Progress | None = None,
              backend: str = "fused",
              trace_store: TraceStore | None = None,
+             pool: str = "persistent",
              ) -> dict[str, BenchmarkEvents]:
     """Merge figure-level jobs, execute, and index events by workload.
 
@@ -401,5 +541,5 @@ def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,
         )
     results = run_tasks(tasks, n_jobs=n_jobs, cache=cache,
                         progress=progress, backend=backend,
-                        trace_store=trace_store)
+                        trace_store=trace_store, pool=pool)
     return {result.task.workload: result.events for result in results}

@@ -48,7 +48,7 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.eval.cache import fingerprint_of
+from repro.eval.cache import atomic_write_bytes, fingerprint_of
 from repro.eval.record import (
     AUX_TYPECODE,
     KIND_TYPECODE,
@@ -63,6 +63,10 @@ from repro.eval.record import (
 TRACE_FORMAT = 2
 
 _MAGIC = b"RPRT"
+#: Magic of the *raw* (uncompressed) sibling format used for zero-copy
+#: shipping through shared memory — same header, same column planes,
+#: no gzip, so a mapped buffer decodes without a decompress pass.
+_RAW_MAGIC = b"RPRW"
 _PREFIX_STRUCT = struct.Struct("<HI")  # format version, header length
 
 #: Wire typecodes: exact u32/u16 element widths for the line and aux
@@ -130,15 +134,19 @@ def _pack_columns(recording: Recording) -> bytes:
     ))
 
 
-def _unpack_columns(packed: bytes, event_count: int,
+def _unpack_columns(packed, event_count: int,
                     ) -> tuple[array, array, array]:
-    """The wire planes back as the in-memory column types."""
+    """The wire planes back as the in-memory column types.
+
+    ``packed`` may be any buffer (bytes or a memoryview over a mapped
+    shared-memory segment); every slice is explicitly bounded so a
+    page-padded buffer never bleeds garbage into the aux plane."""
     kinds = array(KIND_TYPECODE)
     kinds.frombytes(packed[:event_count])
     lines_wire = array(_U32_TYPECODE)
     lines_wire.frombytes(packed[event_count:event_count * 5])
     aux_wire = array(_U16_TYPECODE)
-    aux_wire.frombytes(packed[event_count * 5:])
+    aux_wire.frombytes(packed[event_count * 5:event_count * _EVENT_BYTES])
     if sys.byteorder == "big":
         lines_wire.byteswap()
         aux_wire.byteswap()
@@ -146,8 +154,10 @@ def _unpack_columns(packed: bytes, event_count: int,
             array(AUX_TYPECODE, aux_wire))
 
 
-def recording_to_bytes(recording: Recording) -> bytes:
-    """Serialize: magic, version, JSON header, gzip'd column planes."""
+def _header_bytes(recording: Recording, packed: bytes) -> bytes:
+    """The canonical JSON header (identity, measured aggregates, event
+    count, CRC over the packed planes) shared by the gzip wire format
+    and the raw shared-memory format."""
     header = {
         "name": recording.name,
         "tasks": [[task.xom_id, task.label, task.xom_slowdown_pct]
@@ -168,9 +178,14 @@ def recording_to_bytes(recording: Recording) -> bytes:
         },
         "event_count": recording.event_count,
     }
-    packed = _pack_columns(recording)
     header["crc32"] = zlib.crc32(packed)
-    header_bytes = json.dumps(header, sort_keys=True).encode()
+    return json.dumps(header, sort_keys=True).encode()
+
+
+def recording_to_bytes(recording: Recording) -> bytes:
+    """Serialize: magic, version, JSON header, gzip'd column planes."""
+    packed = _pack_columns(recording)
+    header_bytes = _header_bytes(recording, packed)
     return b"".join((
         _MAGIC,
         _PREFIX_STRUCT.pack(TRACE_FORMAT, len(header_bytes)),
@@ -179,29 +194,44 @@ def recording_to_bytes(recording: Recording) -> bytes:
     ))
 
 
-def recording_from_bytes(data: bytes) -> Recording:
-    """Parse and *verify* a serialized recording.
+def recording_to_raw(recording: Recording) -> bytes:
+    """Serialize to the *raw* (uncompressed) shipping format: same
+    header and column planes as the wire format, no gzip — the form
+    published in shared memory, where compression buys nothing and a
+    decompress pass per worker is exactly the cost being avoided."""
+    packed = _pack_columns(recording)
+    header_bytes = _header_bytes(recording, packed)
+    return b"".join((
+        _RAW_MAGIC,
+        _PREFIX_STRUCT.pack(TRACE_FORMAT, len(header_bytes)),
+        header_bytes,
+        packed,
+    ))
 
-    Raises ``ValueError`` on any anomaly — wrong magic, version skew
-    (:class:`TraceFormatError`), truncation, garbled header, CRC or
-    event-count mismatch — so callers (the store, a pool worker) can
-    treat every failure mode uniformly.
-    """
-    prefix_end = len(_MAGIC) + _PREFIX_STRUCT.size
-    if data[:len(_MAGIC)] != _MAGIC:
+
+def _split_prefix(data, magic: bytes) -> tuple[int, int]:
+    """Validate ``magic`` + version, returning (header start, header
+    end).  ``data`` may be any buffer."""
+    prefix_end = len(magic) + _PREFIX_STRUCT.size
+    if bytes(data[:len(magic)]) != magic:
         raise ValueError("bad magic: not a recording")
     if len(data) < prefix_end:
         raise ValueError("truncated prefix")
     version, header_len = _PREFIX_STRUCT.unpack(
-        data[len(_MAGIC):prefix_end]
+        data[len(magic):prefix_end]
     )
     if version != TRACE_FORMAT:
         raise TraceFormatError(version)
     header_end = prefix_end + header_len
     if len(data) < header_end:
         raise ValueError("truncated header")
-    header = json.loads(data[prefix_end:header_end])
-    packed = gzip.decompress(data[header_end:])
+    return prefix_end, header_end
+
+
+def _verify_packed(header: dict, packed) -> None:
+    """The two integrity gates every deserialization path runs: the
+    packed planes hold exactly ``event_count`` events and their CRC
+    matches the header's."""
     event_count = header["event_count"]
     if len(packed) != event_count * _EVENT_BYTES:
         raise ValueError(
@@ -210,7 +240,36 @@ def recording_from_bytes(data: bytes) -> Recording:
         )
     if zlib.crc32(packed) != header["crc32"]:
         raise ValueError("event payload CRC mismatch")
-    kinds, lines, aux = _unpack_columns(packed, event_count)
+
+
+def _split_wire(data: bytes) -> tuple[bytes, dict, bytes]:
+    """Parse and verify the gzip wire format without building the
+    recording's column arrays: ``(header_bytes, header, packed)``.
+
+    This is the cheap half of :func:`recording_from_bytes` —
+    :func:`raw_from_wire` uses it to repackage a verified store payload
+    for shared memory without paying the array decode."""
+    prefix_end, header_end = _split_prefix(data, _MAGIC)
+    header = json.loads(data[prefix_end:header_end])
+    packed = gzip.decompress(data[header_end:])
+    _verify_packed(header, packed)
+    return data[prefix_end:header_end], header, packed
+
+
+def raw_from_wire(payload: bytes) -> bytes:
+    """A verified gzip wire payload repackaged as the raw shipping
+    format (decompress + verify only — no array building)."""
+    header_bytes, _, packed = _split_wire(payload)
+    return b"".join((
+        _RAW_MAGIC,
+        _PREFIX_STRUCT.pack(TRACE_FORMAT, len(header_bytes)),
+        header_bytes,
+        packed,
+    ))
+
+
+def _recording_from_parts(header: dict, packed) -> Recording:
+    kinds, lines, aux = _unpack_columns(packed, header["event_count"])
     return Recording(
         name=header["name"],
         tasks=tuple(
@@ -235,6 +294,42 @@ def recording_from_bytes(data: bytes) -> Recording:
         lines=lines,
         aux=aux,
     )
+
+
+def recording_from_bytes(data: bytes) -> Recording:
+    """Parse and *verify* a serialized recording.
+
+    Raises ``ValueError`` on any anomaly — wrong magic, version skew
+    (:class:`TraceFormatError`), truncation, garbled header, CRC or
+    event-count mismatch — so callers (the store, a pool worker) can
+    treat every failure mode uniformly.
+    """
+    _, header, packed = _split_wire(data)
+    return _recording_from_parts(header, packed)
+
+
+def recording_from_raw(buf) -> Recording:
+    """Parse and verify a recording in the raw shipping format.
+
+    ``buf`` may be any buffer — in particular a ``memoryview`` over a
+    mapped shared-memory segment, in which case the column arrays are
+    filled straight from the mapping (no pickle, no decompress, no
+    intermediate copy of the payload).  The same CRC and event-count
+    gates apply as for the wire format: a torn or garbled segment
+    raises rather than replaying garbage.
+    """
+    prefix_end, header_end = _split_prefix(buf, _RAW_MAGIC)
+    header = json.loads(bytes(buf[prefix_end:header_end]))
+    packed = buf[header_end:]
+    expected = header["event_count"] * _EVENT_BYTES
+    if len(packed) < expected:
+        raise ValueError(
+            f"event payload holds {len(packed)} bytes, expected "
+            f"{header['event_count']} events"
+        )
+    packed = packed[:expected]
+    _verify_packed(header, packed)
+    return _recording_from_parts(header, packed)
 
 
 class TraceStore:
@@ -304,6 +399,37 @@ class TraceStore:
         entry = self.get_entry(record_task)
         return None if entry is None else entry[0]
 
+    def get_payload(self, record_task) -> bytes | None:
+        """The verified wire payload alone — no column arrays built.
+
+        The scheduler's fan-out path ships store hits to pool workers
+        as-is, so the parent never needs the decoded object; this skips
+        the array decode :meth:`get_entry` pays (each worker decodes its
+        own copy once, into its recording LRU).  Verification is not
+        skipped: the CRC and event-count gates run here exactly as they
+        do for a full read, and a file that fails them is discarded and
+        reported as a miss."""
+        path = self.path_for(record_task)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            _split_wire(data)
+        except Exception as err:
+            self.misses += 1
+            self.corrupt_discards += 1
+            if isinstance(err, TraceFormatError):
+                self.format_upgrades += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return data
+
     def put(self, record_task, recording: Recording | None = None, *,
             payload: bytes | None = None) -> bytes | None:
         """Persist a recording, given as the object, its wire
@@ -322,10 +448,7 @@ class TraceStore:
                 return None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            path = self.path_for(record_task)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(payload)
-            os.replace(tmp, path)
+            atomic_write_bytes(self.path_for(record_task), payload)
         except OSError:
             self.put_errors += 1
         return payload

@@ -76,12 +76,15 @@ class TaskContexts:
         """The task's core, created on first use."""
         core = self._cores.get(xom_id)
         if core is None:
+            # Bind the callbacks by value (default args), not through a
+            # closure over ``self``: a core holding its owner would make
+            # every task context a reference cycle only the cyclic
+            # collector can free.
             core = self._factory(
                 self.snc,
                 xom_id=xom_id,
-                fetch_entry=lambda line, xom=xom_id: self._fetch_entry(
-                    xom, line
-                ),
+                fetch_entry=lambda line, xom=xom_id,
+                fetch=self._fetch_entry: fetch(xom, line),
                 spill_entry=self._spill_entry,
                 switch_strategy=self.strategy,
             )

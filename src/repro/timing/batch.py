@@ -91,9 +91,10 @@ def _lane_shape(sim: SNCTimingSim, has_switch: bool) -> tuple:
     )
     # The deep LRU tier additionally requires the timing sim's own
     # fetch/spill callbacks — anything else keeps virtual dispatch.
-    # ``_spill_entry`` is passed to cores unwrapped, so bound-method
-    # equality proves this core's installs really land in ``sim._table``
-    # with ``sim.counts`` doing the counting.
+    # ``_spill_entry`` is passed to cores unwrapped (one shared cycle-
+    # free closure), so callback identity proves this core's installs
+    # really land in ``sim._table`` with ``sim.counts`` doing the
+    # counting.
     deep = (
         base_hooks
         and snc.config.policy is SNCPolicy.LRU

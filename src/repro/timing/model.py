@@ -102,22 +102,34 @@ class SNCTimingSim:
         self.snc = SequenceNumberCache(config)
         self.counts = SNCEventCounts()
         self._table: dict[tuple[int, int], int] = {}
+        # The spill-table callbacks close over the counts and the table,
+        # never over ``self``: bound methods here would tie the sim, its
+        # task contexts, and every core into reference cycles, so a
+        # finished sim (plus its whole warm SNC) could only be reclaimed
+        # by the cyclic collector — a long-lived process pricing many
+        # configurations then stalls in gen-2 GC passes.
+        counts = self.counts
+        table = self._table
+
+        def fetch_entry(xom_id: int, line_index: int,
+                        _get=table.get) -> int:
+            counts.table_fetches += 1
+            return _get((xom_id, line_index), 0)
+
+        def spill_entry(victim: Evicted) -> None:
+            counts.table_spills += 1
+            table[(victim.xom_id, victim.line_index)] = victim.seq
+
+        self._fetch_entry = fetch_entry
+        self._spill_entry = spill_entry
         self.tasks = TaskContexts(
             self.snc,
             core_factory=core_factory,
             strategy=switch_strategy,
-            fetch_entry=self._fetch_entry,
-            spill_entry=self._spill_entry,
+            fetch_entry=fetch_entry,
+            spill_entry=spill_entry,
         )
         self.core = self.tasks.current
-
-    def _fetch_entry(self, xom_id: int, line_index: int) -> int:
-        self.counts.table_fetches += 1
-        return self._table.get((xom_id, line_index), 0)
-
-    def _spill_entry(self, victim: Evicted) -> None:
-        self.counts.table_spills += 1
-        self._table[(victim.xom_id, victim.line_index)] = victim.seq
 
     def begin_task(self, xom_id: int) -> None:
         """Select the first scheduled task (no switch is counted)."""

@@ -88,8 +88,47 @@ class TestMain:
             main(["--figures", "3", "--scale", "2000:2000", "--no-cache"])
 
     def test_rejects_bad_jobs(self, capsys):
-        assert main(["--jobs", "0", "--no-cache"]) == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--jobs", "0", "--no-cache"])
+        assert excinfo.value.code == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestJobsSelection:
+    def test_plain_counts_accepted(self):
+        parser = build_parser()
+        assert parser.parse_args(["--jobs", "4"]).jobs == 4
+        assert parser.parse_args([]).jobs == 1
+
+    def test_auto_resolves_to_cpu_count(self):
+        import os
+        args = build_parser().parse_args(["--jobs", "auto"])
+        assert args.jobs == (os.cpu_count() or 1)
+
+    def test_garbage_jobs_gets_a_menu(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--jobs", "many"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid --jobs value 'many'" in err
+        assert "'auto'" in err
+
+
+class TestPoolSelection:
+    def test_valid_pools_accepted(self):
+        parser = build_parser()
+        for name in ("persistent", "spawn"):
+            assert parser.parse_args(["--pool", name]).pool == name
+        assert parser.parse_args([]).pool == "persistent"
+
+    def test_unknown_pool_gets_a_menu(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--pool", "threads"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown pool 'threads'" in err
+        assert "'persistent' (warm process-wide workers" in err
+        assert "'spawn'" in err
 
 
 class TestBackendSelection:
