@@ -20,7 +20,11 @@ trajectory has data (CI uploads the file as an artifact):
   walks the columns once per configuration, the batch pricer
   (:mod:`repro.timing.batch`) walks them once total.
   ``batch_replay.batch_warm_speedup`` tracks that second-generation
-  speedup on top of ``record_replay.warm_speedup``.
+  speedup on top of ``record_replay.warm_speedup``;
+* the block-columnar record pass vs the per-reference reference
+  recorder (``record_source`` vs ``record_source_reference``, identical
+  recordings asserted): ``record_block.speedup`` is what every *cold*
+  sweep and fingerprint invalidation saves, CI floor >= 1.5x.
 
 Under pytest it asserts the replay invariants: identical events, and
 strictly fewer simulated operations than the fused pass (replay skips
@@ -45,6 +49,7 @@ from repro.eval.api import (
     SimulationScale,
     parse_scale,
     record_source,
+    record_source_reference,
     simulate_benchmark,
     standard_snc_configs,
 )
@@ -203,6 +208,62 @@ def time_batch_vs_perevent(name: str, scale: SimulationScale,
     }
 
 
+def _same_recording(block, reference) -> bool:
+    """Column-for-column and counter-for-counter equality of two
+    recordings (the block recorder's parity contract)."""
+    return (
+        block.kinds == reference.kinds
+        and block.lines == reference.lines
+        and block.aux == reference.aux
+        and block.read_misses == reference.read_misses
+        and block.allocate_misses == reference.allocate_misses
+        and block.writebacks == reference.writebacks
+        and block.read_misses_big_l2 == reference.read_misses_big_l2
+        and block.allocate_misses_big_l2
+        == reference.allocate_misses_big_l2
+        and block.task_read_misses == reference.task_read_misses
+    )
+
+
+def time_record_block(name: str, scale: SimulationScale,
+                      repeats: int) -> dict:
+    """Block-columnar record pass vs the per-reference reference
+    recorder on one workload — the phase-1 twin of the batch-vs-perevent
+    race.  Both record the full production pass (alternate L2 included)
+    and must produce identical recordings (asserted); the speedup is
+    what every cold sweep and every fingerprint invalidation saves.
+    """
+    source = SingleBenchmark(BY_NAME[name])
+
+    reference_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        reference = record_source_reference(source, scale=scale,
+                                            include_alt_l2=True)
+        reference_best = min(reference_best,
+                             time.perf_counter() - started)
+
+    block_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        block = record_source(source, scale=scale, include_alt_l2=True)
+        block_best = min(block_best, time.perf_counter() - started)
+
+    assert _same_recording(block, reference), (
+        f"{name}: block recording diverged from the per-ref reference"
+    )
+    return {
+        "reference_seconds": round(reference_best, 4),
+        "block_seconds": round(block_best, 4),
+        "refs_per_sec_reference": round(
+            scale.total_refs / reference_best, 1
+        ),
+        "refs_per_sec_block": round(scale.total_refs / block_best, 1),
+        "event_count": reference.event_count,
+        "speedup": round(reference_best / block_best, 3),
+    }
+
+
 # ------------------------------------------------------------------ pytest
 
 
@@ -261,6 +322,16 @@ def test_batch_replay_matches_perevent_and_wins_wide_sweeps():
     scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
     result = time_batch_vs_perevent("equake", scale, repeats=2)
     assert result["n_configs"] >= 8
+    assert result["speedup"] > 1.0
+
+
+def test_block_record_matches_reference_and_wins():
+    """The block recorder must produce the reference recorder's exact
+    columns and counters (asserted inside the timing helper) and beat it
+    — it sheds the per-reference Python frames from generator to column,
+    so even one repeat on a short trace shows the win."""
+    scale = SimulationScale(warmup_refs=20_000, measure_refs=30_000)
+    result = time_record_block("equake", scale, repeats=2)
     assert result["speedup"] > 1.0
 
 
@@ -344,6 +415,19 @@ def main() -> int:
               f"{result['speedup']:5.2f}x")
     batch_warm_speedup = round(perevent_total / batch_total, 3)
 
+    print("block vs per-ref reference record pass (alt L2 included):")
+    record_block = {}
+    reference_total = block_total = 0.0
+    for name in args.workloads:
+        result = time_record_block(name, scale, args.repeats)
+        record_block[name] = result
+        reference_total += result["reference_seconds"]
+        block_total += result["block_seconds"]
+        print(f"  {name:<10} reference {result['reference_seconds']:6.2f}s"
+              f"  block {result['block_seconds']:6.2f}s  "
+              f"{result['speedup']:5.2f}x")
+    record_block_speedup = round(reference_total / block_total, 3)
+
     payload = {
         "benchmark": "trace_throughput",
         "refs_per_sec": overall,
@@ -358,6 +442,10 @@ def main() -> int:
             "per_workload": batch,
             "batch_warm_speedup": batch_warm_speedup,
         },
+        "record_block": {
+            "per_workload": record_block,
+            "speedup": record_block_speedup,
+        },
         "scale": {"warmup_refs": scale.warmup_refs,
                   "measure_refs": scale.measure_refs},
         "snc_configs": sorted(standard_snc_configs()),
@@ -367,7 +455,8 @@ def main() -> int:
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"overall: {overall:,.0f} refs/s; "
           f"warm replay speedup {warm_speedup:.2f}x; "
-          f"batch over per-event {batch_warm_speedup:.2f}x "
+          f"batch over per-event {batch_warm_speedup:.2f}x; "
+          f"block record {record_block_speedup:.2f}x "
           f"-> {args.output}")
     return 0
 

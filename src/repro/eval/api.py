@@ -119,7 +119,12 @@ from repro.eval.pool import (
     reset_pool_stats,
     shutdown_worker_pool,
 )
-from repro.eval.record import Recording, ReplayRequest, record_source
+from repro.eval.record import (
+    Recording,
+    ReplayRequest,
+    record_source,
+    record_source_reference,
+)
 from repro.eval.report import (
     format_figure,
     format_integrity_table,
@@ -236,6 +241,7 @@ __all__ = [
     "price_batch",
     "record",
     "record_source",
+    "record_source_reference",
     "record_task_for",
     "reset_pool_stats",
     "run_all_benchmarks",

@@ -38,6 +38,7 @@ for one release.
 
 from __future__ import annotations
 
+import os
 import warnings
 from array import array
 from collections.abc import Mapping, Sequence
@@ -303,12 +304,26 @@ class Recording:
         return events
 
 
+#: Block size of the block record pass: big enough to amortize the
+#: per-block Python overhead, small enough to stay cache-friendly.
+DEFAULT_RECORD_BLOCK = 4096
+
+
+def _reference_requested() -> bool:
+    """``REPRO_RECORD_REFERENCE=1`` forces the per-ref reference recorder
+    process-wide (parity triage without touching call sites)."""
+    return os.environ.get("REPRO_RECORD_REFERENCE", "") not in ("", "0")
+
+
 def record_source(source: WorkloadSource,
                   scale: SimulationScale | None = None,
                   seed: int = 1,
                   include_alt_l2: bool = True,
                   l2_lines: int = L2_BASE_LINES,
-                  l2_assoc: int = L2_BASE_ASSOC) -> Recording:
+                  l2_assoc: int = L2_BASE_ASSOC,
+                  *,
+                  reference: bool = False,
+                  block_size: int = DEFAULT_RECORD_BLOCK) -> Recording:
     """Phase 1: one pass over the source and the L2(s), columns out.
 
     Mirrors the fused loops' reference handling exactly — same L2, same
@@ -318,6 +333,144 @@ def record_source(source: WorkloadSource,
     Figure 8 384KB L2 and records its measured miss counts (aggregates
     only; no SNC consumes its stream); benchmark-source recordings always
     include it so one recording serves every figure.
+
+    The pass is block-columnar: the source supplies typed column blocks
+    (:meth:`~repro.workloads.sources.WorkloadSource.stream_blocks`), each
+    block — split at the warmup boundary, trimmed at the total — goes
+    through :meth:`~repro.memory.cache.TagOnlyCache.access_block` in one
+    call, and events land directly in the recording's columns.  The
+    retired per-reference loop survives as
+    :func:`record_source_reference`, the parity oracle: both produce
+    byte-identical recordings (same columns, same CRC, same trace-store
+    key; the record differential suite pins it).  ``reference=True`` or
+    ``REPRO_RECORD_REFERENCE=1`` selects it.
+    """
+    if reference or _reference_requested():
+        return record_source_reference(
+            source, scale, seed, include_alt_l2, l2_lines, l2_assoc
+        )
+    scale = scale or SimulationScale()
+    tasks = source.tasks
+    first_task = tasks[0].xom_id
+    l2 = TagOnlyCache(l2_lines, l2_assoc)
+    access_block = l2.access_block
+    big_counts = None
+    if include_alt_l2:
+        big_counts = TagOnlyCache(
+            L2_BIG_LINES, L2_BIG_ASSOC
+        ).access_block_counts
+
+    kinds = array(KIND_TYPECODE)
+    lines = array(LINE_TYPECODE)
+    aux = array(AUX_TYPECODE)
+    warmup = scale.warmup_refs
+    total = scale.total_refs
+    read_misses = allocate_misses = writebacks = 0
+    read_misses_big = allocate_misses_big = 0
+    task_read_misses = {task.xom_id: 0 for task in tasks}
+    # Single-task streams skip the ownership map: every line's owner is
+    # the one task (access_block's fast arm resolves victims without it).
+    line_owner: dict[int, int] | None = (
+        {} if len(tasks) > 1 else None
+    )
+    current_task = first_task
+    position = 0
+
+    if hasattr(source, "stream_blocks"):
+        block_stream = source.stream_blocks(seed, block_size)
+    else:  # duck-typed source: chunk its scalar stream generically
+        block_stream = WorkloadSource.stream_blocks(
+            source, seed, block_size
+        )
+    for item in block_stream:
+        if type(item) is Switch:
+            kinds.append(EVENT_SWITCH)
+            lines.append(0)
+            aux.append(item.next_task)
+            current_task = item.next_task
+            continue
+        block_lines, block_writes = item
+        count = len(block_lines)
+        if position + count > total:
+            count = total - position
+            block_lines = block_lines[:count]
+            block_writes = block_writes[:count]
+        if position < warmup < position + count:
+            split = warmup - position
+            parts = (
+                (block_lines[:split], block_writes[:split]),
+                (block_lines[split:], block_writes[split:]),
+            )
+        else:
+            parts = ((block_lines, block_writes),)
+        for part_lines, part_writes in parts:
+            if not part_lines:
+                continue
+            measuring = position >= warmup
+            r, a, w = access_block(
+                part_lines, part_writes, kinds, lines, aux,
+                EVENT_READ, EVENT_ALLOC, EVENT_WRITEBACK,
+                current_task, line_owner,
+            )
+            if measuring:
+                read_misses += r
+                allocate_misses += a
+                writebacks += w
+                task_read_misses[current_task] += r
+            position += len(part_lines)
+            if position == warmup:
+                kinds.append(EVENT_RESET)
+                lines.append(0)
+                aux.append(0)
+            if big_counts is not None:
+                big_r, big_a = big_counts(part_lines, part_writes)
+                if measuring:
+                    read_misses_big += big_r
+                    allocate_misses_big += big_a
+        if position >= total:
+            break
+
+    if read_misses == 0:
+        raise ConfigurationError(
+            f"{source.name}: the measurement window saw no load misses — "
+            "the trace scale is too small to get past the workload's "
+            "initialization phase (use at least the QUICK_SCALE lengths)"
+        )
+    return Recording(
+        name=source.name,
+        tasks=tuple(
+            RecordedTask(task.xom_id, task.label, task.xom_slowdown_pct)
+            for task in tasks
+        ),
+        warmup_refs=scale.warmup_refs,
+        measure_refs=scale.measure_refs,
+        seed=seed,
+        l2_lines=l2_lines,
+        l2_assoc=l2_assoc,
+        read_misses=read_misses,
+        allocate_misses=allocate_misses,
+        writebacks=writebacks,
+        read_misses_big_l2=read_misses_big if include_alt_l2 else None,
+        allocate_misses_big_l2=(
+            allocate_misses_big if include_alt_l2 else None
+        ),
+        task_read_misses=task_read_misses,
+        kinds=kinds,
+        lines=lines,
+        aux=aux,
+    )
+
+
+def record_source_reference(source: WorkloadSource,
+                            scale: SimulationScale | None = None,
+                            seed: int = 1,
+                            include_alt_l2: bool = True,
+                            l2_lines: int = L2_BASE_LINES,
+                            l2_assoc: int = L2_BASE_ASSOC) -> Recording:
+    """The per-reference record loop: :func:`record_source`'s parity
+    oracle (the pre-block implementation, kept verbatim).  The record
+    differential suite pins the two byte-identical; run sweeps with
+    ``REPRO_RECORD_REFERENCE=1`` to select it without code changes.
     """
     scale = scale or SimulationScale()
     tasks = source.tasks

@@ -180,7 +180,11 @@ def format_trace_stats(store) -> str:
     pass: how recordings were resolved, and — crucially after a
     ``TRACE_FORMAT`` bump — how many old files were silently discarded
     and re-recorded (``format upgrades``) versus plain bit rot
-    (``corrupt``).  The runner prints this after every replay run."""
+    (``corrupt``).  When the scheduler fed the store its timing
+    telemetry, the cold half (record passes, with their refs/s) and the
+    warm half (tasks priced by replay) are broken out too, so a run's
+    cold-vs-warm cost is visible at a glance.  The runner prints this
+    after every replay run."""
     parts = [
         f"trace store: {store.hits} hit{'s' if store.hits != 1 else ''}",
         f"{store.misses} miss{'es' if store.misses != 1 else ''}",
@@ -191,6 +195,20 @@ def format_trace_stats(store) -> str:
         parts.append(f"{store.format_upgrades} format upgrades")
     if store.put_errors:
         parts.append(f"{store.put_errors} write errors")
+    if getattr(store, "records", 0):
+        rate = (store.record_refs / store.record_seconds
+                if store.record_seconds > 0 else 0.0)
+        parts.append(
+            f"{store.records} record pass"
+            f"{'es' if store.records != 1 else ''} "
+            f"({store.record_seconds:.1f}s, {rate:,.0f} refs/s)"
+        )
+    if getattr(store, "tasks_priced", 0):
+        parts.append(
+            f"{store.tasks_priced} task"
+            f"{'s' if store.tasks_priced != 1 else ''} replay-priced "
+            f"({store.price_seconds:.1f}s)"
+        )
     return ", ".join(parts)
 
 

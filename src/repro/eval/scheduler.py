@@ -242,6 +242,9 @@ def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
                 seconds = time.perf_counter() - started
                 recordings[record_task] = recording
                 if trace_store is not None:
+                    trace_store.note_record(
+                        record_task.scale.total_refs, seconds
+                    )
                     # ``put`` returns the wire form it packed, so a
                     # later pool of replay workers reuses it instead of
                     # packing the same recording a second time.
@@ -258,6 +261,9 @@ def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
                 record_task = record_tasks[index]
                 payloads[record_task] = payload
                 if trace_store is not None:
+                    trace_store.note_record(
+                        record_task.scale.total_refs, seconds
+                    )
                     trace_store.put(record_task, payload=payload)
                 claims.pop(record_task).publish(payload, None)
                 emit(index, record_task, f"recorded in {seconds:.1f}s")
@@ -288,6 +294,7 @@ def _resolve_recordings(record_tasks: list[RecordTask], n_jobs: int,
         seconds = time.perf_counter() - started
         recordings[record_task] = recording
         if trace_store is not None:
+            trace_store.note_record(record_task.scale.total_refs, seconds)
             payload = trace_store.put(record_task, recording)
             if payload is not None:
                 payloads[record_task] = payload
@@ -415,7 +422,7 @@ def _run_replay(tasks: list[AnyTask],
     if batch:
         _price_groups(record_tasks, groups, payloads, recordings,
                       ref_for, n_jobs, cache, emit, progress,
-                      pool=pool)
+                      pool=pool, trace_store=trace_store)
         return
 
     if len(pending) <= 1 or n_jobs == 1:
@@ -433,6 +440,8 @@ def _run_replay(tasks: list[AnyTask],
             started = time.perf_counter()
             events = execute_task_replay(task, recording)
             seconds = time.perf_counter() - started
+            if trace_store is not None:
+                trace_store.note_priced(1, seconds)
             if cache is not None:
                 cache.put(task, events)
             emit(index,
@@ -443,6 +452,8 @@ def _run_replay(tasks: list[AnyTask],
     def on_replayed(index: int, events: BenchmarkEvents,
                     seconds: float) -> None:
         task = tasks[index]
+        if trace_store is not None:
+            trace_store.note_priced(1, seconds)
         if cache is not None:
             cache.put(task, events)
         emit(index, TaskResult(task, events, seconds, cached=False),
@@ -459,7 +470,8 @@ def _price_groups(record_tasks: list[RecordTask],
                   recordings: dict[RecordTask, Recording],
                   ref_for, n_jobs: int,
                   cache: ResultCache | None, emit, progress,
-                  pool: str = "spawn") -> None:
+                  pool: str = "spawn",
+                  trace_store: TraceStore | None = None) -> None:
     """Phase 2, batch mode: one event-major pass per recording.
 
     Each group's tasks are priced together by
@@ -475,6 +487,8 @@ def _price_groups(record_tasks: list[RecordTask],
                seconds: float) -> None:
         record_task = record_tasks[group_index]
         members = groups[record_task]
+        if trace_store is not None:
+            trace_store.note_priced(len(members), seconds)
         if progress is not None:
             progress(
                 f"[batch {group_index + 1}/{n_groups}] "

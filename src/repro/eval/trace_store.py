@@ -190,7 +190,11 @@ def recording_to_bytes(recording: Recording) -> bytes:
         _MAGIC,
         _PREFIX_STRUCT.pack(TRACE_FORMAT, len(header_bytes)),
         header_bytes,
-        gzip.compress(packed, compresslevel=1),
+        # mtime=0 keeps the payload a pure function of the recording, so
+        # byte-equality checks (CI's block-vs-reference compare, the
+        # serial/parallel parity steps) see identical files, not a
+        # timestamp diff.
+        gzip.compress(packed, compresslevel=1, mtime=0),
     ))
 
 
@@ -355,6 +359,25 @@ class TraceStore:
         self.corrupt_discards = 0
         self.format_upgrades = 0
         self.put_errors = 0
+        # Timing telemetry the scheduler feeds per run (not persisted):
+        # what the cold half (record passes) and the warm half (replay
+        # pricing) actually cost, for the runner's summary line.
+        self.records = 0
+        self.record_refs = 0
+        self.record_seconds = 0.0
+        self.tasks_priced = 0
+        self.price_seconds = 0.0
+
+    def note_record(self, total_refs: int, seconds: float) -> None:
+        """Count one completed record pass of ``total_refs`` references."""
+        self.records += 1
+        self.record_refs += total_refs
+        self.record_seconds += seconds
+
+    def note_priced(self, tasks: int, seconds: float) -> None:
+        """Count ``tasks`` simulation tasks priced by replay."""
+        self.tasks_priced += tasks
+        self.price_seconds += seconds
 
     def key_for(self, record_task) -> str:
         digest = hashlib.sha256()

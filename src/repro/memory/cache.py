@@ -245,6 +245,133 @@ class TagOnlyCache:
             self._dirty[set_index].add(line_index)
         return False, victim_dirty
 
+    def access_block(self, lines, writes, out_kinds, out_lines, out_aux,
+                     kind_read: int, kind_alloc: int, kind_writeback: int,
+                     current_task: int = 0,
+                     line_owner: dict[int, int] | None = None,
+                     ) -> tuple[int, int, int]:
+        """Touch a whole block of references in one call, appending the
+        miss/writeback events straight into the caller's output columns.
+
+        ``lines``/``writes`` are parallel columns (any int sequences; in
+        practice the typed arrays a
+        :meth:`~repro.workloads.sources.WorkloadSource.stream_blocks`
+        block carries).  For every reference this performs exactly the
+        state transitions :meth:`access` would, and appends exactly the
+        events the record loop would emit for it — a read or allocate
+        miss event ``(kind, line, 0)`` followed, when the fill evicted a
+        dirty victim, by ``(kind_writeback, victim, owner)`` — with every
+        attribute lookup hoisted out of the loop and no per-event tuples.
+
+        ``line_owner`` resolves each victim's owner tag (``pop(victim,
+        current_task)``) and records ``current_task`` as the owner of
+        every filled line, exactly like the scenario record loop; pass
+        ``None`` for single-task streams, where the owner is always
+        ``current_task`` and the map would be pure overhead.  The caller
+        guarantees a block never spans a context switch, so one
+        ``current_task`` covers the whole call.
+
+        Returns ``(read_misses, allocate_misses, writebacks)`` for the
+        block, so the caller can attribute them to the measurement
+        window (a block never spans the warmup boundary either; the
+        recorder splits it there).  Instance counters are updated in
+        bulk at the end.
+        """
+        n_sets = self.n_sets
+        assoc = self.assoc
+        all_tags = self._tags
+        all_dirty = self._dirty
+        append_kind = out_kinds.append
+        append_line = out_lines.append
+        append_aux = out_aux.append
+        hits = misses = evictions = 0
+        read_misses = allocate_misses = writebacks = 0
+        owned = line_owner is not None
+        for line, is_write in zip(lines, writes):
+            set_index = line % n_sets
+            tags = all_tags[set_index]
+            # `in`-first beats try/except index(): misses dominate these
+            # streams (init phases are all-miss) and raising ValueError
+            # per miss costs more than a second short-list scan per hit.
+            if line in tags:
+                hits += 1
+                if tags[-1] != line:
+                    tags.remove(line)
+                    tags.append(line)
+                if is_write:
+                    all_dirty[set_index].add(line)
+                continue
+            misses += 1
+            victim_event = -1
+            if len(tags) >= assoc:
+                victim = tags.pop(0)
+                evictions += 1
+                dirty = all_dirty[set_index]
+                if victim in dirty:
+                    dirty.remove(victim)
+                    writebacks += 1
+                    victim_event = victim
+            tags.append(line)
+            if owned:
+                line_owner[line] = current_task
+            if is_write:
+                all_dirty[set_index].add(line)
+                allocate_misses += 1
+                append_kind(kind_alloc)
+            else:
+                read_misses += 1
+                append_kind(kind_read)
+            append_line(line)
+            append_aux(0)
+            if victim_event >= 0:
+                append_kind(kind_writeback)
+                append_line(victim_event)
+                append_aux(
+                    line_owner.pop(victim_event, current_task)
+                    if owned else current_task
+                )
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        self.writebacks += writebacks
+        return read_misses, allocate_misses, writebacks
+
+    def access_block_counts(self, lines, writes) -> tuple[int, int]:
+        """Like :meth:`access_block` but for a cache whose *events* nobody
+        consumes (the Figure 8 alternate L2: only its measured miss counts
+        are recorded).  Skips dirty-bit bookkeeping entirely — dirty state
+        never influences hits, misses or LRU order, only writeback events,
+        which this path does not emit — so ``writebacks`` stays 0 here.
+
+        Returns ``(read_misses, allocate_misses)`` for the block.
+        """
+        n_sets = self.n_sets
+        assoc = self.assoc
+        all_tags = self._tags
+        hits = misses = evictions = 0
+        read_misses = allocate_misses = 0
+        for line, is_write in zip(lines, writes):
+            tags = all_tags[line % n_sets]
+            if line in tags:
+                hits += 1
+                if tags[-1] != line:
+                    tags.remove(line)
+                    tags.append(line)
+                continue
+            misses += 1
+            if len(tags) >= assoc:
+                del tags[0]
+                evictions += 1
+            tags.append(line)
+            if is_write:
+                allocate_misses += 1
+            else:
+                read_misses += 1
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        return read_misses, allocate_misses
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

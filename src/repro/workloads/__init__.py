@@ -1,19 +1,38 @@
 """Workload generation: pattern combinators, the 11 SPEC2000-shaped
 benchmark models driving the evaluation, and the workload sources
 (synthetic / trace replay / §4.3 multi-task interleaving) the simulation
-pipeline consumes."""
+pipeline consumes.
+
+Every pattern and source exists in two element-identical forms: the
+scalar per-reference iterators, and the block-columnar *drawer* twins
+(``*_drawer``, :meth:`WorkloadSource.stream_blocks`) the record pass
+consumes in typed-array blocks."""
 
 from repro.workloads.patterns import (
+    DEFAULT_BLOCK_SIZE,
+    Block,
+    Drawer,
     Ref,
     Region,
+    blocks_from_drawer,
+    drawer_from_iterator,
+    make_block,
     mixture,
+    mixture_drawer,
     phases,
+    phases_drawer,
     pointer_chase,
+    pointer_chase_drawer,
     random_uniform,
+    random_uniform_drawer,
     sequential,
+    sequential_drawer,
     strided,
+    strided_drawer,
     take,
+    take_blocks,
     zipf_lines,
+    zipf_lines_drawer,
 )
 from repro.workloads.sources import (
     MultiTaskInterleaver,
@@ -41,6 +60,9 @@ __all__ = [
     "BENCHMARKS",
     "BY_NAME",
     "BenchmarkModel",
+    "Block",
+    "DEFAULT_BLOCK_SIZE",
+    "Drawer",
     "MultiTaskInterleaver",
     "Ref",
     "Region",
@@ -51,16 +73,27 @@ __all__ = [
     "TraceProfile",
     "WorkloadSource",
     "aligned_random",
+    "blocks_from_drawer",
+    "drawer_from_iterator",
     "load_trace",
+    "make_block",
     "mixture",
+    "mixture_drawer",
     "parse_trace",
     "phases",
+    "phases_drawer",
     "pointer_chase",
+    "pointer_chase_drawer",
     "profile",
     "random_uniform",
+    "random_uniform_drawer",
     "save_trace",
     "sequential",
+    "sequential_drawer",
     "strided",
+    "strided_drawer",
     "take",
+    "take_blocks",
     "zipf_lines",
+    "zipf_lines_drawer",
 ]

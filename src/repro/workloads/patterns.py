@@ -8,18 +8,111 @@ is the level at which the paper's mechanisms act.  Line indices are in
 The generators are infinite; the workload driver takes as many references
 as the configured trace length.  All randomness flows from a caller-owned
 ``random.Random``, so traces are exactly reproducible.
+
+Every generator also has a **drawer** twin (``sequential`` /
+``sequential_drawer``, ...): a callable ``draw(count)`` returning a
+:data:`Block` of ``count`` references as two typed columns — line indices
+(u32 :mod:`array`) and write bits (u8) — instead of ``count`` yielded
+tuples.  Drawers consume the shared ``random.Random`` in *exactly* the
+per-reference order the scalar generator does, so the block stream is
+element-identical to the scalar stream (the property tests in
+``tests/workloads/test_patterns.py`` pin every pair, and the golden
+masters pin the scalar streams themselves).  Because they draw an exact
+count, drawers compose across stage and quantum boundaries
+(:func:`phases_drawer`, the multi-task interleaver) without disturbing
+the RNG.  The block record pass (:func:`repro.eval.record.record_source`)
+is built on them: one ``draw`` per block replaces thousands of generator
+frame resumptions and per-reference tuples.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from collections.abc import Iterator, Sequence
+from array import array
+from bisect import bisect_left
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
 Ref = tuple[int, bool]
+
+#: Exact-width typecodes for block columns: line indices are u32 on the
+#: wire (:mod:`repro.eval.trace_store` narrows to the same width), write
+#: bits are single bytes.
+U32_TYPECODE = next(tc for tc in "ILQ" if array(tc).itemsize == 4)
+WRITE_TYPECODE = "B"
+
+#: One block of references: (line-index column, write-bit column),
+#: entry *i* of each is reference *i*.
+Block = tuple[array, array]
+
+#: The columnar form of a generator: ``draw(count)`` returns the next
+#: ``count`` references of the stream as a :data:`Block`.
+Drawer = Callable[[int], Block]
+
+#: Default block granularity for block streaming APIs: large enough to
+#: amortize the per-block Python overhead, small enough that partial
+#: blocks at warmup/total boundaries stay cheap to split.
+DEFAULT_BLOCK_SIZE = 4096
+
+_repeat = itertools.repeat
+
+
+def make_block(lines: Sequence[int], writes: Sequence[bool]) -> Block:
+    """Typed block columns from plain sequences (u32 lines where they
+    fit, u64 otherwise — the trace wire format enforces u32 later)."""
+    try:
+        line_column = array(U32_TYPECODE, lines)
+    except OverflowError:
+        line_column = array("Q", lines)
+    return line_column, array(WRITE_TYPECODE, writes)
+
+
+def concat_blocks(blocks: Sequence[Block]) -> Block:
+    """One block from many (stage boundaries inside one draw)."""
+    if len(blocks) == 1:
+        return blocks[0]
+    if not blocks:
+        return array(U32_TYPECODE), array(WRITE_TYPECODE)
+    lines = array(blocks[0][0].typecode)
+    writes = array(WRITE_TYPECODE)
+    for block_lines, block_writes in blocks:
+        try:
+            lines.extend(block_lines)
+        except OverflowError:
+            lines = array("Q", lines)
+            lines.extend(block_lines)
+        writes.extend(block_writes)
+    return lines, writes
+
+
+def blocks_from_drawer(drawer: Drawer,
+                       block_size: int = DEFAULT_BLOCK_SIZE,
+                       ) -> Iterator[Block]:
+    """An endless block stream from a drawer (fixed-size blocks)."""
+    while True:
+        yield drawer(block_size)
+
+
+def drawer_from_iterator(refs: Iterator[Ref]) -> Drawer:
+    """Adapt any scalar generator as a drawer (the generic fallback:
+    correctness for free, none of the columnar speedup)."""
+    pull = refs.__next__
+
+    def draw(count: int) -> Block:
+        lines: list[int] = []
+        writes: list[bool] = []
+        append_line = lines.append
+        append_write = writes.append
+        for _ in _repeat(None, count):
+            line, is_write = pull()
+            append_line(line)
+            append_write(is_write)
+        return make_block(lines, writes)
+
+    return draw
 
 
 @dataclass(frozen=True)
@@ -48,6 +141,41 @@ def sequential(region: Region, write_fraction: float = 0.0,
         yield region.base + offset, rng.random() < write_fraction
 
 
+def sequential_drawer(region: Region, write_fraction: float = 0.0,
+                      rng: random.Random | None = None) -> Drawer:
+    """Block twin of :func:`sequential`: lines come from wrap-around
+    slices of one precomputed ring, so only the write bits cost a Python
+    operation per reference (one ``rng.random()`` each, same as scalar —
+    the draw happens even at fraction 0.0 to keep the streams aligned)."""
+    rng = rng or random.Random(0)
+    ring = array(U32_TYPECODE, range(region.base, region.end))
+    n = region.n_lines
+    rnd = rng.random
+    offset = 0
+
+    def draw(count: int) -> Block:
+        nonlocal offset
+        end = offset + count
+        if end <= n:
+            lines = ring[offset:end]
+            offset = end % n
+        else:
+            lines = ring[offset:]
+            end -= n
+            while end >= n:
+                lines = lines + ring
+                end -= n
+            lines = lines + ring[:end]
+            offset = end
+        writes = array(
+            WRITE_TYPECODE,
+            [rnd() < write_fraction for _ in _repeat(None, count)],
+        )
+        return lines, writes
+
+    return draw
+
+
 def strided(region: Region, stride_lines: int,
             write_fraction: float = 0.0,
             rng: random.Random | None = None) -> Iterator[Ref]:
@@ -67,12 +195,68 @@ def strided(region: Region, stride_lines: int,
             offset = (offset + 1) % stride_lines
 
 
+def strided_drawer(region: Region, stride_lines: int,
+                   write_fraction: float = 0.0,
+                   rng: random.Random | None = None) -> Drawer:
+    """Block twin of :func:`strided`.  The offsets draw no randomness,
+    so computing all lines first and all write bits second preserves the
+    scalar RNG order exactly."""
+    if stride_lines <= 0:
+        raise ConfigurationError("stride must be positive")
+    rng = rng or random.Random(0)
+    base, n = region.base, region.n_lines
+    rnd = rng.random
+    offset = 0
+
+    def draw(count: int) -> Block:
+        nonlocal offset
+        lines: list[int] = []
+        append_line = lines.append
+        step = stride_lines
+        cursor = offset
+        for _ in _repeat(None, count):
+            append_line(base + cursor)
+            cursor += step
+            if cursor >= n:
+                cursor = (cursor + 1) % step
+        offset = cursor
+        writes = array(
+            WRITE_TYPECODE,
+            [rnd() < write_fraction for _ in _repeat(None, count)],
+        )
+        return array(U32_TYPECODE, lines), writes
+
+    return draw
+
+
 def random_uniform(region: Region, write_fraction: float,
                    rng: random.Random) -> Iterator[Ref]:
     """Uniform random lines in the region (hash-table-ish)."""
     while True:
         line = region.base + rng.randrange(region.n_lines)
         yield line, rng.random() < write_fraction
+
+
+def random_uniform_drawer(region: Region, write_fraction: float,
+                          rng: random.Random) -> Drawer:
+    """Block twin of :func:`random_uniform`.  The line and write draws
+    interleave in the shared RNG, so the loop stays per-reference — the
+    win is shedding the generator frame and tuple per pull."""
+    base, n = region.base, region.n_lines
+
+    def draw(count: int) -> Block:
+        randrange = rng.randrange
+        rnd = rng.random
+        lines: list[int] = []
+        writes: list[bool] = []
+        append_line = lines.append
+        append_write = writes.append
+        for _ in _repeat(None, count):
+            append_line(base + randrange(n))
+            append_write(rnd() < write_fraction)
+        return array(U32_TYPECODE, lines), array(WRITE_TYPECODE, writes)
+
+    return draw
 
 
 def pointer_chase(region: Region, write_fraction: float,
@@ -93,14 +277,50 @@ def pointer_chase(region: Region, write_fraction: float,
         position = (position + 1) % n
 
 
-def zipf_lines(region: Region, write_fraction: float, rng: random.Random,
-               alpha: float = 1.0, bucket_count: int = 64) -> Iterator[Ref]:
-    """Zipf-like skewed popularity over the region (hot-head, long tail).
+def pointer_chase_drawer(region: Region, write_fraction: float,
+                         rng: random.Random) -> Drawer:
+    """Block twin of :func:`pointer_chase`.  The shuffle happens on the
+    *first draw*, not at construction — the scalar generator's body (and
+    its ``rng.shuffle``) only runs on the first pull, and composed
+    patterns rely on that laziness for RNG alignment."""
+    n = region.n_lines
+    rnd = rng.random
+    chase: array | None = None
+    position = 0
 
-    Implemented as a bucketed approximation: the region is split into
-    ``bucket_count`` geometrically growing buckets whose selection
-    probability decays by rank, which yields the classic 'hit rate grows
-    with the log of capacity' curve (mcf's SNC behaviour)."""
+    def draw(count: int) -> Block:
+        nonlocal chase, position
+        if chase is None:
+            order = list(range(n))
+            rng.shuffle(order)
+            base = region.base
+            chase = array(U32_TYPECODE, [base + step for step in order])
+        end = position + count
+        if end <= n:
+            lines = chase[position:end]
+            position = end % n
+        else:
+            lines = chase[position:]
+            end -= n
+            while end >= n:
+                lines = lines + chase
+                end -= n
+            lines = lines + chase[:end]
+            position = end
+        writes = array(
+            WRITE_TYPECODE,
+            [rnd() < write_fraction for _ in _repeat(None, count)],
+        )
+        return lines, writes
+
+    return draw
+
+
+def _zipf_buckets(region: Region, alpha: float, bucket_count: int,
+                  ) -> tuple[list[Region], list[float]]:
+    """The geometric bucket split and cumulative selection table shared
+    by :func:`zipf_lines` and :func:`zipf_lines_drawer` (deterministic —
+    no RNG draws happen here)."""
     buckets: list[Region] = []
     weights: list[float] = []
     base = region.base
@@ -108,11 +328,11 @@ def zipf_lines(region: Region, write_fraction: float, rng: random.Random,
     size = max(1, region.n_lines // (2 ** min(bucket_count, 20)))
     rank = 1
     while remaining > 0 and len(buckets) < bucket_count:
-        take = min(size, remaining)
-        buckets.append(Region(base, take))
+        take_lines = min(size, remaining)
+        buckets.append(Region(base, take_lines))
         weights.append(1.0 / rank ** alpha)
-        base += take
-        remaining -= take
+        base += take_lines
+        remaining -= take_lines
         size *= 2
         rank += 1
     if remaining > 0:
@@ -121,23 +341,66 @@ def zipf_lines(region: Region, write_fraction: float, rng: random.Random,
     total = sum(weights)
     cumulative = []
     acc = 0.0
-    for w in weights:
-        acc += w / total
+    for weight in weights:
+        acc += weight / total
         cumulative.append(acc)
+    return buckets, cumulative
+
+
+def zipf_lines(region: Region, write_fraction: float, rng: random.Random,
+               alpha: float = 1.0, bucket_count: int = 64) -> Iterator[Ref]:
+    """Zipf-like skewed popularity over the region (hot-head, long tail).
+
+    Implemented as a bucketed approximation: the region is split into
+    ``bucket_count`` geometrically growing buckets whose selection
+    probability decays by rank, which yields the classic 'hit rate grows
+    with the log of capacity' curve (mcf's SNC behaviour)."""
+    buckets, cumulative = _zipf_buckets(region, alpha, bucket_count)
+    n_buckets = len(cumulative)
     while True:
-        u = rng.random()
-        for bucket, edge in zip(buckets, cumulative):
-            if u <= edge:
-                line = bucket.base + rng.randrange(bucket.n_lines)
-                yield line, rng.random() < write_fraction
-                break
+        # bisect over the cumulative table = the first edge >= u, exactly
+        # the bucket the linear scan used to pick (u past the last edge —
+        # float round-off headroom — redraws, as falling off the scan did).
+        index = bisect_left(cumulative, rng.random())
+        if index == n_buckets:
+            continue
+        bucket = buckets[index]
+        line = bucket.base + rng.randrange(bucket.n_lines)
+        yield line, rng.random() < write_fraction
 
 
-def mixture(components: Sequence[tuple[Iterator[Ref], float]],
-            rng: random.Random) -> Iterator[Ref]:
-    """Interleave component generators with the given probabilities."""
-    generators = [component for component, _ in components]
-    weights = [weight for _, weight in components]
+def zipf_lines_drawer(region: Region, write_fraction: float,
+                      rng: random.Random, alpha: float = 1.0,
+                      bucket_count: int = 64) -> Drawer:
+    """Block twin of :func:`zipf_lines` (same buckets, same draw order:
+    selection, line, write bit — redraws included)."""
+    buckets, cumulative = _zipf_buckets(region, alpha, bucket_count)
+    n_buckets = len(cumulative)
+    bases = [bucket.base for bucket in buckets]
+    sizes = [bucket.n_lines for bucket in buckets]
+
+    def draw(count: int) -> Block:
+        rnd = rng.random
+        randrange = rng.randrange
+        bisect = bisect_left
+        lines: list[int] = []
+        writes: list[bool] = []
+        append_line = lines.append
+        append_write = writes.append
+        emitted = 0
+        while emitted < count:
+            index = bisect(cumulative, rnd())
+            if index == n_buckets:
+                continue
+            append_line(bases[index] + randrange(sizes[index]))
+            append_write(rnd() < write_fraction)
+            emitted += 1
+        return array(U32_TYPECODE, lines), array(WRITE_TYPECODE, writes)
+
+    return draw
+
+
+def _mixture_cumulative(weights: Sequence[float]) -> list[float]:
     total = sum(weights)
     if total <= 0:
         raise ConfigurationError("mixture weights must sum to > 0")
@@ -146,12 +409,56 @@ def mixture(components: Sequence[tuple[Iterator[Ref], float]],
     for weight in weights:
         acc += weight / total
         cumulative.append(acc)
+    return cumulative
+
+
+def mixture(components: Sequence[tuple[Iterator[Ref], float]],
+            rng: random.Random) -> Iterator[Ref]:
+    """Interleave component generators with the given probabilities."""
+    generators = [component for component, _ in components]
+    cumulative = _mixture_cumulative(
+        [weight for _, weight in components]
+    )
+    n_components = len(cumulative)
     while True:
-        u = rng.random()
-        for generator, edge in zip(generators, cumulative):
-            if u <= edge:
-                yield next(generator)
-                break
+        index = bisect_left(cumulative, rng.random())
+        if index == n_components:
+            continue
+        yield next(generators[index])
+
+
+def mixture_drawer(components: Sequence[tuple[Iterator[Ref], float]],
+                   rng: random.Random) -> Drawer:
+    """Block twin of :func:`mixture`.  Components stay *scalar*
+    iterators — each selection draw decides which component is pulled
+    next, so component draws cannot be batched without reordering the
+    shared RNG — but the per-reference tower of generator frames
+    (mixture -> component) collapses to one bound ``__next__`` call."""
+    pulls = [component.__next__ for component, _ in components]
+    cumulative = _mixture_cumulative(
+        [weight for _, weight in components]
+    )
+    n_components = len(cumulative)
+
+    def draw(count: int) -> Block:
+        rnd = rng.random
+        bisect = bisect_left
+        lines: list[int] = []
+        writes: list[bool] = []
+        append_line = lines.append
+        append_write = writes.append
+        emitted = 0
+        while emitted < count:
+            index = bisect(cumulative, rnd())
+            if index == n_components:
+                continue
+            line, is_write = pulls[index]()
+            append_line(line)
+            append_write(is_write)
+            emitted += 1
+        return array(U32_TYPECODE, lines), array(WRITE_TYPECODE, writes)
+
+    return draw
 
 
 def phases(stages: Sequence[tuple[Iterator[Ref], int]]) -> Iterator[Ref]:
@@ -166,6 +473,55 @@ def phases(stages: Sequence[tuple[Iterator[Ref], int]]) -> Iterator[Ref]:
         yield from itertools.islice(final_generator, final_count)
 
 
+def phases_drawer(stages: Sequence[tuple[Drawer, int]]) -> Drawer:
+    """Block twin of :func:`phases`, over stage *drawers*.
+
+    A draw spanning a stage boundary splits the request so each stage
+    drawer produces exactly its stage's count — the RNG consumption per
+    stage matches the scalar ``islice`` pulls to the reference.  The
+    final stage, like the scalar loop, is drawn from forever (its count
+    is the loop granularity there and is irrelevant here)."""
+    if not stages:
+        raise ConfigurationError("phases needs at least one stage")
+    pending = list(stages[:-1])
+    final_drawer = stages[-1][0]
+    index = 0
+    remaining = pending[0][1] if pending else 0
+
+    def draw(count: int) -> Block:
+        nonlocal index, remaining
+        parts: list[Block] = []
+        need = count
+        while need and index < len(pending):
+            take_refs = min(need, remaining)
+            if take_refs:
+                parts.append(pending[index][0](take_refs))
+                remaining -= take_refs
+                need -= take_refs
+            if remaining == 0:
+                index += 1
+                remaining = (
+                    pending[index][1] if index < len(pending) else 0
+                )
+        if need:
+            parts.append(final_drawer(need))
+        return concat_blocks(parts)
+
+    return draw
+
+
 def take(generator: Iterator[Ref], count: int) -> list[Ref]:
     """Materialize ``count`` references (test/debug helper)."""
     return list(itertools.islice(generator, count))
+
+
+def take_blocks(drawer: Drawer, count: int,
+                block_size: int = DEFAULT_BLOCK_SIZE) -> list[Ref]:
+    """Materialize ``count`` references from a drawer as scalar tuples,
+    drawing in ``block_size`` chunks (test/debug helper — the block
+    counterpart of :func:`take`)."""
+    refs: list[Ref] = []
+    while len(refs) < count:
+        lines, writes = drawer(min(block_size, count - len(refs)))
+        refs.extend(zip(lines, map(bool, writes)))
+    return refs

@@ -25,11 +25,22 @@ path consumed.
 from __future__ import annotations
 
 import itertools
+import os
+from array import array
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
-from repro.workloads.patterns import Ref
+from repro.workloads.patterns import (
+    DEFAULT_BLOCK_SIZE,
+    Block,
+    Ref,
+    U32_TYPECODE,
+    WRITE_TYPECODE,
+    blocks_from_drawer,
+    make_block,
+)
 from repro.workloads.spec import BY_NAME, BenchmarkModel
 from repro.workloads.tracegen import load_trace
 
@@ -45,6 +56,16 @@ TASK_LINE_STRIDE = 1 << 26
 #: a mid-field memory-boundedness (the 11-benchmark Figure 3 average is
 #: ~16.8%).  Override per trace when the origin workload is known.
 TRACE_XOM_SLOWDOWN_PCT = 15.0
+
+
+def _shift_lines(lines: array, offset: int) -> array:
+    """Rebase a line column into a task's disjoint line-index slice."""
+    if not offset:
+        return lines
+    try:
+        return array(lines.typecode, map(offset.__add__, lines))
+    except OverflowError:  # 64+ tasks push past u32; promote
+        return array("Q", map(offset.__add__, lines))
 
 
 @dataclass(frozen=True)
@@ -81,6 +102,40 @@ class WorkloadSource:
     def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
         raise NotImplementedError
 
+    def stream_blocks(self, seed: int = 1,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      ) -> Iterator[Block | Switch]:
+        """The same stream as :meth:`stream`, as typed column blocks.
+
+        Yields ``(lines, writes)`` pairs (``array`` columns, u32/u8) of up
+        to ``block_size`` references, with :class:`Switch` markers carried
+        as block boundaries: a switch always falls *between* blocks, never
+        inside one.  Concatenating the blocks in order and splicing the
+        switches back reproduces :meth:`stream` element-for-element —
+        pinned by the workload property tests.
+
+        This default adapter chunks :meth:`stream`; the built-in sources
+        override it with natively columnar producers (same contract, none
+        of the per-reference iteration).
+        """
+        lines: list[int] = []
+        writes: list[bool] = []
+        for item in self.stream(seed=seed):
+            if item.__class__ is Switch:
+                if lines:
+                    yield make_block(lines, writes)
+                    lines, writes = [], []
+                yield item
+                continue
+            line, is_write = item
+            lines.append(line)
+            writes.append(is_write)
+            if len(lines) == block_size:
+                yield make_block(lines, writes)
+                lines, writes = [], []
+        if lines:  # streams are endless; kept for defensive completeness
+            yield make_block(lines, writes)
+
 
 class SingleBenchmark(WorkloadSource):
     """Today's path: one synthetic benchmark model, no switches."""
@@ -97,15 +152,49 @@ class SingleBenchmark(WorkloadSource):
     def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
         return self.bench.generator(seed=seed)
 
+    def stream_blocks(self, seed: int = 1,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      ) -> Iterator[Block | Switch]:
+        return blocks_from_drawer(self.bench.drawer(seed=seed), block_size)
+
+
+@lru_cache(maxsize=32)
+def _trace_columns_stat(path_str: str, mtime_ns: int,
+                        size: int) -> tuple[array, array]:
+    """Parse a trace file into typed columns, memoized on the same
+    (path, mtime, size) identity the job-hashing digest memo uses — so
+    multi-seed recording of one trace parses it exactly once per edit."""
+    lines: list[int] = []
+    writes: list[bool] = []
+    for line, is_write in load_trace(path_str):
+        lines.append(line)
+        writes.append(is_write)
+    if not lines:
+        raise ConfigurationError(f"trace {path_str} holds no references")
+    try:
+        line_column = array(U32_TYPECODE, lines)
+    except OverflowError:
+        line_column = array("Q", lines)
+    return line_column, array(WRITE_TYPECODE, writes)
+
+
+def _trace_columns(path) -> tuple[array, array]:
+    stat = os.stat(path)
+    return _trace_columns_stat(os.fspath(path), stat.st_mtime_ns,
+                               stat.st_size)
+
 
 class TraceFile(WorkloadSource):
     """A recorded trace file, replayed in a loop.
 
-    The file (``R|W <line>`` lines, optionally gzipped) is materialized
-    once and cycled so the source is endless like the generators; a run
-    longer than the trace re-walks it with warm state, shorter runs use a
-    prefix.  ``xom_slowdown_pct`` supplies the compute calibration a raw
-    trace cannot carry (default :data:`TRACE_XOM_SLOWDOWN_PCT`).
+    The file (``R|W <line>`` lines, optionally gzipped) is parsed into
+    typed columns once per on-disk identity (path, mtime, size) — the
+    process-wide :func:`_trace_columns_stat` memo, same keying as the
+    job-hashing digest memo — and cycled so the source is endless like
+    the generators; a run longer than the trace re-walks it with warm
+    state, shorter runs use a prefix.  ``xom_slowdown_pct`` supplies the
+    compute calibration a raw trace cannot carry (default
+    :data:`TRACE_XOM_SLOWDOWN_PCT`).
     """
 
     def __init__(self, path, name: str | None = None,
@@ -116,19 +205,37 @@ class TraceFile(WorkloadSource):
         self._refs: list[Ref] | None = None
 
     def refs(self) -> list[Ref]:
-        """The materialized trace (read and parsed on first use)."""
+        """The materialized trace (parsed on first use per file identity)."""
         if self._refs is None:
-            self._refs = list(load_trace(self.path))
-            if not self._refs:
-                raise ConfigurationError(
-                    f"trace {self.path} holds no references"
-                )
+            lines, writes = _trace_columns(self.path)
+            self._refs = list(zip(lines.tolist(), map(bool, writes)))
         return self._refs
 
     def stream(self, seed: int = 1) -> Iterator[Ref | Switch]:
         # The seed is part of the protocol but a recorded trace is what
         # it is — replay is deliberately seed-independent.
         return itertools.cycle(self.refs())
+
+    def stream_blocks(self, seed: int = 1,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      ) -> Iterator[Block | Switch]:
+        lines, writes = _trace_columns(self.path)
+        length = len(lines)
+        position = 0
+        while True:
+            end = position + block_size
+            if end <= length:
+                yield lines[position:end], writes[position:end]
+                position = end % length
+                continue
+            block_lines = lines[position:]
+            block_writes = writes[position:]
+            while len(block_lines) < block_size:  # wrap (short traces may
+                need = block_size - len(block_lines)  # wrap repeatedly)
+                block_lines += lines[:need]
+                block_writes += writes[:need]
+            position = (position + block_size) % length
+            yield block_lines, block_writes
 
 
 class MultiTaskInterleaver(WorkloadSource):
@@ -182,6 +289,31 @@ class MultiTaskInterleaver(WorkloadSource):
             for _ in range(quantum):
                 line, is_write = next(generator)
                 yield line + offset, is_write
+            next_task = (current + 1) % n_tasks
+            yield Switch(current, next_task)
+            current = next_task
+
+    def stream_blocks(self, seed: int = 1,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      ) -> Iterator[Block | Switch]:
+        drawers = [
+            bench.drawer(seed=seed + index)
+            for index, bench in enumerate(self.benchmarks)
+        ]
+        n_tasks = len(drawers)
+        if n_tasks == 1:
+            yield from blocks_from_drawer(drawers[0], block_size)
+            return
+        quantum = self.quantum
+        current = 0
+        while True:
+            offset = current * TASK_LINE_STRIDE
+            draw = drawers[current]
+            remaining = quantum
+            while remaining:
+                lines, writes = draw(min(remaining, block_size))
+                remaining -= len(lines)
+                yield _shift_lines(lines, offset), writes
             next_task = (current + 1) % n_tasks
             yield Switch(current, next_task)
             current = next_task

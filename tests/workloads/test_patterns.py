@@ -1,20 +1,35 @@
 """Tests for the reference-pattern combinators."""
 
 import random
+from array import array
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.patterns import (
+    U32_TYPECODE,
+    WRITE_TYPECODE,
     Region,
+    blocks_from_drawer,
+    concat_blocks,
+    drawer_from_iterator,
+    make_block,
     mixture,
+    mixture_drawer,
     phases,
+    phases_drawer,
     pointer_chase,
+    pointer_chase_drawer,
     random_uniform,
+    random_uniform_drawer,
     sequential,
+    sequential_drawer,
     strided,
+    strided_drawer,
     take,
+    take_blocks,
     zipf_lines,
+    zipf_lines_drawer,
 )
 
 
@@ -136,3 +151,121 @@ class TestPhases:
     def test_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             take(phases([]), 1)
+
+
+# Every generator and its drawer twin, built fresh from one seed — the
+# block-vs-scalar parity property quantifies over these forms.  Each
+# entry returns (scalar_iterator, drawer); both must consume the RNG in
+# the same per-reference order, so any seed gives identical streams.
+def _pair(make_scalar, make_drawer):
+    def build(seed):
+        return (make_scalar(random.Random(seed)),
+                make_drawer(random.Random(seed)))
+    return build
+
+
+def _mixture_pair(seed):
+    def components(rng):
+        return [
+            (sequential(Region(0, 7), 0.3, rng), 0.5),
+            (random_uniform(Region(100, 31), 0.2, rng), 0.3),
+            (pointer_chase(Region(200, 16), 0.1, rng), 0.2),
+        ]
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    return (mixture(components(rng_a), rng_a),
+            mixture_drawer(components(rng_b), rng_b))
+
+
+def _phases_pair(seed):
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    scalar = phases([
+        (sequential(Region(0, 9), 1.0, rng_a), 23),
+        (random_uniform(Region(50, 40), 0.25, rng_a), 77),
+        (zipf_lines(Region(500, 512), 0.4, rng_a), 1 << 62),
+    ])
+    # Mix native drawers and a wrapped scalar stage: both are legal
+    # stage forms and must compose identically.
+    drawer = phases_drawer([
+        (sequential_drawer(Region(0, 9), 1.0, rng_b), 23),
+        (drawer_from_iterator(
+            random_uniform(Region(50, 40), 0.25, rng_b)), 77),
+        (zipf_lines_drawer(Region(500, 512), 0.4, rng_b), 1 << 62),
+    ])
+    return scalar, drawer
+
+
+_FORMS = {
+    "sequential": _pair(
+        lambda rng: sequential(Region(10, 100), 0.4, rng),
+        lambda rng: sequential_drawer(Region(10, 100), 0.4, rng)),
+    "sequential_no_writes": _pair(
+        lambda rng: sequential(Region(10, 3)),
+        lambda rng: sequential_drawer(Region(10, 3))),
+    "strided": _pair(
+        lambda rng: strided(Region(0, 100), 7, 0.3, rng),
+        lambda rng: strided_drawer(Region(0, 100), 7, 0.3, rng)),
+    "random_uniform": _pair(
+        lambda rng: random_uniform(Region(50, 321), 0.35, rng),
+        lambda rng: random_uniform_drawer(Region(50, 321), 0.35, rng)),
+    "pointer_chase": _pair(
+        lambda rng: pointer_chase(Region(0, 64), 0.2, rng),
+        lambda rng: pointer_chase_drawer(Region(0, 64), 0.2, rng)),
+    "zipf_lines": _pair(
+        lambda rng: zipf_lines(Region(0, 2048), 0.25, rng),
+        lambda rng: zipf_lines_drawer(Region(0, 2048), 0.25, rng)),
+    "mixture": _mixture_pair,
+    "phases": _phases_pair,
+}
+
+
+class TestDrawerParity:
+    """The tentpole property: every drawer emits the exact per-reference
+    stream of its scalar twin — same lines, same write bits, any seed,
+    any block size (including 1 and non-divisors of the total)."""
+
+    @pytest.mark.parametrize("form", sorted(_FORMS))
+    @pytest.mark.parametrize("seed", [1, 7, 12345])
+    @pytest.mark.parametrize("block_size", [1, 13, 256])
+    def test_block_stream_equals_scalar_stream(self, form, seed,
+                                               block_size):
+        scalar, drawer = _FORMS[form](seed)
+        count = 3000
+        assert take_blocks(drawer, count, block_size) == \
+            take(scalar, count)
+
+    def test_drawer_blocks_are_typed_columns(self):
+        _, drawer = _FORMS["random_uniform"](3)
+        lines, writes = drawer(64)
+        assert isinstance(lines, array)
+        assert lines.typecode == U32_TYPECODE
+        assert writes.typecode == WRITE_TYPECODE
+        assert len(lines) == len(writes) == 64
+
+    def test_blocks_from_drawer_yields_fixed_blocks(self):
+        _, drawer = _FORMS["sequential"](2)
+        stream = blocks_from_drawer(drawer, 32)
+        first = next(stream)
+        second = next(stream)
+        assert len(first[0]) == len(second[0]) == 32
+
+
+class TestBlockHelpers:
+    def test_make_block_promotes_wide_lines(self):
+        lines, writes = make_block([1, 2, 1 << 40], [True, False, True])
+        assert lines.typecode == "Q"
+        assert list(lines) == [1, 2, 1 << 40]
+        assert list(writes) == [1, 0, 1]
+
+    def test_concat_blocks_empty_and_single(self):
+        empty = concat_blocks([])
+        assert len(empty[0]) == len(empty[1]) == 0
+        block = make_block([5, 6], [False, True])
+        assert concat_blocks([block]) is block
+
+    def test_concat_blocks_joins_in_order(self):
+        joined = concat_blocks([
+            make_block([1, 2], [True, False]),
+            make_block([3], [True]),
+        ])
+        assert list(joined[0]) == [1, 2, 3]
+        assert list(joined[1]) == [1, 0, 1]

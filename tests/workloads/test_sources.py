@@ -6,15 +6,35 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.patterns import take
+from repro.workloads import sources as sources_module
 from repro.workloads.sources import (
     TASK_LINE_STRIDE,
     MultiTaskInterleaver,
     SingleBenchmark,
     Switch,
     TraceFile,
+    WorkloadSource,
+    _trace_columns_stat,
 )
 from repro.workloads.spec import BY_NAME
 from repro.workloads.tracegen import save_trace
+
+
+def flatten_blocks(source, seed, block_size, count):
+    """Materialize ``count`` items from ``stream_blocks`` back into the
+    scalar vocabulary: ``(line, is_write)`` tuples and Switch markers."""
+    items = []
+    for item in source.stream_blocks(seed=seed, block_size=block_size):
+        if type(item) is Switch:
+            items.append(item)
+        else:
+            lines, writes = item
+            assert 0 < len(lines) <= block_size
+            assert len(lines) == len(writes)
+            items.extend(zip(lines.tolist(), map(bool, writes)))
+        if len(items) >= count:
+            break
+    return items[:count]
 
 
 class TestSingleBenchmark:
@@ -102,3 +122,103 @@ class TestMultiTaskInterleaver:
             MultiTaskInterleaver([], quantum=5)
         with pytest.raises(ConfigurationError):
             MultiTaskInterleaver(["art"], quantum=0)
+
+
+class TestStreamBlocks:
+    """stream_blocks must reproduce stream element-for-element on every
+    source, with Switch markers carried as block boundaries."""
+
+    @pytest.mark.parametrize("seed", [1, 6])
+    @pytest.mark.parametrize("block_size", [1, 97, 4096])
+    def test_single_benchmark_parity(self, seed, block_size):
+        source = SingleBenchmark("equake")
+        expected = take(source.stream(seed=seed), 5000)
+        assert flatten_blocks(source, seed, block_size, 5000) == expected
+
+    @pytest.mark.parametrize("block_size", [1, 50, 512])
+    def test_trace_file_parity_including_wrap(self, tmp_path, block_size):
+        refs = [(100 + i, i % 3 == 0) for i in range(137)]
+        path = tmp_path / "t.trace"
+        save_trace(refs, path)
+        source = TraceFile(path, name="t")
+        expected = take(source.stream(), 1000)
+        assert flatten_blocks(source, 1, block_size, 1000) == expected
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    @pytest.mark.parametrize("block_size", [1, 61, 777, 2048])
+    def test_interleaver_parity_switches_at_boundaries(self, seed,
+                                                       block_size):
+        # quantum 777 with block 777 exercises switch-exactly-at-block
+        # boundaries; the other sizes exercise mid-quantum splits.
+        source = MultiTaskInterleaver(["art", "vpr", "gzip"],
+                                      quantum=777)
+        expected = take(source.stream(seed=seed), 6000)
+        assert flatten_blocks(source, seed, block_size, 6000) == expected
+
+    def test_single_task_interleaver_parity(self):
+        source = MultiTaskInterleaver(["mcf"], quantum=100)
+        expected = take(source.stream(seed=2), 3000)
+        assert flatten_blocks(source, 2, 256, 3000) == expected
+
+    def test_default_adapter_parity(self):
+        """A source that only implements stream() inherits a correct
+        (if slower) stream_blocks from the protocol base class."""
+        inner = MultiTaskInterleaver(["art", "mesa"], quantum=50)
+
+        class Adapterized(WorkloadSource):
+            name = "adapterized"
+            tasks = inner.tasks
+
+            def stream(self, seed=1):
+                return inner.stream(seed=seed)
+
+        expected = take(inner.stream(seed=1), 2000)
+        assert flatten_blocks(Adapterized(), 1, 64, 2000) == expected
+
+    def test_blocks_never_span_a_switch(self):
+        source = MultiTaskInterleaver(["art", "vpr"], quantum=10)
+        stream = source.stream_blocks(seed=1, block_size=64)
+        seen = 0
+        for item in stream:
+            if type(item) is Switch:
+                continue
+            # Every block belongs wholly to one quantum: never longer
+            # than the refs remaining before the next switch.
+            assert len(item[0]) <= 10 - (seen % 10)
+            seen += len(item[0])
+            if seen >= 200:
+                break
+
+
+class TestTraceParseMemo:
+    def test_trace_parsed_once_per_identity(self, tmp_path,
+                                            monkeypatch):
+        refs = [(7, False), (8, True), (9, False)]
+        path = tmp_path / "memo.trace"
+        save_trace(refs, path)
+        calls = {"n": 0}
+        real_load = sources_module.load_trace
+
+        def counting_load(p):
+            calls["n"] += 1
+            return real_load(p)
+
+        monkeypatch.setattr(sources_module, "load_trace", counting_load)
+        _trace_columns_stat.cache_clear()
+        # Several instances, both stream forms, multiple seeds: one parse.
+        for seed in (1, 2, 3):
+            source = TraceFile(path, name="memo")
+            assert take(source.stream(seed=seed), 5) == (refs * 2)[:5]
+            assert flatten_blocks(source, seed, 2, 5) == (refs * 2)[:5]
+        assert calls["n"] == 1
+
+    def test_memo_invalidated_by_file_change(self, tmp_path):
+        path = tmp_path / "changing.trace"
+        save_trace([(1, False)], path)
+        _trace_columns_stat.cache_clear()
+        assert TraceFile(path).refs() == [(1, False)]
+        # Rewrite with different content *and* size; mtime may or may
+        # not tick within test resolution, but (size, mtime) keying must
+        # catch this edit.
+        save_trace([(2, True), (3, False)], path)
+        assert TraceFile(path).refs() == [(2, True), (3, False)]
