@@ -17,6 +17,16 @@ Three questions, answered with wall-clock numbers in ``BENCH_pool.json``:
 * **Recordings stay warm** — all runs share one pre-warmed trace
   store, so the numbers isolate execution-engine overhead, not
   recording time.
+* **Lane sharding** — the worst case for recording-level parallelism:
+  ONE workload swept across 16 SNC configurations at ``--jobs 4``.
+  Unsharded (``REPRO_LANE_SHARDS=off``) that is one batch pass on one
+  process no matter the job count; sharded (the default) the
+  scheduler splits the pass into per-worker lane shards over the same
+  shipped recording.  The headline field is ``shard_warm_speedup``
+  (unsharded warm seconds over sharded warm seconds); CI asserts it
+  stays ≥ 1.5x on its multi-core runners (the payload's ``cpus`` field
+  says what the box could do — a 1-CPU host can't run shards
+  concurrently).
 
 Run as a script to (re)produce ``BENCH_pool.json``::
 
@@ -42,18 +52,29 @@ import time
 from pathlib import Path
 
 from repro.eval.api import (
+    ExperimentJob,
     QUICK_SCALE,
+    SNCSpec,
     SimulationScale,
     TraceStore,
+    events_to_dict,
+    merge_jobs,
     parse_scale,
     pool_stats,
     reset_pool_stats,
     run_figures,
+    run_tasks,
     shutdown_worker_pool,
 )
 
 DEFAULT_FIGURES = ("5", "10")
 DEFAULT_JOBS = 4
+
+#: The shard sweep's shape: ONE workload, many SNC configurations —
+#: after merge_jobs that is a single task (one recording), so without
+#: lane sharding no job count can parallelize it.
+SHARD_WORKLOAD = "equake"
+SHARD_CONFIGS = 16
 
 
 # ------------------------------------------------------------------ timing
@@ -150,6 +171,100 @@ def time_shipping_modes(figures, scale: SimulationScale, n_jobs: int,
     return {"payload_bytes": payload_bytes, "shm": shm, "pipe": pipe}
 
 
+def shard_sweep_tasks(scale: SimulationScale,
+                      n_configs: int = SHARD_CONFIGS):
+    """One merged task sweeping ``n_configs`` distinct SNC geometries on
+    a single workload.  Sizes x entry widths keep every entry count a
+    power of two (an SNC invariant)."""
+    specs = tuple(
+        SNCSpec(key=f"lru{kb}e{entry_bytes}", size_bytes=kb * 1024,
+                entry_bytes=entry_bytes)
+        for kb in (4, 8, 16, 32, 64, 128, 256, 512)
+        for entry_bytes in (2, 4)
+    )[:n_configs]
+    job = ExperimentJob(figure="shard-sweep", schemes=("otp",),
+                        workload=SHARD_WORKLOAD, snc_configs=specs,
+                        scale=scale)
+    return merge_jobs([job])
+
+
+def _shard_run(tasks, n_jobs: int, pool: str,
+               trace_store: TraceStore) -> tuple[float, str]:
+    """One uncached run of the merged sweep task; wall seconds plus a
+    canonical serialization of the results (the parity fingerprint)."""
+    started = time.perf_counter()
+    results = run_tasks(tasks, n_jobs=n_jobs, backend="replay",
+                        trace_store=trace_store, pool=pool)
+    seconds = time.perf_counter() - started
+    digest = json.dumps([events_to_dict(r.events) for r in results])
+    return seconds, digest
+
+
+def time_shard_modes(scale: SimulationScale, n_jobs: int,
+                     trace_store: TraceStore, repeats: int = 3,
+                     n_configs: int = SHARD_CONFIGS) -> dict:
+    """Lane sharding on the worst case for recording-level parallelism.
+
+    The sweep is one workload x ``n_configs`` configurations — a single
+    merged task, a single recording.  Unsharded
+    (``REPRO_LANE_SHARDS=off``) that batch pass runs on one process no
+    matter ``n_jobs``; sharded (the default) the scheduler deals the
+    configuration lanes across the warm pool.  Runs are interleaved and
+    reduced to medians like :func:`time_pool_modes`;
+    ``shard_warm_speedup`` is unsharded-warm over sharded-warm seconds
+    on the same warm pool.  Every mode's results are checked
+    byte-identical before any number is reported.
+
+    The speedup is compute parallelism, so it needs cores: the payload
+    carries ``cpus`` and CI only enforces the 1.5x bar on multi-core
+    runners (a 1-CPU box still gains ~1.2x — the sharded path skips
+    the parent-side recording decode — but can't run shards
+    concurrently)."""
+    tasks = shard_sweep_tasks(scale, n_configs)
+    # Warm the recording inline, then the pool (untimed), so the timed
+    # runs measure pure pricing.
+    _, baseline = _shard_run(tasks, 1, "persistent", trace_store)
+    shutdown_worker_pool()
+    _shard_run(tasks, n_jobs, "persistent", trace_store)
+    unsharded_runs, sharded_runs, spawn_runs = [], [], []
+    try:
+        for _ in range(repeats):
+            os.environ["REPRO_LANE_SHARDS"] = "off"
+            seconds, digest = _shard_run(tasks, n_jobs, "persistent",
+                                         trace_store)
+            assert digest == baseline, "unsharded warm diverged"
+            unsharded_runs.append(seconds)
+            os.environ.pop("REPRO_LANE_SHARDS", None)
+            seconds, digest = _shard_run(tasks, n_jobs, "persistent",
+                                         trace_store)
+            assert digest == baseline, "sharded warm diverged"
+            sharded_runs.append(seconds)
+            seconds, digest = _shard_run(tasks, n_jobs, "spawn",
+                                         trace_store)
+            assert digest == baseline, "sharded spawn diverged"
+            spawn_runs.append(seconds)
+    finally:
+        os.environ.pop("REPRO_LANE_SHARDS", None)
+    unsharded_seconds = statistics.median(unsharded_runs)
+    sharded_seconds = statistics.median(sharded_runs)
+    spawn_seconds = statistics.median(spawn_runs)
+    return {
+        "workload": SHARD_WORKLOAD,
+        "n_configs": n_configs,
+        "n_jobs": n_jobs,
+        "cpus": os.cpu_count() or 1,
+        "repeats": repeats,
+        "unsharded_warm_seconds": round(unsharded_seconds, 3),
+        "sharded_warm_seconds": round(sharded_seconds, 3),
+        "sharded_spawn_seconds": round(spawn_seconds, 3),
+        "shard_warm_speedup": round(unsharded_seconds / sharded_seconds,
+                                    3),
+        "unsharded_runs": [round(s, 3) for s in unsharded_runs],
+        "sharded_runs": [round(s, 3) for s in sharded_runs],
+        "spawn_runs": [round(s, 3) for s in spawn_runs],
+    }
+
+
 def bench_pool(figures=DEFAULT_FIGURES, scale: SimulationScale = None,
                n_jobs: int = DEFAULT_JOBS, trace_dir: Path = None,
                ) -> dict:
@@ -162,8 +277,10 @@ def bench_pool(figures=DEFAULT_FIGURES, scale: SimulationScale = None,
     store = warm_trace_store(figures, scale, trace_dir)
     modes = time_pool_modes(figures, scale, n_jobs, store)
     shipping = time_shipping_modes(figures, scale, n_jobs, store)
+    shard = time_shard_modes(scale, n_jobs, store)
     shutdown_worker_pool()
-    return {**modes, "shipping": shipping}
+    return {**modes, "shipping": shipping, "shard_sweep": shard,
+            "shard_warm_speedup": shard["shard_warm_speedup"]}
 
 
 # ------------------------------------------------------------------ pytest
@@ -194,15 +311,38 @@ def test_shm_shipping_moves_the_payload_out_of_the_pipe(tmp_path):
     assert shipping["pipe"]["bytes"] >= shipping["payload_bytes"]
 
 
+def test_lane_sharding_engages_and_matches(tmp_path):
+    """The shard sweep's invariants without timing bars: the 16-config
+    single-task sweep at --jobs 4 must actually split into lane shards
+    on the warm pool, and the sharded results must serialize
+    byte-identically to the inline single-process run."""
+    scale = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
+    store = TraceStore(tmp_path)
+    tasks = shard_sweep_tasks(scale)
+    _, baseline = _shard_run(tasks, 1, "persistent", store)
+    shutdown_worker_pool()
+    reset_pool_stats()
+    _, digest = _shard_run(tasks, DEFAULT_JOBS, "persistent", store)
+    assert digest == baseline
+    assert pool_stats().lane_shards >= DEFAULT_JOBS
+    shutdown_worker_pool()
+
+
 def test_bench_payload_shape(tmp_path):
     """The JSON fields CI's asserts and the perf ledger rely on."""
     scale = SimulationScale(warmup_refs=30_000, measure_refs=50_000)
     result = bench_pool(("5",), scale, 2, tmp_path)
     for field in ("spawn_seconds", "persistent_cold_seconds",
                   "persistent_warm_seconds", "warm_pool_speedup",
-                  "cold_start_seconds", "shipping"):
+                  "cold_start_seconds", "shipping", "shard_sweep",
+                  "shard_warm_speedup"):
         assert field in result
     assert result["shipping"]["shm"]["shipments"] >= 1
+    shard = result["shard_sweep"]
+    for field in ("unsharded_warm_seconds", "sharded_warm_seconds",
+                  "sharded_spawn_seconds", "shard_warm_speedup"):
+        assert field in shard
+    assert shard["n_configs"] == SHARD_CONFIGS
 
 
 # ------------------------------------------------------------------ script
@@ -237,6 +377,13 @@ def main() -> int:
           f"({shipping['shm']['seconds']:.2f}s sweep) vs pipe "
           f"{shipping['pipe']['bytes'] / 1e6:.1f} MB "
           f"({shipping['pipe']['seconds']:.2f}s sweep)")
+    shard = result["shard_sweep"]
+    print(f"  shard sweep ({shard['workload']} x {shard['n_configs']} "
+          f"configs, 1 task, --jobs {shard['n_jobs']}):")
+    print(f"    unsharded warm {shard['unsharded_warm_seconds']:7.2f}s")
+    print(f"    sharded warm   {shard['sharded_warm_seconds']:7.2f}s "
+          f"({shard['shard_warm_speedup']:.2f}x)")
+    print(f"    sharded spawn  {shard['sharded_spawn_seconds']:7.2f}s")
 
     payload = {
         "benchmark": "pool_overhead",
@@ -247,7 +394,8 @@ def main() -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"warm pool speedup {result['warm_pool_speedup']:.2f}x "
+    print(f"warm pool speedup {result['warm_pool_speedup']:.2f}x, "
+          f"shard warm speedup {result['shard_warm_speedup']:.2f}x "
           f"-> {args.output}")
     return 0
 

@@ -18,11 +18,19 @@ through the experiment scheduler at a reduced scale, and prints:
   on top of the paper's scheme, sweeping the trusted node-cache size —
   the Gassend et al. piece the paper defers (§2.2).
 
+The figure sweep runs through the replay backend with a trace store, so
+``--jobs N`` exercises the scheduler's lane sharding: three recordings
+fan across the workers and, when workers remain, a recording's
+configuration lanes split further (progress lines on stderr show the
+``... in S shards batch-priced`` passes; the printed tables are
+byte-identical at any ``--jobs``).
+
 Run:  python examples/snc_design_space.py [--jobs N] [--scenario]
                                           [--integrity]
 """
 
 import argparse
+import sys
 
 from repro.area import figure8_area_check
 from repro.eval.api import (
@@ -33,6 +41,7 @@ from repro.eval.api import (
     SCENARIO_STRATEGIES,
     SimulationScale,
     SNCSpec,
+    TraceStore,
     format_integrity_table,
     run_integrity_sweep,
     run_jobs,
@@ -174,6 +183,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep (default 1)")
+    parser.add_argument("--trace-cache-dir", default=None, metavar="DIR",
+                        help="recorded-stream store for the figure sweep "
+                             "(default: the user-level trace cache)")
     parser.add_argument("--scenario", action="store_true",
                         help="print the §4.3 multi-programmed strategy x "
                              "SNC-config table instead of the figure "
@@ -195,7 +207,11 @@ def main() -> None:
         print_scenario_tables(args.jobs)
         return
 
-    all_events = run_jobs(design_space_jobs(), n_jobs=args.jobs)
+    all_events = run_jobs(
+        design_space_jobs(), n_jobs=args.jobs, backend="replay",
+        trace_store=TraceStore(args.trace_cache_dir),
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
     print_geometry_table(all_events)
     print("\nscheme design space (every registered scheme, priced "
           "through the registry):")

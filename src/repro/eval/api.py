@@ -41,18 +41,28 @@ facade promises:
     shipping; ``pool="spawn"`` builds a fresh pool per call.
     :func:`pool_stats` exposes the engine's counters and
     :func:`format_pool_stats` renders them as the runner's summary
-    line.  Both modes are byte-identical to each other and to
-    ``n_jobs=1``.
+    line.  When recordings alone cannot fill the workers, batch passes
+    are lane-sharded across them (:func:`plan_lane_shards` plans the
+    split, :func:`merge_shard_events` reassembles each task).  All of
+    it is byte-identical to ``n_jobs=1``.
 
 **Formatting**
     :func:`format_figure`, :func:`format_summary`,
     :func:`format_scenario_table`, :func:`format_integrity_table`,
-    :func:`format_run_stats`, :func:`format_trace_stats`.
+    :func:`format_run_stats`, :func:`format_trace_stats`; plus
+    :func:`events_to_dict` / :func:`events_from_dict`, the result
+    cache's JSON wire form — the canonical byte-parity fingerprint the
+    benchmarks and parity tests serialize events through.
 """
 
 from __future__ import annotations
 
-from repro.eval.cache import ResultCache, default_cache_dir
+from repro.eval.cache import (
+    ResultCache,
+    default_cache_dir,
+    events_from_dict,
+    events_to_dict,
+)
 from repro.eval.experiments import (
     ALL_FIGURES,
     FIGURES_BY_ID,
@@ -99,9 +109,12 @@ from repro.eval.jobs import (
     execute_record as record,
     merge_jobs,
     merge_scenario_jobs,
+    merge_shard_events,
     price_batch,
     record_task_for,
     standard_snc_specs,
+    task_lanes,
+    total_lane_count,
 )
 from repro.eval.pipeline import (
     BenchmarkEvents,
@@ -138,6 +151,8 @@ from repro.eval.scheduler import (
     BACKENDS,
     POOLS,
     TaskResult,
+    auto_jobs,
+    plan_lane_shards,
     run_jobs,
     run_tasks,
 )
@@ -213,8 +228,11 @@ __all__ = [
     "TaskResult",
     "TraceStore",
     "WorkerPool",
+    "auto_jobs",
     "default_cache_dir",
     "default_trace_dir",
+    "events_from_dict",
+    "events_to_dict",
     "figure3",
     "figure5",
     "figure6",
@@ -235,8 +253,10 @@ __all__ = [
     "integrity_table_keys",
     "merge_jobs",
     "merge_scenario_jobs",
+    "merge_shard_events",
     "parse_scale",
     "plan_jobs",
+    "plan_lane_shards",
     "pool_stats",
     "price_batch",
     "record",
@@ -261,4 +281,6 @@ __all__ = [
     "simulate_scenario",
     "standard_snc_configs",
     "standard_snc_specs",
+    "task_lanes",
+    "total_lane_count",
 ]

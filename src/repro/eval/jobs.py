@@ -584,11 +584,44 @@ def execute_record(record_task: RecordTask) -> Recording:
     )
 
 
-def replay_request_for(task: AnyTask) -> ReplayRequest:
+#: One independently priced state machine of a task: ``("snc", key)``
+#: for an SNC configuration, ``("integrity", key)`` for an integrity
+#: model.  Lanes never interact during a replay — each consumes the
+#: shared event columns on its own — which is what lets the scheduler
+#: shard a batch pass by lane subsets without changing a single count.
+Lane = tuple[str, str]
+
+
+def task_lanes(task: AnyTask) -> tuple[Lane, ...]:
+    """A task's pricing lanes in canonical order: every SNC
+    configuration (key-sorted, as the task stores them), then every
+    integrity model.  This order is the contract sharding relies on —
+    :func:`merge_shard_events` rebuilds the per-lane dicts in exactly
+    this order so a merged result is byte-identical to an unsharded
+    pass."""
+    return (
+        tuple(("snc", spec.key) for spec in task.snc_configs)
+        + tuple(("integrity", spec.key) for spec in task.integrity)
+    )
+
+
+def total_lane_count(tasks: Sequence[AnyTask]) -> int:
+    """How many pricing lanes a task list carries in total — the upper
+    bound on useful batch-mode parallelism (``--jobs auto`` sizes the
+    pool with it)."""
+    return sum(len(task.snc_configs) + len(task.integrity)
+               for task in tasks)
+
+
+def replay_request_for(task: AnyTask,
+                       lanes: Sequence[Lane] | None = None,
+                       ) -> ReplayRequest:
     """A task's replay-side configuration as the request object
     :meth:`~repro.eval.record.Recording.replay_batch` consumes — the
-    phase 2 twin of :func:`_task_configs`."""
-    configs = _task_configs(task)
+    phase 2 twin of :func:`_task_configs`.  ``lanes`` restricts the
+    request to a subset of the task's lanes (a shard of a sharded batch
+    pass); ``None`` means all of them."""
+    configs = _task_configs(task, lanes=lanes)
     if isinstance(task, ScenarioTask):
         return ReplayRequest(
             strategy=SwitchStrategy(task.strategy), **configs
@@ -613,14 +646,53 @@ def execute_task_replay(task: AnyTask,
 
 
 def price_batch(tasks: Sequence[AnyTask],
-                recording: Recording) -> list[BenchmarkEvents]:
+                recording: Recording,
+                lanes: Sequence[Sequence[Lane] | None] | None = None,
+                ) -> list[BenchmarkEvents]:
     """Run many tasks of one recording as a single batch-priced pass:
     the union of every task's state machines consumes the shared
     columns event-major (:meth:`~repro.eval.record.Recording.
     replay_batch`), and each task gets its events back in order —
-    byte-identical to calling :func:`execute_task_replay` per task."""
-    requests = [replay_request_for(task) for task in tasks]
+    byte-identical to calling :func:`execute_task_replay` per task.
+
+    ``lanes`` (parallel to ``tasks``) restricts each task to a lane
+    subset — one shard of a lane-sharded pass; a ``None`` entry keeps
+    every lane of that task.  A sharded task's events carry only its
+    shard's ``snc``/``integrity`` counts; :func:`merge_shard_events`
+    reassembles the full object from the shards."""
+    if lanes is None:
+        lanes = [None] * len(tasks)
+    requests = [replay_request_for(task, lanes=lane_subset)
+                for task, lane_subset in zip(tasks, lanes)]
     return recording.replay_batch(requests)
+
+
+def merge_shard_events(task: AnyTask,
+                       partials: Sequence[BenchmarkEvents],
+                       ) -> BenchmarkEvents:
+    """Reassemble one task's events from the lane-shard partials of a
+    sharded batch pass.
+
+    Each partial priced a disjoint lane subset of ``task`` over the
+    same recording, so every non-lane field (miss counts, compute
+    cycles, per-task splits) derives from the recording alone and is
+    identical across partials; only the ``snc`` / ``integrity`` dicts
+    differ.  They are unioned and rebuilt in the task's canonical lane
+    order (:func:`task_lanes`), making the merged object — including
+    dict iteration order, which the result cache's serialization
+    preserves — byte-identical to an unsharded pass.  A lane missing
+    from every partial raises ``KeyError``: shards must cover the task
+    exactly."""
+    merged = partials[0]
+    snc: dict = {}
+    integrity: dict = {}
+    for events in partials:
+        snc.update(events.snc)
+        integrity.update(events.integrity)
+    merged.snc = {spec.key: snc[spec.key] for spec in task.snc_configs}
+    merged.integrity = {spec.key: integrity[spec.key]
+                        for spec in task.integrity}
+    return merged
 
 
 def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
@@ -659,19 +731,32 @@ def merge_scenario_jobs(jobs: list[ScenarioJob]) -> list[ScenarioTask]:
     ]
 
 
-def _task_configs(task: AnyTask) -> dict:
+def _task_configs(task: AnyTask,
+                  lanes: Sequence[Lane] | None = None) -> dict:
     """A task's spec tuples as the keyword mapping every simulation and
     replay entry point takes — one place, so the fused and replay
-    dispatchers cannot diverge when a task axis is added."""
+    dispatchers cannot diverge when a task axis is added.  ``lanes``
+    keeps only the named subset of the task's lanes (a shard of a
+    sharded batch pass); filtering preserves the canonical key-sorted
+    spec order, so a shard's dicts iterate exactly like the matching
+    slice of the full task's."""
+    snc_specs = task.snc_configs
+    integrity_specs = task.integrity
+    if lanes is not None:
+        picked = set(lanes)
+        snc_specs = tuple(spec for spec in snc_specs
+                          if ("snc", spec.key) in picked)
+        integrity_specs = tuple(spec for spec in integrity_specs
+                                if ("integrity", spec.key) in picked)
     return {
         "snc_configs": {spec.key: spec.to_config()
-                        for spec in task.snc_configs},
+                        for spec in snc_specs},
         "snc_schemes": {spec.key: spec.scheme
-                        for spec in task.snc_configs},
+                        for spec in snc_specs},
         "integrity_configs": {spec.key: spec.to_config()
-                              for spec in task.integrity},
+                              for spec in integrity_specs},
         "integrity_providers": {spec.key: spec.provider
-                                for spec in task.integrity},
+                                for spec in integrity_specs},
     }
 
 

@@ -100,6 +100,11 @@ class PoolStats:
     pipe_bytes: int = 0
     #: Record passes avoided because an identical one was in flight.
     records_deduped: int = 0
+    #: Lane shards priced concurrently (counted only for groups the
+    #: scheduler actually split — an unsharded batch pass adds none).
+    lane_shards: int = 0
+    #: Wall time summed over those shard passes.
+    shard_seconds: float = 0.0
 
 
 _STATS = PoolStats()

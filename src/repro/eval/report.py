@@ -204,11 +204,22 @@ def format_trace_stats(store) -> str:
             f"({store.record_seconds:.1f}s, {rate:,.0f} refs/s)"
         )
     if getattr(store, "tasks_priced", 0):
-        parts.append(
-            f"{store.tasks_priced} task"
-            f"{'s' if store.tasks_priced != 1 else ''} replay-priced "
-            f"({store.price_seconds:.1f}s)"
-        )
+        shards = getattr(store, "price_shards", 0)
+        if shards > getattr(store, "price_passes", 0):
+            # Some batch pass was lane-sharded across the pool: show
+            # how many shard passes the pricing actually ran as.
+            parts.append(
+                f"{store.tasks_priced} task"
+                f"{'s' if store.tasks_priced != 1 else ''} "
+                f"batch-priced in {shards} shards "
+                f"({store.price_seconds:.1f}s)"
+            )
+        else:
+            parts.append(
+                f"{store.tasks_priced} task"
+                f"{'s' if store.tasks_priced != 1 else ''} replay-priced "
+                f"({store.price_seconds:.1f}s)"
+            )
     return ", ".join(parts)
 
 
@@ -240,6 +251,13 @@ def format_pool_stats(stats) -> str:
             f"{stats.pipe_shipments} pipe shipment"
             f"{'s' if stats.pipe_shipments != 1 else ''} "
             f"({stats.pipe_bytes / 1e6:.1f} MB pickled)"
+        )
+    if getattr(stats, "lane_shards", 0):
+        per_shard = stats.shard_seconds / stats.lane_shards
+        parts.append(
+            f"{stats.lane_shards} lane shard"
+            f"{'s' if stats.lane_shards != 1 else ''} priced "
+            f"({per_shard:.2f}s/shard)"
         )
     if stats.tasks_retried:
         parts.append(f"{stats.tasks_retried} retried inline")

@@ -6,7 +6,8 @@ Examples::
     python -m repro.eval --figures 5 10       # just Figures 5 and 10
     python -m repro.eval --scale quick        # fast smoke (short traces)
     python -m repro.eval --scale quick --jobs 4   # fan out 4 processes
-    python -m repro.eval --jobs auto          # one worker per CPU
+    python -m repro.eval --jobs auto          # one worker per CPU,
+                                              # capped by total lanes
     python -m repro.eval --pool spawn         # fresh pool per run
     python -m repro.eval --no-cache           # force re-simulation
     python -m repro.eval --backend fused      # the reference single-pass
@@ -38,7 +39,7 @@ from repro.eval.report import (
     format_summary,
     format_trace_stats,
 )
-from repro.eval.scheduler import BACKENDS, POOLS, run_tasks
+from repro.eval.scheduler import BACKENDS, POOLS, auto_jobs, run_tasks
 from repro.eval.trace_store import TraceStore, default_trace_dir
 
 _FIGURES_BY_NUMBER = {
@@ -85,10 +86,14 @@ def parse_backend(text: str) -> str:
 
 
 def parse_jobs(text: str) -> int:
-    """A ``--jobs`` value: a worker count, or ``auto`` for one worker
-    per CPU — rejected with a menu rather than a bare 'invalid int'."""
+    """A ``--jobs`` value: a worker count, or ``auto`` — rejected with
+    a menu rather than a bare 'invalid int'.  ``auto`` parses to the
+    sentinel ``0``: the real count depends on the planned tasks (one
+    worker per CPU, capped by their total lane count —
+    :func:`repro.eval.scheduler.auto_jobs`), so :func:`main` resolves
+    it once the task list exists."""
     if text == "auto":
-        return os.cpu_count() or 1
+        return 0
     try:
         jobs = int(text)
     except ValueError:
@@ -97,7 +102,8 @@ def parse_jobs(text: str) -> int:
         return jobs
     raise argparse.ArgumentTypeError(
         f"invalid --jobs value {text!r} — pick a worker count >= 1, or "
-        f"'auto' (one worker per CPU: {os.cpu_count() or 1} here)"
+        f"'auto' (one worker per CPU, up to {os.cpu_count() or 1} here, "
+        "never more than the run's total pricing lanes)"
     )
 
 
@@ -146,7 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=parse_jobs, default=1, metavar="N|auto",
         help="worker processes for the simulation fan-out (default 1: "
              "serial, bit-identical to the historical path; 'auto' "
-             "uses one worker per CPU)",
+             "uses one worker per CPU, capped by the run's total "
+             "pricing-lane count)",
     )
     parser.add_argument(
         "--pool", type=parse_pool, default="persistent",
@@ -200,6 +207,9 @@ def main(argv: list[str] | None = None) -> int:
     figure_ids = [f"figure{number}" for number in args.figures]
     jobs = plan_jobs(figure_ids, scale=args.scale, seed=args.seed)
     tasks = merge_jobs(jobs)
+    # ``--jobs auto`` parses to 0; resolve it now that the tasks (and
+    # so the total lane count the pool can actually use) are known.
+    n_jobs = args.jobs or auto_jobs(tasks)
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -211,13 +221,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
         f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
-        f"measured refs each, {args.jobs} worker"
-        f"{'s' if args.jobs != 1 else ''}, {args.backend} backend"
-        f"{f', {args.pool} pool' if args.jobs > 1 else ''})...",
+        f"measured refs each, {n_jobs} worker"
+        f"{'s' if n_jobs != 1 else ''}, {args.backend} backend"
+        f"{f', {args.pool} pool' if n_jobs > 1 else ''})...",
         file=sys.stderr,
     )
     task_results = run_tasks(
-        tasks, n_jobs=args.jobs, cache=cache,
+        tasks, n_jobs=n_jobs, cache=cache,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
         backend=args.backend, trace_store=trace_store, pool=args.pool,
     )
@@ -230,7 +240,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     if trace_store is not None:
         print(format_trace_stats(trace_store), file=sys.stderr)
-    if args.pool == "persistent" and args.jobs > 1:
+    if args.pool == "persistent" and n_jobs > 1:
         print(format_pool_stats(pool_stats()), file=sys.stderr)
     print(file=sys.stderr)
 

@@ -42,8 +42,14 @@ suite and the byte-identical table checks in CI pin this):
   missing), and then each group is **batch-priced**: one event-major
   pass (:func:`repro.eval.jobs.price_batch`) walks the shared columns
   once while every task's state machines consume them in lock-step.
-  ``--jobs N`` parallelizes across recordings (config-major fan-out
-  between groups, event-major vectorization within one).
+  ``--jobs N`` parallelizes across recordings *and*, when recordings
+  alone cannot fill the workers, across **lane shards** within one:
+  :func:`plan_lane_shards` splits a group's pricing lanes (one per SNC
+  configuration or integrity model — independent by construction) into
+  per-worker chunks, each worker prices only its subset over the same
+  shipped recording, and the parent reassembles per-task events in
+  canonical lane order (:func:`repro.eval.jobs.merge_shard_events`) —
+  byte-identical to the unsharded pass.
 * ``backend="replay-perevent"`` — the same two phases, but each task
   replays the stream on its own through the per-event reference loop
   (:meth:`~repro.timing.model.SNCTimingSim.replay_events`).  This is
@@ -57,26 +63,32 @@ to the :class:`~repro.eval.cache.ResultCache` when one is given.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.eval.cache import ResultCache
 from repro.eval.jobs import (
     AnyTask,
     ExperimentJob,
+    Lane,
     RecordTask,
     execute_record,
     execute_task,
     execute_task_replay,
     merge_jobs,
+    merge_shard_events,
     price_batch,
     record_task_for,
+    task_lanes,
+    total_lane_count,
 )
 from repro.eval.pipeline import BenchmarkEvents
 from repro.eval.pool import (
     claim_record,
     get_worker_pool,
+    pool_stats,
     remember_recording,
     resolve_recording_ref,
 )
@@ -133,29 +145,152 @@ def _replay_indexed(item: tuple[int, AnyTask, dict]):
     return index, events, time.perf_counter() - started
 
 
-def _batch_indexed(item: tuple[int, tuple[AnyTask, ...], dict]):
-    """Batch worker: prices one recording's whole task group in a
-    single event-major pass and returns the per-task event lists."""
-    group_index, group_tasks, ref = item
+def _batch_indexed(item):
+    """Batch worker: prices one lane shard of one recording's task
+    group in a single event-major pass — the whole group when the
+    shard plan left it in one piece — and returns the per-task
+    (possibly partial) event lists.
+
+    ``item`` is ``(group_index, shard_index, members, ref)`` where
+    ``members`` is a tuple of ``(task, lane_keys)`` pairs; a ``None``
+    ``lane_keys`` means every lane of that task.  ``_REPRO_SHARD_CRASH``
+    (``"<group>:<shard>"``) kills the matching shard's *worker* process
+    mid-task — the crash-recovery tests use it to pin that only the
+    dead worker's shard is re-priced."""
+    group_index, shard_index, members, ref = item
+    crash = os.environ.get("_REPRO_SHARD_CRASH", "")
+    if (crash == f"{group_index}:{shard_index}"
+            and multiprocessing.parent_process() is not None):
+        os._exit(17)
     started = time.perf_counter()
-    events = price_batch(list(group_tasks), resolve_recording_ref(ref))
-    return group_index, events, time.perf_counter() - started
+    events = price_batch(
+        [task for task, _lanes in members],
+        resolve_recording_ref(ref),
+        lanes=[lanes for _task, lanes in members],
+    )
+    return group_index, shard_index, events, time.perf_counter() - started
+
+
+#: Never split a group below this many lanes per shard: each shard
+#: re-walks the whole event stream, so a shard must amortize that
+#: decode over at least two lanes to beat staying fused with another.
+MIN_SHARD_LANES = 2
+
+
+def _lane_shard_limit() -> int | None:
+    """The ``REPRO_LANE_SHARDS`` override: ``""``/``"auto"`` — adaptive
+    planning (no cap); ``"0"``/``"off"`` — sharding disabled (every
+    group prices in one pass, the pre-sharding behaviour); an integer —
+    at most that many shards per group."""
+    raw = os.environ.get("REPRO_LANE_SHARDS", "").strip().lower()
+    if raw in ("", "auto"):
+        return None
+    if raw in ("0", "off", "no"):
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def plan_lane_shards(lane_counts: Sequence[int], n_jobs: int,
+                     limit: int | None = None) -> list[int]:
+    """How many lane shards each recording's batch pass splits into.
+
+    Every group starts as one pass (the sharding-free baseline); the
+    workers left idle by that plan (``n_jobs - n_groups``) are then
+    dealt out greedily to whichever group has the most lanes per shard,
+    while a further split still leaves :data:`MIN_SHARD_LANES` lanes in
+    every shard (and respects ``limit``).  Degenerates to all-ones —
+    exactly the historical one-pass-per-recording plan — when groups
+    already cover the workers or ``n_jobs == 1``; a 16-lane
+    single-workload sweep at 4 jobs plans 4 shards of 4 lanes."""
+    shards = [1] * len(lane_counts)
+    spare = n_jobs - len(lane_counts)
+    while spare > 0:
+        candidates = [
+            g for g, lanes in enumerate(lane_counts)
+            if lanes >= MIN_SHARD_LANES * (shards[g] + 1)
+            and (limit is None or shards[g] < limit)
+        ]
+        if not candidates:
+            break
+        best = max(candidates,
+                   key=lambda g: lane_counts[g] / shards[g])
+        shards[best] += 1
+        spare -= 1
+    return shards
+
+
+def _shard_members(members: list[tuple[int, AnyTask]], n_shards: int,
+                   ) -> list[list[tuple[int, AnyTask,
+                                        tuple[Lane, ...] | None]]]:
+    """Split one group's members into ``n_shards`` contiguous lane
+    chunks, balanced to within one lane.
+
+    Lanes are flattened in member order (each task's lanes in canonical
+    order), so a task spanning a chunk boundary contributes a lane
+    subset to each side.  Returns one list of ``(index, task,
+    lane_keys)`` triples per shard; ``lane_keys`` is ``None`` when the
+    shard holds every lane of that task — the ``n_shards == 1``
+    degenerate case is then exactly the unsharded item."""
+    flat: list[tuple[int, AnyTask, Lane | None]] = []
+    for index, task in members:
+        lanes = task_lanes(task)
+        if lanes:
+            flat.extend((index, task, lane) for lane in lanes)
+        else:
+            # A lane-less task (no SNC configs, no integrity) still
+            # needs its non-lane events produced exactly once.
+            flat.append((index, task, None))
+    total = len(flat)
+    shards = []
+    for s in range(n_shards):
+        chunk = flat[total * s // n_shards:total * (s + 1) // n_shards]
+        order: list[int] = []
+        by_task: dict[int, tuple[AnyTask, list[Lane]]] = {}
+        for index, task, lane in chunk:
+            if index not in by_task:
+                by_task[index] = (task, [])
+                order.append(index)
+            if lane is not None:
+                by_task[index][1].append(lane)
+        shard = []
+        for index in order:
+            task, lanes = by_task[index]
+            keys = (None if len(lanes) == len(task_lanes(task))
+                    else tuple(lanes))
+            shard.append((index, task, keys))
+        shards.append(shard)
+    return shards
+
+
+def auto_jobs(tasks: Sequence[AnyTask]) -> int:
+    """The worker count ``--jobs auto`` resolves to for a task list:
+    one per CPU, capped by the total lane count — with lane sharding a
+    sweep can use as many workers as it has pricing lanes (not just
+    recordings), and any more would idle."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, total_lane_count(tasks)))
 
 
 def _spawn_chunksize(n_items: int, workers: int) -> int:
     """Chunk so each worker sees ~4 batches — enough slack to balance
     uneven task costs, but far from the per-item pickle round-trips
-    ``chunksize=1`` pays on many tiny replay tasks."""
+    ``chunksize=1`` pays on many tiny replay tasks.  Heavy fan-outs
+    whose item list was already sized to the workers (the lane-sharded
+    batch items) pass an explicit ``chunksize=1`` instead: chunking
+    two shards onto one worker would serialize them and idle another."""
     return max(1, n_items // (workers * 4))
 
 
 def _fan_out(items: list, worker, n_jobs: int, on_result,
-             pool: str = "spawn") -> None:
+             pool: str = "spawn", chunksize: int | None = None) -> None:
     """Run indexed work items serially (zero scheduling overhead), on
     the process-wide persistent pool, or across a fresh spawn-context
     pool, handing each worker's result tuple to ``on_result`` as it
     completes.  The one fan-out used by every phase — fused tasks,
-    record passes, replays."""
+    record passes, replays, batch shards."""
     if len(items) <= 1 or n_jobs == 1:
         for item in items:
             on_result(*worker(item))
@@ -169,7 +304,7 @@ def _fan_out(items: list, worker, n_jobs: int, on_result,
     with context.Pool(processes=workers) as mp_pool:
         for result in mp_pool.imap_unordered(
             worker, items,
-            chunksize=_spawn_chunksize(len(items), workers),
+            chunksize=chunksize or _spawn_chunksize(len(items), workers),
         ):
             on_result(*result)
 
@@ -382,9 +517,20 @@ def _run_replay(tasks: list[AnyTask],
         if record_task not in groups:
             record_tasks.append(record_task)
         groups.setdefault(record_task, []).append((index, task))
-    fanning_out = n_jobs > 1 and (
-        len(pending) > 1 if not batch else len(record_tasks) > 1
-    )
+    if batch:
+        # One pool item per (recording, lane shard): groups alone when
+        # they cover the workers, lane shards within them when they
+        # don't (a single-recording sweep still fills the pool).
+        plan = plan_lane_shards(
+            [sum(len(task_lanes(task)) for _index, task in groups[rt])
+             for rt in record_tasks],
+            n_jobs, _lane_shard_limit(),
+        )
+        n_parallel = sum(plan)
+    else:
+        plan = None
+        n_parallel = len(pending)
+    fanning_out = n_jobs > 1 and n_parallel > 1
     payloads, recordings = _resolve_recordings(
         record_tasks, n_jobs, trace_store, progress, pool=pool,
         # Phase 2 in the workers consumes the wire payloads as-is, so
@@ -402,7 +548,7 @@ def _run_replay(tasks: list[AnyTask],
             payloads[record_task] = payload
         return payload
 
-    worker_pool = (get_worker_pool(min(n_jobs, max(len(pending), 1)))
+    worker_pool = (get_worker_pool(min(n_jobs, max(n_parallel, 1)))
                    if pool == "persistent" and fanning_out else None)
 
     def ref_for(record_task: RecordTask) -> dict:
@@ -422,7 +568,7 @@ def _run_replay(tasks: list[AnyTask],
     if batch:
         _price_groups(record_tasks, groups, payloads, recordings,
                       ref_for, n_jobs, cache, emit, progress,
-                      pool=pool, trace_store=trace_store)
+                      pool=pool, trace_store=trace_store, plan=plan)
         return
 
     if len(pending) <= 1 or n_jobs == 1:
@@ -471,41 +617,95 @@ def _price_groups(record_tasks: list[RecordTask],
                   ref_for, n_jobs: int,
                   cache: ResultCache | None, emit, progress,
                   pool: str = "spawn",
-                  trace_store: TraceStore | None = None) -> None:
-    """Phase 2, batch mode: one event-major pass per recording.
+                  trace_store: TraceStore | None = None,
+                  plan: list[int] | None = None) -> None:
+    """Phase 2, batch mode: one event-major pass per recording — or,
+    when recordings alone would leave workers idle, several lane-shard
+    passes per recording priced concurrently.
 
-    Each group's tasks are priced together by
-    :func:`~repro.eval.jobs.price_batch`; parallelism is *between*
-    groups (one pool item per recording), never within one — the whole
-    point is that a recording's columns are walked exactly once.  The
-    group's wall time is apportioned evenly across its tasks so run
-    stats still sum to the real simulated time.
+    ``plan`` (from :func:`plan_lane_shards`) says how many shards each
+    group splits into; each shard prices a contiguous lane subset over
+    the same shipped recording (one pool item per shard, riding the
+    pool's dedupe/retry/respawn machinery as-is — a dead worker
+    re-prices only its shard), and the group's results are merged back
+    per task in canonical lane order
+    (:func:`~repro.eval.jobs.merge_shard_events`), byte-identical to
+    the one-pass path.  The group's wall time — summed across its
+    shards — is apportioned evenly across its tasks so run stats still
+    sum to the real simulated time.
     """
     n_groups = len(record_tasks)
+    if plan is None:
+        plan = [1] * n_groups
+    group_shards = [
+        _shard_members(groups[record_task], plan[group_index])
+        for group_index, record_task in enumerate(record_tasks)
+    ]
 
-    def finish(group_index: int, events_list: list[BenchmarkEvents],
-               seconds: float) -> None:
+    def finish(group_index: int,
+               per_shard: dict[int, tuple[list[BenchmarkEvents],
+                                          float]]) -> None:
         record_task = record_tasks[group_index]
         members = groups[record_task]
+        n_shards = len(group_shards[group_index])
+        seconds = sum(shard_seconds
+                      for _events, shard_seconds in per_shard.values())
         if trace_store is not None:
-            trace_store.note_priced(len(members), seconds)
+            trace_store.note_priced(len(members), seconds,
+                                    shards=n_shards)
+        if n_shards > 1:
+            stats = pool_stats()
+            stats.lane_shards += n_shards
+            stats.shard_seconds += seconds
         if progress is not None:
+            sharding = (
+                f" in {n_shards} shards" if n_shards > 1 else ""
+            )
             progress(
                 f"[batch {group_index + 1}/{n_groups}] "
                 f"{record_task.describe()}: {len(members)} task"
-                f"{'s' if len(members) != 1 else ''} batch-priced "
-                f"in {seconds:.1f}s"
+                f"{'s' if len(members) != 1 else ''}{sharding} "
+                f"batch-priced in {seconds:.1f}s"
             )
+        partials: dict[int, list[BenchmarkEvents]] = {}
+        for shard_index in sorted(per_shard):
+            events_list, _shard_seconds = per_shard[shard_index]
+            for (index, _task, _lanes), events in zip(
+                group_shards[group_index][shard_index], events_list
+            ):
+                partials.setdefault(index, []).append(events)
         share = seconds / len(members)
-        for (index, task), events in zip(members, events_list):
+        for index, task in members:
+            if n_shards > 1:
+                events = merge_shard_events(task, partials[index])
+            else:
+                events = partials[index][0]
             if cache is not None:
                 cache.put(task, events)
             emit(index, TaskResult(task, events, share, cached=False),
                  verb="batch-priced")
 
-    if n_groups <= 1 or n_jobs == 1:
+    pending_shards: dict[int, dict[int, tuple[list, float]]] = {}
+
+    def on_priced(group_index: int, shard_index: int,
+                  events_list: list[BenchmarkEvents],
+                  seconds: float) -> None:
+        got = pending_shards.setdefault(group_index, {})
+        got[shard_index] = (events_list, seconds)
+        if len(got) == len(group_shards[group_index]):
+            finish(group_index, pending_shards.pop(group_index))
+
+    items = [
+        (group_index, shard_index,
+         tuple((task, lanes) for _index, task, lanes in shard),
+         ref_for(record_task))
+        for group_index, record_task in enumerate(record_tasks)
+        for shard_index, shard in enumerate(group_shards[group_index])
+    ]
+    if len(items) <= 1 or n_jobs == 1:
         # Inline: parse each payload at most once (store hits arrive
-        # parsed already; fresh pool recordings arrive as wire bytes).
+        # parsed already; fresh pool recordings arrive as wire bytes),
+        # and price each group in one unsharded pass.
         for group_index, record_task in enumerate(record_tasks):
             recording = recordings.get(record_task)
             if recording is None:
@@ -515,17 +715,12 @@ def _price_groups(record_tasks: list[RecordTask],
             events_list = price_batch(
                 [task for _, task in groups[record_task]], recording
             )
-            finish(group_index, events_list,
-                   time.perf_counter() - started)
+            on_priced(group_index, 0,
+                      events_list, time.perf_counter() - started)
         return
 
-    _fan_out(
-        [(group_index,
-          tuple(task for _, task in groups[record_task]),
-          ref_for(record_task))
-         for group_index, record_task in enumerate(record_tasks)],
-        _batch_indexed, n_jobs, finish, pool=pool,
-    )
+    _fan_out(items, _batch_indexed, n_jobs, on_priced, pool=pool,
+             chunksize=1)
 
 
 def run_jobs(jobs: list[ExperimentJob], n_jobs: int = 1,

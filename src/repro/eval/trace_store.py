@@ -367,6 +367,8 @@ class TraceStore:
         self.record_seconds = 0.0
         self.tasks_priced = 0
         self.price_seconds = 0.0
+        self.price_passes = 0
+        self.price_shards = 0
 
     def note_record(self, total_refs: int, seconds: float) -> None:
         """Count one completed record pass of ``total_refs`` references."""
@@ -374,10 +376,20 @@ class TraceStore:
         self.record_refs += total_refs
         self.record_seconds += seconds
 
-    def note_priced(self, tasks: int, seconds: float) -> None:
-        """Count ``tasks`` simulation tasks priced by replay."""
+    def note_priced(self, tasks: int, seconds: float,
+                    shards: int = 0) -> None:
+        """Count ``tasks`` simulation tasks priced by replay.
+
+        Batch passes also report ``shards`` — how many lane shards the
+        group's pass was split into (1 when it ran whole).  The summary
+        line surfaces sharding only when some pass split
+        (``price_shards > price_passes``); the per-event path passes no
+        shard count at all."""
         self.tasks_priced += tasks
         self.price_seconds += seconds
+        if shards:
+            self.price_passes += 1
+            self.price_shards += shards
 
     def key_for(self, record_task) -> str:
         digest = hashlib.sha256()

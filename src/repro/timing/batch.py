@@ -48,6 +48,7 @@ equality; ``benchmarks/bench_trace_throughput.py`` tracks the speedup.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 
 from repro.secure.snc import SNCPolicy
@@ -70,7 +71,25 @@ _COUNTERS = ("o", "sm", "dr", "al", "uh", "um", "rj", "tf", "tp",
 #: SNC stats are lifetime values the reference never resets).
 _RESET_COUNTERS = ("o", "sm", "dr", "al", "uh", "um", "rj", "tf", "tp")
 
-_COMPILED: dict[tuple, object] = {}
+#: Compiled batch functions keyed by ``(lane shapes, n_models,
+#: has_switch)``.  The key depends only on lane *shapes*, so every
+#: shard of a lane-sharded pass whose lanes share a composition reuses
+#: one compile — pricing a lane subset never recompiles per shard.
+#: Sharding does multiply the distinct shapes a long-lived warm worker
+#: sees (one per shard size, not one per sweep), so the cache is
+#: LRU-bounded instead of growing without limit.
+_COMPILED: OrderedDict[tuple, object] = OrderedDict()
+_COMPILED_CAPACITY = 128
+_compiled_hits = 0
+_compiled_misses = 0
+
+
+def compiled_batch_info() -> tuple[int, int, int]:
+    """``(cached functions, cache hits, compiles)`` for this process —
+    observability for the sharding tests and benchmarks (a sharded
+    sweep should show shard passes hitting this cache, not compiling
+    per shard)."""
+    return len(_COMPILED), _compiled_hits, _compiled_misses
 
 
 def _lane_shape(sim: SNCTimingSim, has_switch: bool) -> tuple:
@@ -398,13 +417,20 @@ def _build_source(shapes: Sequence[tuple], n_models: int,
 
 
 def _compile(shapes: tuple, n_models: int, has_switch: bool):
+    global _compiled_hits, _compiled_misses
     key = (shapes, n_models, has_switch)
     fn = _COMPILED.get(key)
     if fn is None:
+        _compiled_misses += 1
         namespace: dict = {}
         exec(_build_source(shapes, n_models, has_switch), namespace)
         fn = namespace["_batch"]
         _COMPILED[key] = fn
+        while len(_COMPILED) > _COMPILED_CAPACITY:
+            _COMPILED.popitem(last=False)
+    else:
+        _compiled_hits += 1
+        _COMPILED.move_to_end(key)
     return fn
 
 

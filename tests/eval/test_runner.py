@@ -4,6 +4,7 @@ import pytest
 
 from repro.eval.charts import render_averages, render_chart
 from repro.eval.experiments import figure5, run_all_benchmarks
+from repro.eval.jobs import standard_snc_specs
 from repro.eval.pipeline import SimulationScale
 from repro.eval.runner import build_parser, main, parse_scale
 
@@ -100,10 +101,37 @@ class TestJobsSelection:
         assert parser.parse_args(["--jobs", "4"]).jobs == 4
         assert parser.parse_args([]).jobs == 1
 
-    def test_auto_resolves_to_cpu_count(self):
-        import os
+    def test_auto_parses_to_the_resolve_later_sentinel(self):
+        # "auto" cannot resolve at parse time: the cap is the sweep's
+        # total lane count, known only once the tasks are merged.  The
+        # parser hands main() the 0 sentinel; auto_jobs() does the rest.
         args = build_parser().parse_args(["--jobs", "auto"])
-        assert args.jobs == (os.cpu_count() or 1)
+        assert args.jobs == 0
+
+    def test_auto_jobs_caps_at_the_lane_count(self):
+        import os
+
+        from repro.eval.jobs import ExperimentJob, merge_jobs
+        from repro.eval.scheduler import auto_jobs
+
+        specs = (standard_snc_specs()["lru64"],)
+        tasks = merge_jobs([
+            ExperimentJob(figure="figure5", schemes=("otp",),
+                          workload="art", snc_configs=specs,
+                          scale=SimulationScale(20_000, 20_000)),
+        ])
+        # One task, one lane: auto must not spawn idle workers.
+        assert auto_jobs(tasks) == 1
+        assert auto_jobs([]) == 1
+        many = merge_jobs([
+            ExperimentJob(figure="figure5", schemes=("otp",),
+                          workload="art",
+                          snc_configs=tuple(standard_snc_specs().values()),
+                          scale=SimulationScale(20_000, 20_000)),
+        ])
+        expected = max(1, min(os.cpu_count() or 1,
+                              len(many[0].snc_configs)))
+        assert auto_jobs(many) == expected
 
     def test_garbage_jobs_gets_a_menu(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
