@@ -46,6 +46,17 @@ facade promises:
     split, :func:`merge_shard_events` reassembles each task).  All of
     it is byte-identical to ``n_jobs=1``.
 
+**Serving**
+    :class:`EvalServer` is the evaluation service daemon
+    (``python -m repro.eval serve``): one warm pool + caches + a
+    hot-result LRU behind a newline-delimited JSON socket protocol,
+    with cross-client single-flight task dedupe.  :class:`EvalClient`
+    is the blocking client the runner's ``--server`` uses
+    (:func:`task_to_wire` / :func:`task_from_wire` are the task wire
+    form); :func:`start_server_thread` hosts a daemon on a background
+    thread for tests and embedders.  Tables rendered from a server run
+    are byte-identical to local ones — see ``docs/serve.md``.
+
 **Formatting**
     :func:`format_figure`, :func:`format_summary`,
     :func:`format_scenario_table`, :func:`format_integrity_table`,
@@ -96,6 +107,13 @@ from repro.eval.experiments import (
     scenario_snc_specs,
     scheme_config_key,
 )
+from repro.eval.client import (
+    DEFAULT_PORT,
+    EvalClient,
+    PROTOCOL_VERSION,
+    ServerError,
+    parse_address,
+)
 from repro.eval.jobs import (
     AnyTask,
     ExperimentJob,
@@ -113,7 +131,9 @@ from repro.eval.jobs import (
     price_batch,
     record_task_for,
     standard_snc_specs,
+    task_from_wire,
     task_lanes,
+    task_to_wire,
     total_lane_count,
 )
 from repro.eval.pipeline import (
@@ -129,6 +149,8 @@ from repro.eval.pool import (
     WorkerPool,
     get_worker_pool,
     pool_stats,
+    pool_stats_dict,
+    pool_worker_pids,
     reset_pool_stats,
     shutdown_worker_pool,
 )
@@ -139,11 +161,13 @@ from repro.eval.record import (
     record_source_reference,
 )
 from repro.eval.report import (
+    format_client_stats,
     format_figure,
     format_integrity_table,
     format_pool_stats,
     format_run_stats,
     format_scenario_table,
+    format_server_stats,
     format_summary,
     format_trace_stats,
 )
@@ -155,6 +179,12 @@ from repro.eval.scheduler import (
     plan_lane_shards,
     run_jobs,
     run_tasks,
+)
+from repro.eval.server import (
+    EvalServer,
+    ServeStats,
+    ServerHandle,
+    start_server_thread,
 )
 from repro.eval.trace_store import TraceStore, default_trace_dir
 from repro.eval.runner import parse_scale
@@ -200,6 +230,9 @@ __all__ = [
     "AnyTask",
     "BACKENDS",
     "BenchmarkEvents",
+    "DEFAULT_PORT",
+    "EvalClient",
+    "EvalServer",
     "ExperimentJob",
     "FIGURES_BY_ID",
     "FigureResult",
@@ -209,6 +242,7 @@ __all__ = [
     "IntegrityModelSpec",
     "PAPER_LATENCIES",
     "POOLS",
+    "PROTOCOL_VERSION",
     "PoolStats",
     "QUICK_SCALE",
     "RecordTask",
@@ -222,6 +256,9 @@ __all__ = [
     "ScenarioJob",
     "ScenarioTask",
     "Series",
+    "ServeStats",
+    "ServerError",
+    "ServerHandle",
     "SimulationScale",
     "SimulationTask",
     "SourceSpec",
@@ -240,11 +277,13 @@ __all__ = [
     "figure8",
     "figure9",
     "figure10",
+    "format_client_stats",
     "format_figure",
     "format_integrity_table",
     "format_pool_stats",
     "format_run_stats",
     "format_scenario_table",
+    "format_server_stats",
     "format_summary",
     "format_trace_stats",
     "get_worker_pool",
@@ -254,10 +293,13 @@ __all__ = [
     "merge_jobs",
     "merge_scenario_jobs",
     "merge_shard_events",
+    "parse_address",
     "parse_scale",
     "plan_jobs",
     "plan_lane_shards",
     "pool_stats",
+    "pool_stats_dict",
+    "pool_worker_pids",
     "price_batch",
     "record",
     "record_source",
@@ -281,6 +323,9 @@ __all__ = [
     "simulate_scenario",
     "standard_snc_configs",
     "standard_snc_specs",
+    "start_server_thread",
+    "task_from_wire",
     "task_lanes",
+    "task_to_wire",
     "total_lane_count",
 ]

@@ -50,7 +50,7 @@ from __future__ import annotations
 import hashlib
 import json
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
 
@@ -782,3 +782,91 @@ def execute_task(task: AnyTask) -> BenchmarkEvents:
         simulate_alt_l2=task.alt_l2,
         **configs,
     )
+
+
+def task_to_wire(task: AnyTask) -> dict:
+    """Serialize a task to the serve protocol's JSON wire form.
+
+    The inverse of :func:`task_from_wire`:
+    ``task_from_wire(json.loads(json.dumps(task_to_wire(task))))``
+    rebuilds an equal task, so a client-shipped task hashes (and so
+    caches) exactly like the local one.  ``kind`` selects the task
+    class; specs travel as their dataclass field dicts; the scale is a
+    ``[warmup_refs, measure_refs]`` pair.
+    """
+    wire: dict = {
+        "snc": [asdict(spec) for spec in task.snc_configs],
+        "integrity": [asdict(spec) for spec in task.integrity],
+        "scale": _scale_canonical(task.scale),
+        "seed": task.seed,
+    }
+    if isinstance(task, ScenarioTask):
+        wire["kind"] = "scenario"
+        wire["source"] = asdict(task.source)
+        wire["strategy"] = task.strategy
+    else:
+        wire["kind"] = "simulation"
+        wire["workload"] = task.workload
+        wire["alt_l2"] = task.alt_l2
+    return wire
+
+
+def task_from_wire(wire: object) -> AnyTask:
+    """Rebuild a task from its JSON wire form, validating as it goes.
+
+    Every malformed payload — wrong shape, unknown ``kind``, unknown
+    workload/scheme/provider, bad field types — raises
+    :class:`~repro.errors.ConfigurationError` with a message naming
+    the problem, so the serve daemon can answer a bad ``submit`` with
+    one error frame instead of dying.
+    """
+    try:
+        if not isinstance(wire, dict):
+            raise ConfigurationError(
+                f"task payload must be a JSON object, got "
+                f"{type(wire).__name__}"
+            )
+        kind = wire.get("kind")
+        snc = tuple(SNCSpec(**dict(spec)) for spec in wire.get("snc", ()))
+        for spec in snc:
+            get_scheme(spec.scheme)  # KeyError on unregistered scheme
+        integrity = tuple(IntegrityModelSpec(**dict(spec))
+                          for spec in wire.get("integrity", ()))
+        warmup, measure = wire["scale"]
+        scale = SimulationScale(warmup_refs=int(warmup),
+                                measure_refs=int(measure))
+        seed = int(wire.get("seed", 1))
+        if kind == "scenario":
+            fields = dict(wire["source"])
+            fields["workloads"] = tuple(fields.get("workloads", ()))
+            strategy = wire["strategy"]
+            SwitchStrategy(strategy)  # ValueError on a bad name
+            return ScenarioTask(
+                source=SourceSpec(**fields),
+                snc_configs=snc,
+                strategy=strategy,
+                scale=scale,
+                seed=seed,
+                integrity=integrity,
+            )
+        if kind == "simulation":
+            workload = wire["workload"]
+            if workload not in BY_NAME:
+                raise KeyError(f"unknown workload {workload!r}")
+            return SimulationTask(
+                workload=workload,
+                snc_configs=snc,
+                scale=scale,
+                seed=seed,
+                alt_l2=bool(wire.get("alt_l2", False)),
+                integrity=integrity,
+            )
+        raise ConfigurationError(
+            f"unknown task kind {kind!r} (simulation, scenario)"
+        )
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError) as err:
+        raise ConfigurationError(
+            f"malformed task payload: {err}"
+        ) from err

@@ -56,7 +56,7 @@ import os
 import threading
 import traceback
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from multiprocessing import connection
 
 try:
@@ -119,6 +119,24 @@ def reset_pool_stats() -> None:
     """Zero the counters in place (tests and benchmarks snapshot runs)."""
     for name in PoolStats.__dataclass_fields__:
         setattr(_STATS, name, 0)
+
+
+def pool_stats_dict() -> dict:
+    """JSON-ready snapshot of the process-wide counters — what the
+    serve daemon's ``stats`` frame and the benchmarks embed."""
+    return asdict(_STATS)
+
+
+def pool_worker_pids() -> list[int]:
+    """PIDs of the live process-wide pool's workers (``[]`` when no
+    pool exists).  The serve shutdown tests assert these are dead once
+    the daemon exits."""
+    with _POOL_LOCK:
+        pool = _POOL
+    if pool is None:
+        return []
+    with pool._lock:
+        return [worker.process.pid for worker in pool._workers]
 
 
 # ----------------------------------------------------------- recording LRU
@@ -353,6 +371,10 @@ class WorkerPool:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self._context = multiprocessing.get_context("spawn")
         self._lock = threading.RLock()
+        #: Serializes :meth:`run`: the worker pipes are single-reader,
+        #: so concurrent runs from different threads (the serve daemon's
+        #: executor is one) queue up rather than interleave on them.
+        self._run_lock = threading.Lock()
         self._workers: list[_Worker] = []
         self._segments: dict[str, object] = {}
         #: Shipment cache, insertion-ordered for LRU eviction.  Entries
@@ -563,26 +585,29 @@ class WorkerPool:
         like the spawn path.  A worker that dies mid-task is respawned
         and its task retried once inline; a task that *raises* in a
         worker fails the run (after draining, so the pool stays usable).
+        Concurrent calls from different threads serialize on the pool's
+        run lock — each run owns every worker pipe exclusively.
         """
         if not items:
             return
-        if self._closed:
-            raise RuntimeError("worker pool is shut down")
-        spec = f"{worker_fn.__module__}:{worker_fn.__qualname__}"
-        limit = min(max_workers or self.n_workers, self.n_workers,
-                    len(items))
-        queue = deque(items)
-        idle = list(self._workers[:limit])
-        active: dict[_Worker, object] = {}
-        try:
-            self._run_loop(worker_fn, spec, queue, idle, active,
-                           on_result)
-        finally:
-            # Shipments touched before this run stay pinned against
-            # eviction until two more runs complete (in-flight items
-            # may still reference them).
-            with self._lock:
-                self._epoch += 1
+        with self._run_lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            spec = f"{worker_fn.__module__}:{worker_fn.__qualname__}"
+            limit = min(max_workers or self.n_workers, self.n_workers,
+                        len(items))
+            queue = deque(items)
+            idle = list(self._workers[:limit])
+            active: dict[_Worker, object] = {}
+            try:
+                self._run_loop(worker_fn, spec, queue, idle, active,
+                               on_result)
+            finally:
+                # Shipments touched before this run stay pinned against
+                # eviction until two more runs complete (in-flight items
+                # may still reference them).
+                with self._lock:
+                    self._epoch += 1
 
     def _run_loop(self, worker_fn, spec, queue, idle, active,
                   on_result) -> None:

@@ -286,3 +286,48 @@ def format_run_stats(results: list[TaskResult]) -> str:
             f"{slowest.seconds:.1f}s"
         )
     return "; ".join(parts)
+
+
+def format_server_stats(payload: dict) -> str:
+    """One line about a serve daemon's lifetime, from its ``stats`` (or
+    final ``shutdown``) payload: connections and requests served, how
+    tasks were resolved — executed once, answered from the hot LRU, or
+    joined onto an identical in-flight run — and how many frames were
+    rejected.  The daemon prints this on exit; the concurrency tests
+    read the counts to prove cross-client single-flight dedupe."""
+    tasks = payload.get("tasks_requested", 0)
+    parts = [
+        f"serve: {payload.get('connections', 0)} connection"
+        f"{'s' if payload.get('connections', 0) != 1 else ''}",
+        f"{payload.get('requests', 0)} request"
+        f"{'s' if payload.get('requests', 0) != 1 else ''}",
+        f"{tasks} task{'s' if tasks != 1 else ''} "
+        f"({payload.get('tasks_executed', 0)} executed, "
+        f"{payload.get('tasks_hot', 0)} hot, "
+        f"{payload.get('tasks_joined', 0)} joined in flight)",
+    ]
+    errors = (payload.get("protocol_errors", 0)
+              + payload.get("request_errors", 0))
+    if errors:
+        parts.append(f"{errors} error frame{'s' if errors != 1 else ''}")
+    uptime = payload.get("uptime_seconds")
+    if uptime is not None:
+        parts.append(f"up {uptime:.1f}s")
+    return ", ".join(parts)
+
+
+def format_client_stats(summary: dict, address: str) -> str:
+    """One line about a ``--server`` run, from
+    :attr:`~repro.eval.client.EvalClient.last_request`: where the tasks
+    went and how the daemon resolved them.  The runner prints this
+    instead of pool/trace lines (those live server-side); CI greps the
+    dedupe counts on the two-client smoke."""
+    counts = summary.get("counts", {})
+    tasks = summary.get("tasks", 0)
+    return (
+        f"server {address}: {tasks} task{'s' if tasks != 1 else ''} "
+        f"({counts.get('executed', 0)} executed, "
+        f"{counts.get('hot', 0)} hot, "
+        f"{counts.get('joined', 0)} joined in flight) "
+        f"in {summary.get('seconds', 0.0):.1f}s server-side"
+    )

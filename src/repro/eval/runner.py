@@ -13,6 +13,10 @@ Examples::
     python -m repro.eval --backend fused      # the reference single-pass
     python -m repro.eval --no-trace-cache     # re-record event streams
     python -m repro.eval --scale 100000:150000 --charts
+    python -m repro.eval serve --port 7203    # evaluation service daemon
+    python -m repro.eval --server localhost:7203 --figures 5 10
+                                              # run on the daemon's warm
+                                              # pool and caches
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from pathlib import Path
 
 from repro.eval.cache import ResultCache, default_cache_dir
 from repro.eval.charts import render_averages
+from repro.eval.client import EvalClient, parse_address
 from repro.eval.experiments import (
     FIGURES_BY_ID,
     plan_jobs,
@@ -33,6 +38,7 @@ from repro.eval.jobs import merge_jobs
 from repro.eval.pipeline import QUICK_SCALE, SimulationScale
 from repro.eval.pool import pool_stats
 from repro.eval.report import (
+    format_client_stats,
     format_figure,
     format_pool_stats,
     format_run_stats,
@@ -192,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default {default_trace_dir()})",
     )
     parser.add_argument(
+        "--server", type=parse_address, default=None,
+        metavar="HOST[:PORT]",
+        help="run the tasks on a 'python -m repro.eval serve' daemon "
+             "instead of locally (byte-identical tables; the daemon "
+             "owns the caches and the worker pool, so --jobs, --pool, "
+             "--backend and the cache flags are ignored)",
+    )
+    parser.add_argument(
         "--charts", action="store_true",
         help="render ASCII bar charts in addition to the tables",
     )
@@ -207,42 +221,72 @@ def main(argv: list[str] | None = None) -> int:
     figure_ids = [f"figure{number}" for number in args.figures]
     jobs = plan_jobs(figure_ids, scale=args.scale, seed=args.seed)
     tasks = merge_jobs(jobs)
-    # ``--jobs auto`` parses to 0; resolve it now that the tasks (and
-    # so the total lane count the pool can actually use) are known.
-    n_jobs = args.jobs or auto_jobs(tasks)
-    cache = None
-    if not args.no_cache:
-        cache = ResultCache(args.cache_dir)
-    trace_store = None
-    if args.backend.startswith("replay") and not args.no_trace_cache:
-        trace_store = TraceStore(args.trace_cache_dir)
 
     started = time.time()
-    print(
-        f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
-        f"({args.scale.warmup_refs} warmup + {args.scale.measure_refs} "
-        f"measured refs each, {n_jobs} worker"
-        f"{'s' if n_jobs != 1 else ''}, {args.backend} backend"
-        f"{f', {args.pool} pool' if n_jobs > 1 else ''})...",
-        file=sys.stderr,
-    )
-    task_results = run_tasks(
-        tasks, n_jobs=n_jobs, cache=cache,
-        progress=lambda line: print(f"  {line}", file=sys.stderr),
-        backend=args.backend, trace_store=trace_store, pool=args.pool,
-    )
+
+    def progress(line: str) -> None:
+        print(f"  {line}", file=sys.stderr)
+
+    if args.server is not None:
+        # The daemon owns the execution substrate; the runner only
+        # ships tasks and renders — the tables below are byte-identical
+        # to a local run because events round-trip the cache wire form.
+        host, port = args.server
+        print(
+            f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
+            f"({args.scale.warmup_refs} warmup + "
+            f"{args.scale.measure_refs} measured refs each) "
+            f"-> server {host}:{port}...",
+            file=sys.stderr,
+        )
+        with EvalClient((host, port)) as client:
+            task_results = client.run_tasks(tasks, progress=progress)
+            summary = client.last_request
+        print(
+            f"{format_run_stats(task_results)} "
+            f"(wall {time.time() - started:.1f}s)",
+            file=sys.stderr,
+        )
+        print(format_client_stats(summary, f"{host}:{port}"),
+              file=sys.stderr)
+        print(file=sys.stderr)
+    else:
+        # ``--jobs auto`` parses to 0; resolve it now that the tasks
+        # (and so the total lane count the pool can use) are known.
+        n_jobs = args.jobs or auto_jobs(tasks)
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache(args.cache_dir)
+        trace_store = None
+        if args.backend.startswith("replay") and not args.no_trace_cache:
+            trace_store = TraceStore(args.trace_cache_dir)
+
+        print(
+            f"{len(jobs)} figure jobs -> {len(tasks)} simulation tasks "
+            f"({args.scale.warmup_refs} warmup + "
+            f"{args.scale.measure_refs} "
+            f"measured refs each, {n_jobs} worker"
+            f"{'s' if n_jobs != 1 else ''}, {args.backend} backend"
+            f"{f', {args.pool} pool' if n_jobs > 1 else ''})...",
+            file=sys.stderr,
+        )
+        task_results = run_tasks(
+            tasks, n_jobs=n_jobs, cache=cache, progress=progress,
+            backend=args.backend, trace_store=trace_store,
+            pool=args.pool,
+        )
+        print(
+            f"{format_run_stats(task_results)} "
+            f"(wall {time.time() - started:.1f}s)",
+            file=sys.stderr,
+        )
+        if trace_store is not None:
+            print(format_trace_stats(trace_store), file=sys.stderr)
+        if args.pool == "persistent" and n_jobs > 1:
+            print(format_pool_stats(pool_stats()), file=sys.stderr)
+        print(file=sys.stderr)
     events = {result.task.workload: result.events
               for result in task_results}
-    print(
-        f"{format_run_stats(task_results)} "
-        f"(wall {time.time() - started:.1f}s)",
-        file=sys.stderr,
-    )
-    if trace_store is not None:
-        print(format_trace_stats(trace_store), file=sys.stderr)
-    if args.pool == "persistent" and n_jobs > 1:
-        print(format_pool_stats(pool_stats()), file=sys.stderr)
-    print(file=sys.stderr)
 
     results = []
     for number in args.figures:

@@ -442,7 +442,8 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
               progress: Progress | None = None,
               backend: str = "fused",
               trace_store: TraceStore | None = None,
-              pool: str = "persistent") -> list[TaskResult]:
+              pool: str = "persistent",
+              on_result=None) -> list[TaskResult]:
     """Execute tasks — figure and scenario alike — in task order.
 
     Cache hits are resolved first (and never occupy a worker); the
@@ -450,7 +451,10 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
     through the selected ``backend``.  ``trace_store`` persists replay
     recordings across runs; it is only consulted by the replay backend.
     ``pool`` picks how parallel work is hosted (:data:`POOLS`) and is
-    ignored when everything runs inline.
+    ignored when everything runs inline.  ``on_result(index, result)``,
+    when given, fires once per task *as it completes* (cache hits
+    included, completion order) — the serve daemon resolves each
+    subscriber's future from it instead of waiting for the whole list.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -469,6 +473,8 @@ def run_tasks(tasks: list[AnyTask], n_jobs: int = 1,
     def emit(index: int, result: TaskResult, verb: str = "simulated"
              ) -> None:
         results[index] = result
+        if on_result is not None:
+            on_result(index, result)
         if progress is not None:
             how = "cached" if result.cached else (
                 f"{verb} in {result.seconds:.1f}s"
